@@ -1,0 +1,454 @@
+package nullcqa_test
+
+// One benchmark per experiment of DESIGN.md's index (E* = paper examples,
+// C* = complexity experiments). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks exercise exactly the code paths the experiments in
+// internal/experiments validate; EXPERIMENTS.md records the correspondence.
+
+import (
+	"fmt"
+	"testing"
+
+	nullcqa "repro"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/ground"
+	"repro/internal/nullsem"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/repair"
+	"repro/internal/repairprog"
+	"repro/internal/stable"
+	"repro/internal/value"
+)
+
+// --- shared workloads -----------------------------------------------------
+
+func example5DB() (*relational.Instance, *constraint.Set) {
+	return parser.MustInstance(`
+			course(cs27, 21, w04).
+			course(cs18, 34, null).
+			course(cs50, null, w05).
+			exp(21, cs27, 3).
+			exp(34, cs18, null).
+			exp(45, cs32, 2).
+		`), parser.MustConstraints(`
+			course(Code, Id, Term) -> exp(Id, Code, Times).
+			exp(I, C, T1), exp(I, C, T2) -> T1 = T2.
+			exp(I, C, T), isnull(I) -> false.
+			exp(I, C, T), isnull(C) -> false.
+		`)
+}
+
+func example19DB() (*relational.Instance, *constraint.Set) {
+	return parser.MustInstance(`r(a, b). r(a, c). s(e, f). s(null, a).`),
+		parser.MustConstraints(`
+			r(X, Y), r(X, Z) -> Y = Z.
+			s(U, V) -> r(V, W).
+			r(X, Y), isnull(X) -> false.
+		`)
+}
+
+func courseStudentDB(extraViolations int) (*relational.Instance, *constraint.Set) {
+	d := parser.MustInstance(`
+		course(21, c15).
+		course(34, c18).
+		student(21, "Ann").
+		student(45, "Paul").
+	`)
+	for i := 0; i < extraViolations; i++ {
+		d.Insert(relational.F("course", value.Int(int64(100+i)), value.Str(fmt.Sprintf("cx%d", i))))
+	}
+	return d, parser.MustConstraints(`course(Id, Code) -> student(Id, Name).`)
+}
+
+// --- E02/E03: dependency graphs --------------------------------------------
+
+func BenchmarkDepGraph(b *testing.B) {
+	set := parser.MustConstraints(`
+		s(X) -> q(X).
+		q(X) -> r(X).
+		q(X) -> t(X, Y).
+		t(X, Y) -> r(Y).
+	`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if depgraph.RICAcyclic(set) {
+			b.Fatal("set must be RIC-cyclic")
+		}
+	}
+}
+
+// --- E04–E09: satisfaction semantics matrix ---------------------------------
+
+func BenchmarkSemanticsMatrix(b *testing.B) {
+	d, set := example5DB()
+	sems := nullsem.AllSemantics()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, sem := range sems {
+			nullsem.Satisfies(d, set, sem)
+		}
+	}
+}
+
+// --- E10: relevant attributes -------------------------------------------------
+
+func BenchmarkRelevantAttrs(b *testing.B) {
+	gamma := parser.MustConstraints(`p(X, Y, Z), r(Z, W) -> r(X, V) | W > 3.`).ICs[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(gamma.RelevantAttrs()) == 0 {
+			b.Fatal("no relevant attrs")
+		}
+	}
+}
+
+// --- E11–E13: |=_N checking ----------------------------------------------------
+
+func BenchmarkSatisfaction(b *testing.B) {
+	d := parser.MustInstance(`
+		p1(a, b, c).  p1(d, null, c).  p1(b, e, null).  p1(null, b, b).
+		p2(b, a).     p2(e, c).        p2(d, null).     p2(null, b).
+		q(a, a, c).   q(b, null, c).   q(b, c, d).      q(null, c, a).
+	`)
+	set := parser.MustConstraints(`p1(X, Y, W), p2(Y, Z) -> q(X, Z, U).`)
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !nullsem.Satisfies(d, set, nullsem.NullAware) {
+				b.Fatal("Example 12 must be consistent")
+			}
+		}
+	})
+	b.Run("projection-oracle", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !nullsem.SatisfiesOracle(d, set) {
+				b.Fatal("oracle disagrees")
+			}
+		}
+	})
+}
+
+// --- E14/E15 + C4: classic vs null-based repairs --------------------------------
+
+func BenchmarkClassicVsNullRepairs(b *testing.B) {
+	d, set := courseStudentDB(0)
+	b.Run("null-based", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := repair.Repairs(d, set, repair.Options{})
+			if err != nil || len(res.Repairs) != 2 {
+				b.Fatalf("res=%v err=%v", len(res.Repairs), err)
+			}
+		}
+	})
+	b.Run("classic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := repair.Repairs(d, set, repair.Options{Mode: repair.Classic})
+			if err != nil || len(res.Repairs) != 8 {
+				b.Fatalf("res=%v err=%v", len(res.Repairs), err)
+			}
+		}
+	})
+}
+
+// --- E16/E17/E19: repair enumeration ---------------------------------------------
+
+func BenchmarkRepairEnum(b *testing.B) {
+	d, set := example19DB()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := repair.Repairs(d, set, repair.Options{})
+		if err != nil || len(res.Repairs) != 4 {
+			b.Fatalf("repairs=%d err=%v", len(res.Repairs), err)
+		}
+	}
+}
+
+// --- E18 + C1: cyclic RICs (decidability) ------------------------------------------
+
+func BenchmarkCyclicRepairs(b *testing.B) {
+	set := parser.MustConstraints(`
+		p(X, Y) -> t(X).
+		t(X) -> p(Y, X).
+	`)
+	for _, n := range []int{1, 2, 4} {
+		d := relational.NewInstance()
+		for i := 0; i < n; i++ {
+			d.Insert(relational.F("t", value.Str(fmt.Sprintf("c%d", i))))
+		}
+		b.Run(fmt.Sprintf("violations=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := repair.Repairs(d, set, repair.Options{})
+				if err != nil || len(res.Repairs) != 1<<n {
+					b.Fatalf("repairs=%d err=%v", len(res.Repairs), err)
+				}
+			}
+		})
+	}
+}
+
+// --- E21/E22: repair program generation ----------------------------------------------
+
+func BenchmarkRepairProgramGen(b *testing.B) {
+	d, set := example19DB()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := repairprog.Build(d, set, repairprog.VariantPaper); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- grounding ------------------------------------------------------------------------
+
+func BenchmarkGrounding(b *testing.B) {
+	d, set := example19DB()
+	tr, err := repairprog.Build(d, set, repairprog.VariantPaper)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ground.Ground(tr.Program); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E23: stable models -----------------------------------------------------------------
+
+func BenchmarkStableModels(b *testing.B) {
+	d, set := example19DB()
+	tr, err := repairprog.Build(d, set, repairprog.VariantPaper)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gp, err := ground.Ground(tr.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ms, err := stable.Models(gp, stable.Options{})
+		if err != nil || len(ms) != 4 {
+			b.Fatalf("models=%d err=%v", len(ms), err)
+		}
+	}
+}
+
+// --- E24: HCF check ------------------------------------------------------------------------
+
+func BenchmarkHCFCheck(b *testing.B) {
+	d, set := example19DB()
+	tr, err := repairprog.Build(d, set, repairprog.VariantPaper)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gp, err := ground.Ground(tr.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stable.IsHCF(gp)
+		repairprog.GuaranteedHCF(set)
+	}
+}
+
+// --- C2: disjunctive vs shifted -----------------------------------------------------------
+
+func BenchmarkDisjunctiveVsShifted(b *testing.B) {
+	set := parser.MustConstraints(`r(X, Y), r(X, Z) -> Y = Z.`)
+	d := relational.NewInstance()
+	for i := 0; i < 4; i++ {
+		k := value.Str(fmt.Sprintf("k%d", i))
+		d.Insert(relational.F("r", k, value.Str("b")))
+		d.Insert(relational.F("r", k, value.Str("c")))
+	}
+	tr, err := repairprog.Build(d, set, repairprog.VariantPaper)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gp, err := ground.Ground(tr.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shifted := stable.Shift(gp)
+	b.Run("disjunctive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ms, err := stable.Models(gp, stable.Options{})
+			if err != nil || len(ms) != 16 {
+				b.Fatalf("models=%d err=%v", len(ms), err)
+			}
+		}
+	})
+	b.Run("shifted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ms, err := stable.Models(shifted, stable.Options{})
+			if err != nil || len(ms) != 16 {
+				b.Fatalf("models=%d err=%v", len(ms), err)
+			}
+		}
+	})
+}
+
+// --- C3: Theorem 4 (search vs program engines) ------------------------------------------------
+
+func BenchmarkTheorem4Agreement(b *testing.B) {
+	d, set := example19DB()
+	b.Run("search", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := repair.Repairs(d, set, repair.Options{})
+			if err != nil || len(res.Repairs) != 4 {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("program", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr, err := repairprog.Build(d, set, repairprog.VariantCorrected)
+			if err != nil {
+				b.Fatal(err)
+			}
+			insts, _, err := tr.StableRepairs(stable.Options{})
+			if err != nil || len(insts) != 4 {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- C5: consistent query answering end to end -------------------------------------------------
+
+func BenchmarkCQA(b *testing.B) {
+	q := parser.MustQuery(`q(Id) :- student(Id, Name).`)
+	for _, k := range []int{1, 3} {
+		d, set := courseStudentDB(k)
+		b.Run(fmt.Sprintf("search/violations=%d", k+1), func(b *testing.B) {
+			opts := core.NewOptions()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ConsistentAnswers(d, set, q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("program/violations=%d", k+1), func(b *testing.B) {
+			opts := core.NewOptions()
+			opts.Engine = core.EngineProgram
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ConsistentAnswers(d, set, q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- ablation: program pruning (the [12]-style optimization) ------------------------------------
+
+func BenchmarkPruningAblation(b *testing.B) {
+	d := parser.MustInstance(`r(a, b). r(a, c). s(e, f).`)
+	for i := 0; i < 20; i++ {
+		d.Insert(relational.F("audit", value.Int(int64(i)), value.Str(fmt.Sprintf("v%d", i))))
+	}
+	set := parser.MustConstraints(`
+		r(X, Y), r(X, Z) -> Y = Z.
+		s(U, V) -> r(V, W).
+	`)
+	run := func(b *testing.B, prune bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr, err := repairprog.BuildWith(d, set, repairprog.BuildOptions{
+				Variant:            repairprog.VariantCorrected,
+				PruneUnconstrained: prune,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gp, err := ground.Ground(tr.Program)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := stable.Models(gp, stable.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("full", func(b *testing.B) { run(b, false) })
+	b.Run("pruned", func(b *testing.B) { run(b, true) })
+}
+
+// --- cautious engine vs materializing engines -----------------------------------------------------
+
+func BenchmarkCQACautious(b *testing.B) {
+	d, set := courseStudentDB(2)
+	q := parser.MustQuery(`q(Id) :- student(Id, Name).`)
+	opts := core.NewOptions()
+	opts.Engine = core.EngineProgramCautious
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ans, err := core.ConsistentAnswers(d, set, q, opts)
+		if err != nil || len(ans.Tuples) != 2 {
+			b.Fatalf("ans=%v err=%v", ans.Tuples, err)
+		}
+	}
+}
+
+// --- query evaluation modes -------------------------------------------------------------------------
+
+func BenchmarkQueryModes(b *testing.B) {
+	d, _ := example5DB()
+	q := parser.MustQuery(`q(Code, Times) :- course(Code, Id, Term), exp(Id, Code, Times).`)
+	for _, mode := range []query.Mode{query.ConstantNulls, query.SQLNulls} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := query.EvalWith(d, q, query.Options{Mode: mode}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- public facade end-to-end -------------------------------------------------------------------
+
+func BenchmarkFacadeQuickstart(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := nullcqa.ParseInstance(`
+			course(21, c15).
+			course(34, c18).
+			student(21, "Ann").
+		`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		set, err := nullcqa.ParseConstraints(`course(Id, Code) -> student(Id, Name).`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if nullcqa.IsConsistent(d, set) {
+			b.Fatal("must be inconsistent")
+		}
+		if _, err := nullcqa.Repairs(d, set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

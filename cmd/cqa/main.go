@@ -1,0 +1,213 @@
+// Command cqa checks consistency, enumerates repairs, and computes
+// consistent query answers for a database instance and a set of integrity
+// constraints, under the null-aware semantics of Bravo & Bertossi
+// (EDBT 2006).
+//
+// Usage:
+//
+//	cqa -db db.facts -ic constraints.ic check
+//	cqa -db db.facts -ic constraints.ic repairs [-classic] [-engine program]
+//	cqa -db db.facts -ic constraints.ic answers -query query.q [-engine program]
+//	cqa -db db.facts -ic constraints.ic semantics
+//
+// Input files use the syntax of internal/parser (upper-case identifiers are
+// variables; null is the null constant). The -db and -ic flags also accept
+// inline text when the argument contains a newline or parenthesis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/nullsem"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/repair"
+	"repro/internal/repairprog"
+	"repro/internal/stable"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cqa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cqa", flag.ContinueOnError)
+	dbArg := fs.String("db", "", "database instance (file path or inline facts)")
+	icArg := fs.String("ic", "", "integrity constraints (file path or inline)")
+	queryArg := fs.String("query", "", "query (file path or inline), for the answers command")
+	engine := fs.String("engine", "search", "repair engine: search | program | cautious")
+	classic := fs.Bool("classic", false, "use the classic [2] repair semantics (repairs command)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one command: check | repairs | answers | semantics")
+	}
+	cmd := fs.Arg(0)
+
+	if *dbArg == "" || *icArg == "" {
+		return fmt.Errorf("-db and -ic are required")
+	}
+	d, err := loadInstance(*dbArg)
+	if err != nil {
+		return fmt.Errorf("loading -db: %w", err)
+	}
+	set, err := loadConstraints(*icArg)
+	if err != nil {
+		return fmt.Errorf("loading -ic: %w", err)
+	}
+
+	switch cmd {
+	case "check":
+		return cmdCheck(d, set)
+	case "repairs":
+		return cmdRepairs(d, set, *engine, *classic)
+	case "answers":
+		if *queryArg == "" {
+			return fmt.Errorf("-query is required for the answers command")
+		}
+		q, err := loadQuery(*queryArg)
+		if err != nil {
+			return fmt.Errorf("loading -query: %w", err)
+		}
+		return cmdAnswers(d, set, q, *engine)
+	case "semantics":
+		return cmdSemantics(d, set)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// loadText treats the argument as inline text if it looks like source,
+// otherwise as a file path.
+func loadText(arg string) (string, error) {
+	if strings.ContainsAny(arg, "(\n") {
+		return arg, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func loadInstance(arg string) (*relational.Instance, error) {
+	src, err := loadText(arg)
+	if err != nil {
+		return nil, err
+	}
+	return parser.Instance(src)
+}
+
+func loadConstraints(arg string) (*constraint.Set, error) {
+	src, err := loadText(arg)
+	if err != nil {
+		return nil, err
+	}
+	return parser.Constraints(src)
+}
+
+func loadQuery(arg string) (*query.Q, error) {
+	src, err := loadText(arg)
+	if err != nil {
+		return nil, err
+	}
+	return parser.Query(src)
+}
+
+func cmdCheck(d *relational.Instance, set *constraint.Set) error {
+	fmt.Printf("instance: %d facts, %d constraints (%d ICs, %d NNCs)\n",
+		d.Len(), len(set.ICs)+len(set.NNCs), len(set.ICs), len(set.NNCs))
+	fmt.Printf("RIC-acyclic: %v, non-conflicting: %v, Theorem 5 HCF condition: %v\n",
+		depgraph.RICAcyclic(set), set.NonConflicting(), repairprog.GuaranteedHCF(set))
+	rep := nullsem.Check(d, set, nullsem.NullAware)
+	if rep.Consistent() {
+		fmt.Println("D |=_N IC: consistent")
+		return nil
+	}
+	fmt.Printf("D |=_N IC: INCONSISTENT (%d IC violations, %d NNC violations)\n",
+		len(rep.IC), len(rep.NNC))
+	fmt.Println(rep)
+	return nil
+}
+
+func cmdRepairs(d *relational.Instance, set *constraint.Set, engine string, classic bool) error {
+	if engine == "program" {
+		variant := repairprog.VariantCorrected
+		tr, err := repairprog.Build(d, set, variant)
+		if err != nil {
+			return err
+		}
+		insts, models, err := tr.StableRepairs(stable.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d stable models, %d distinct repairs:\n", len(models), len(insts))
+		for i, r := range insts {
+			fmt.Printf("repair %d: %s\n         Δ = %s\n", i+1, r, relational.Diff(d, r))
+		}
+		return nil
+	}
+	opts := repair.Options{}
+	if classic {
+		opts.Mode = repair.Classic
+	}
+	res, err := repair.RepairsD(d, set, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d repairs (%s mode, %d states explored):\n",
+		len(res.Repairs), opts.Mode, res.StatesExplored)
+	for i, r := range res.Repairs {
+		fmt.Printf("repair %d: %s\n         Δ = %s\n", i+1, r, res.Deltas[i])
+	}
+	return nil
+}
+
+func cmdAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, engine string) error {
+	opts := core.NewOptions()
+	switch engine {
+	case "program":
+		opts.Engine = core.EngineProgram
+	case "cautious":
+		opts.Engine = core.EngineProgramCautious
+	}
+	ans, err := core.ConsistentAnswers(d, set, q, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("repairs inspected: %d\n", ans.NumRepairs)
+	if q.IsBoolean() {
+		fmt.Printf("consistent answer: %v\n", ans.Boolean)
+		return nil
+	}
+	fmt.Printf("consistent answers: %d\n", len(ans.Tuples))
+	for _, t := range ans.Tuples {
+		fmt.Println("  " + t.String())
+	}
+	return nil
+}
+
+func cmdSemantics(d *relational.Instance, set *constraint.Set) error {
+	fmt.Println("satisfaction under each implemented semantics:")
+	for _, sem := range nullsem.AllSemantics() {
+		ok := nullsem.Satisfies(d, set, sem)
+		status := "consistent"
+		if !ok {
+			status = "INCONSISTENT"
+		}
+		fmt.Printf("  %-14s %s\n", sem.String()+":", status)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func writeFixtures(t *testing.T) (db, ic, q string) {
+	t.Helper()
+	dir := t.TempDir()
+	db = filepath.Join(dir, "db.facts")
+	ic = filepath.Join(dir, "rules.ic")
+	q = filepath.Join(dir, "query.q")
+	if err := os.WriteFile(db, []byte(`
+		r(a, b).
+		r(a, c).
+		s(e, f).
+		s(null, a).
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ic, []byte(`
+		r(X, Y), r(X, Z) -> Y = Z.
+		s(U, V) -> r(V, W).
+		r(X, Y), isnull(X) -> false.
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(q, []byte(`q(V) :- s(U, V).`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return db, ic, q
+}
+
+func TestCheckCommand(t *testing.T) {
+	db, ic, _ := writeFixtures(t)
+	out, err := capture(t, func() error {
+		return run([]string{"-db", db, "-ic", ic, "check"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"INCONSISTENT", "RIC-acyclic: true", "4 facts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("check output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRepairsCommand(t *testing.T) {
+	db, ic, _ := writeFixtures(t)
+	for _, engine := range []string{"search", "program"} {
+		out, err := capture(t, func() error {
+			return run([]string{"-db", db, "-ic", ic, "-engine", engine, "repairs"})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "repair 4:") || strings.Contains(out, "repair 5:") {
+			t.Errorf("engine %s: expected exactly 4 repairs:\n%s", engine, out)
+		}
+	}
+}
+
+func TestRepairsClassic(t *testing.T) {
+	db, ic, _ := writeFixtures(t)
+	out, err := capture(t, func() error {
+		return run([]string{"-db", db, "-ic", ic, "-classic", "repairs"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "classic mode") {
+		t.Errorf("classic flag ignored:\n%s", out)
+	}
+}
+
+func TestAnswersCommand(t *testing.T) {
+	db, ic, q := writeFixtures(t)
+	for _, engine := range []string{"search", "program", "cautious"} {
+		out, err := capture(t, func() error {
+			return run([]string{"-db", db, "-ic", ic, "-query", q, "-engine", engine, "answers"})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "consistent answers: 1") || !strings.Contains(out, "(a)") {
+			t.Errorf("engine %s: unexpected answers:\n%s", engine, out)
+		}
+	}
+}
+
+func TestSemanticsCommand(t *testing.T) {
+	db, ic, _ := writeFixtures(t)
+	out, err := capture(t, func() error {
+		return run([]string{"-db", db, "-ic", ic, "semantics"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"null-aware", "simple-match", "full-match"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("semantics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInlineInput(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{
+			"-db", "p(a).\nq(a).",
+			"-ic", "p(X), q(X) -> false.",
+			"check",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "INCONSISTENT") {
+		t.Errorf("inline input not handled:\n%s", out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	db, ic, _ := writeFixtures(t)
+	cases := [][]string{
+		{},                              // no command
+		{"-db", db, "-ic", ic, "bogus"}, // unknown command
+		{"-db", db, "check"},            // missing -ic
+		{"-db", "missing.facts", "-ic", ic, "check"}, // missing file
+		{"-db", db, "-ic", ic, "answers"},            // answers without -query
+		{"-db", "p(X).", "-ic", ic, "check"},         // parse error
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

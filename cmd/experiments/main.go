@@ -1,0 +1,54 @@
+// Command experiments reproduces every evaluation artifact of the paper —
+// the worked examples 2–24 and the complexity experiments C1–C5 — printing
+// each measured artifact and checking it against the paper's claim (see
+// EXPERIMENTS.md for the index).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -id E23    # run one experiment
+//	experiments -list      # list experiment IDs
+//
+// The exit code is the number of failed experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "run only the experiment with this ID")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *id != "" {
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown ID %q (use -list)\n", *id)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("paper: %s\n", e.PaperClaim)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("ok")
+		return
+	}
+	failures := experiments.RunAll(os.Stdout)
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiments failed\n", failures)
+	}
+	os.Exit(failures)
+}

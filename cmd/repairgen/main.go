@@ -1,0 +1,102 @@
+// Command repairgen emits the Definition 9 repair program Π(D, IC) for a
+// database instance and constraint set, in the library's native syntax or
+// in DLV syntax (the solver the paper used).
+//
+// Usage:
+//
+//	repairgen -db db.facts -ic constraints.ic [-variant corrected] [-format dlv] [-ground]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ground"
+	"repro/internal/parser"
+	"repro/internal/repairprog"
+	"repro/internal/stable"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repairgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repairgen", flag.ContinueOnError)
+	dbArg := fs.String("db", "", "database instance (file path or inline facts)")
+	icArg := fs.String("ic", "", "integrity constraints (file path or inline)")
+	variantArg := fs.String("variant", "paper", "program variant: paper | corrected")
+	format := fs.String("format", "native", "output format: native | dlv")
+	groundOut := fs.Bool("ground", false, "also print the ground program and its stats")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbArg == "" || *icArg == "" {
+		return fmt.Errorf("-db and -ic are required")
+	}
+	dSrc, err := loadText(*dbArg)
+	if err != nil {
+		return err
+	}
+	icSrc, err := loadText(*icArg)
+	if err != nil {
+		return err
+	}
+	d, err := parser.Instance(dSrc)
+	if err != nil {
+		return fmt.Errorf("parsing -db: %w", err)
+	}
+	set, err := parser.Constraints(icSrc)
+	if err != nil {
+		return fmt.Errorf("parsing -ic: %w", err)
+	}
+
+	variant := repairprog.VariantPaper
+	switch *variantArg {
+	case "paper":
+	case "corrected":
+		variant = repairprog.VariantCorrected
+	default:
+		return fmt.Errorf("unknown variant %q", *variantArg)
+	}
+
+	tr, err := repairprog.Build(d, set, variant)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "native":
+		fmt.Print(tr.Render())
+	case "dlv":
+		fmt.Print(tr.Program.DLV())
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	if *groundOut {
+		gp, err := ground.Ground(tr.Program)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%% ground program: %d atoms, %d rules, HCF=%v\n",
+			gp.NumAtoms(), len(gp.Rules), stable.IsHCF(gp))
+		fmt.Print(gp)
+	}
+	return nil
+}
+
+func loadText(arg string) (string, error) {
+	if strings.ContainsAny(arg, "(\n") {
+		return arg, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

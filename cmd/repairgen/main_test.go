@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func fixtures(t *testing.T) (db, ic string) {
+	t.Helper()
+	dir := t.TempDir()
+	db = filepath.Join(dir, "db.facts")
+	ic = filepath.Join(dir, "rules.ic")
+	if err := os.WriteFile(db, []byte(`r(a, b). r(a, c). s(e, f).`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ic, []byte(`
+		r(X, Y), r(X, Z) -> Y = Z.
+		s(U, V) -> r(V, W).
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return db, ic
+}
+
+func TestNativeOutput(t *testing.T) {
+	db, ic := fixtures(t)
+	out, err := capture(t, func() error {
+		return run([]string{"-db", db, "-ic", ic})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"variant=paper",
+		"r_a(X,Y,fa) v r_a(X,Z,fa)",
+		"not aux_",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDLVOutput(t *testing.T) {
+	db, ic := fixtures(t)
+	out, err := capture(t, func() error {
+		return run([]string{"-db", db, "-ic", ic, "-format", "dlv", "-variant", "corrected"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "r_a(X,Y,fa) v r_a(X,Z,fa) :- ") {
+		t.Errorf("DLV output unexpected:\n%s", out)
+	}
+}
+
+func TestGroundOutput(t *testing.T) {
+	db, ic := fixtures(t)
+	out, err := capture(t, func() error {
+		return run([]string{"-db", db, "-ic", ic, "-ground"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "% ground program:") || !strings.Contains(out, "HCF=true") {
+		t.Errorf("ground stats missing:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db, ic := fixtures(t)
+	cases := [][]string{
+		{"-db", db}, // missing -ic
+		{"-db", db, "-ic", ic, "-variant", "bogus"}, // bad variant
+		{"-db", db, "-ic", ic, "-format", "bogus"},  // bad format
+		{"-db", "nope.facts", "-ic", ic},            // missing file
+		{"-db", "p(X).", "-ic", ic},                 // parse error
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package nullcqa is a from-scratch Go implementation of
+//
+//	Loreto Bravo and Leopoldo Bertossi,
+//	"Semantically Correct Query Answers in the Presence of Null Values",
+//	EDBT 2006 (arXiv cs/0604076).
+//
+// It provides, stdlib-only:
+//
+//   - a relational engine over a domain with a distinguished null constant;
+//   - the paper's integrity-constraint language (universal, referential,
+//     denial/check and NOT NULL-constraints) with the relevant-attribute
+//     analysis A(ψ) of Definition 2;
+//   - the null-aware satisfaction semantics |=_N of Definitions 4–5,
+//     together with classical FO, the all-exempt semantics of the paper's
+//     [10], and the SQL:2003 simple/partial/full-match semantics for
+//     comparison;
+//   - the null-introducing repair semantics of Definitions 6–7, with a
+//     complete repair enumerator, the deletion-preferring class Rep_d, and
+//     the classic Arenas–Bertossi–Chomicki baseline;
+//   - dependency graphs and the RIC-acyclicity test of Definition 1;
+//   - a disjunctive logic-programming engine (grounder + stable models) and
+//     the repair programs of Definition 9, including head-cycle-freeness
+//     (Theorem 5) and the shift transformation;
+//   - consistent query answering (Definition 8) for safe unions of
+//     conjunctive queries with negation, by repair intersection or by
+//     cautious stable-model reasoning.
+//
+// The subpackage internal/experiments reproduces every worked example and
+// figure of the paper; see DESIGN.md and EXPERIMENTS.md.
+package nullcqa

@@ -1,0 +1,77 @@
+// University: the paper's Example 5 — a Course table whose (ID, Code) pair
+// references the key of an experience table Exp, with nulls scattered both
+// in relevant and irrelevant attributes. Reproduces the IBM DB2 verdicts,
+// the rejected insertion, and what happens to an inconsistent variant.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nullcqa "repro"
+)
+
+func main() {
+	db, err := nullcqa.ParseInstance(`
+		course(cs27, 21, w04).
+		course(cs18, 34, null).   % null Term: irrelevant for the FK
+		course(cs50, null, w05).  % null ID: simple match exempts the row
+		exp(21, cs27, 3).
+		exp(34, cs18, null).      % null Times: irrelevant for the key
+		exp(45, cs32, 2).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ics, err := nullcqa.ParseConstraints(`
+		course(Code, Id, Term) -> exp(Id, Code, Times).
+		exp(I, C, T1), exp(I, C, T2) -> T1 = T2.
+		exp(I, C, T), isnull(I) -> false.
+		exp(I, C, T), isnull(C) -> false.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("verdicts per satisfaction semantics:")
+	for _, sem := range []nullcqa.Semantics{
+		nullcqa.SemNullAware, nullcqa.SemSimpleMatch,
+		nullcqa.SemPartialMatch, nullcqa.SemFullMatch,
+	} {
+		fmt.Printf("  %-14v %v\n", sem, nullcqa.SatisfiesUnder(db, ics, sem))
+	}
+
+	// DB2 rejects this insertion: both FK attributes are non-null and no
+	// matching Exp row exists.
+	bad := nullcqa.F("course", nullcqa.Str("cs41"), nullcqa.Int(18), nullcqa.Null())
+	fmt.Printf("\ninsert course(cs41,18,null) allowed: %v (DB2 rejects it)\n",
+		nullcqa.InsertionAllowed(db, ics, bad, nullcqa.SemNullAware))
+
+	// Force the inconsistency in and repair it.
+	db.Insert(bad)
+	fmt.Println("\nafter forcing the row in:")
+	fmt.Println(nullcqa.CheckViolations(db, ics))
+	res, err := nullcqa.Repairs(db, ics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d repairs:\n", len(res.Repairs))
+	for i := range res.Repairs {
+		fmt.Printf("  repair %d: Δ = %s\n", i+1, res.Deltas[i])
+	}
+
+	// Which courses can be trusted? cs41 survives in the repair that
+	// invents exp(18, cs41, null), but not in the deleting repair.
+	q, err := nullcqa.ParseQuery(`q(Code) :- course(Code, Id, Term).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := nullcqa.ConsistentAnswers(db, ics, q, nullcqa.NewCQAOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nconsistently answered course codes:")
+	for _, t := range ans.Tuples {
+		fmt.Println("  " + t.String())
+	}
+}

@@ -1,0 +1,146 @@
+package constraint
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// This file provides builders for the constraint shapes Section 2 mentions
+// as special cases of form (1): functional dependencies, primary keys,
+// foreign keys, inclusion dependencies, and denial/check constraints. Each
+// builder returns constraints already in form (1), so the rest of the
+// library needs no special cases.
+
+func varNames(prefix string, n int) []term.T {
+	out := make([]term.T, n)
+	for i := range out {
+		out[i] = term.V(fmt.Sprintf("%s%d", prefix, i+1))
+	}
+	return out
+}
+
+// FD builds the functional dependency key -> det on relation pred/arity:
+// one constraint of form (1) per determined attribute, each with a single
+// equality in the consequent, as the paper prescribes. Positions are
+// 0-based.
+func FD(pred string, arity int, key []int, det []int) []*IC {
+	keySet := map[int]bool{}
+	for _, k := range key {
+		keySet[k] = true
+	}
+	var out []*IC
+	for _, d := range det {
+		if keySet[d] {
+			continue
+		}
+		left := varNames("x", arity)
+		right := make([]term.T, arity)
+		for i := range right {
+			if keySet[i] {
+				right[i] = left[i]
+			} else {
+				right[i] = term.V(fmt.Sprintf("y%d", i+1))
+			}
+		}
+		out = append(out, &IC{
+			Name: fmt.Sprintf("fd_%s_%d", pred, d+1),
+			Body: []term.Atom{
+				{Pred: pred, Args: left},
+				{Pred: pred, Args: right},
+			},
+			Phi: []term.Builtin{{Op: term.EQ, L: left[d], R: right[d]}},
+		})
+	}
+	return out
+}
+
+// PrimaryKey builds the constraints of a primary key on positions key of
+// pred/arity: the FD key -> (all other attributes) plus one NNC per key
+// attribute (keys may not be null). This is the combination Example 19 uses.
+func PrimaryKey(pred string, arity int, key ...int) ([]*IC, []*NNC) {
+	var det []int
+	keySet := map[int]bool{}
+	for _, k := range key {
+		keySet[k] = true
+	}
+	for i := 0; i < arity; i++ {
+		if !keySet[i] {
+			det = append(det, i)
+		}
+	}
+	ics := FD(pred, arity, key, det)
+	nncs := make([]*NNC, 0, len(key))
+	for _, k := range key {
+		nncs = append(nncs, &NNC{
+			Name:  fmt.Sprintf("pk_notnull_%s_%d", pred, k+1),
+			Pred:  pred,
+			Arity: arity,
+			Pos:   k,
+		})
+	}
+	return ics, nncs
+}
+
+// ForeignKey builds the RIC stating that positions fromPos of from/fromArity
+// reference positions toPos of to/toArity:
+//
+//	from(x̄) → ∃ȳ to(..., x̄′, ...)
+//
+// with existential variables everywhere outside toPos. This is a partial
+// inclusion dependency; combined with a PrimaryKey on the target it is a
+// foreign key constraint in the SQL sense.
+func ForeignKey(from string, fromArity int, fromPos []int, to string, toArity int, toPos []int) *IC {
+	if len(fromPos) != len(toPos) {
+		panic("constraint: ForeignKey position lists differ in length")
+	}
+	body := varNames("x", fromArity)
+	head := make([]term.T, toArity)
+	for i := range head {
+		head[i] = term.V(fmt.Sprintf("z%d", i+1))
+	}
+	for i, fp := range fromPos {
+		head[toPos[i]] = body[fp]
+	}
+	return &IC{
+		Name: fmt.Sprintf("fk_%s_%s", from, to),
+		Body: []term.Atom{{Pred: from, Args: body}},
+		Head: []term.Atom{{Pred: to, Args: head}},
+	}
+}
+
+// FullInclusion builds the universal constraint that positions fromPos of
+// from are included in positions toPos of to where to's remaining positions
+// are also determined by shared variables — i.e. a full inclusion dependency
+// (a UIC, per Section 2). All of to's positions must be listed in toPos.
+func FullInclusion(from string, fromArity int, fromPos []int, to string, toPos []int) *IC {
+	if len(fromPos) != len(toPos) {
+		panic("constraint: FullInclusion position lists differ in length")
+	}
+	body := varNames("x", fromArity)
+	head := make([]term.T, len(toPos))
+	for i, fp := range fromPos {
+		head[toPos[i]] = body[fp]
+	}
+	for i, t := range head {
+		if t.Var == "" && t.Const.IsNull() {
+			panic(fmt.Sprintf("constraint: FullInclusion leaves position %d of %s undetermined", i+1, to))
+		}
+	}
+	return &IC{
+		Name: fmt.Sprintf("incl_%s_%s", from, to),
+		Body: []term.Atom{{Pred: from, Args: body}},
+		Head: []term.Atom{{Pred: to, Args: head}},
+	}
+}
+
+// Denial builds the denial constraint ∀x̄(⋀ body → false).
+func Denial(name string, body ...term.Atom) *IC {
+	return &IC{Name: name, Body: body}
+}
+
+// Check builds a check constraint: ∀x̄(⋀ body → ϕ) with ϕ a disjunction of
+// builtins (Example 6's single-row checks use one body atom).
+func Check(name string, body []term.Atom, phi ...term.Builtin) *IC {
+	return &IC{Name: name, Body: body, Phi: phi}
+}

@@ -1,0 +1,566 @@
+// Package constraint implements the integrity-constraint language of
+// Section 2 of the paper: constraints of the general form (1)
+//
+//	∀x̄ ( ⋀ᵢ Pᵢ(x̄ᵢ)  →  ∃z̄ ( ⋁ⱼ Qⱼ(ȳⱼ, z̄ⱼ) ∨ ϕ ) )
+//
+// together with the special classes the paper distinguishes: universal
+// constraints (UICs, form (2)), referential constraints (RICs, form (3)),
+// denial and check constraints, and NOT NULL-constraints (NNCs, form (5)).
+// It also computes the relevant attributes A(ψ) of Definition 2, the
+// syntactic core of the paper's null-aware satisfaction semantics.
+package constraint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// IC is an integrity constraint of form (1). The universal prefix is
+// implicit: every variable in Body is universally quantified, and every
+// variable that occurs in Head but not in Body is existentially quantified
+// (z̄). Phi is a disjunction of builtin atoms whose variables must occur in
+// the Body.
+type IC struct {
+	// Name optionally identifies the constraint in diagnostics and
+	// generated programs. Generated names are assigned by Set if empty.
+	Name string
+	// Body is the antecedent ⋀ Pᵢ(x̄ᵢ), m ≥ 1.
+	Body []term.Atom
+	// Head is the disjunction ⋁ Qⱼ(ȳⱼ, z̄ⱼ); may be empty (denial).
+	Head []term.Atom
+	// Phi is the disjunction of builtin atoms; may be empty. A constraint
+	// with empty Head and empty Phi is a denial constraint (consequent
+	// "false").
+	Phi []term.Builtin
+}
+
+// NNC is a NOT NULL-constraint of form (5):
+//
+//	∀x̄ ( P(x̄) ∧ IsNull(x_i) → false )
+//
+// prohibiting null in attribute position Pos (0-based) of predicate Pred.
+// NNCs are kept separate from ICs because they mention the constant null,
+// which form (1) forbids (see the remark after Definition 5).
+type NNC struct {
+	Name  string
+	Pred  string
+	Arity int
+	Pos   int
+}
+
+func (n *NNC) String() string {
+	vars := make([]string, n.Arity)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i+1)
+	}
+	return fmt.Sprintf("%s(%s), isnull(%s) -> false",
+		n.Pred, strings.Join(vars, ","), vars[n.Pos])
+}
+
+// Class is the syntactic class of an IC.
+type Class uint8
+
+// The constraint classes of Section 2.
+const (
+	// ClassUIC is a universal constraint (form (2)): no existential
+	// variables.
+	ClassUIC Class = iota
+	// ClassRIC is a referential constraint (form (3)): one body atom, one
+	// head atom, no ϕ, and at least one existential variable.
+	ClassRIC
+	// ClassGeneral is any other constraint of form (1) (existential
+	// quantifiers with multiple body or head atoms, or with ϕ).
+	ClassGeneral
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassUIC:
+		return "universal"
+	case ClassRIC:
+		return "referential"
+	default:
+		return "general"
+	}
+}
+
+// BodyVars returns the universally quantified variables x̄ in order of first
+// occurrence.
+func (ic *IC) BodyVars() []string {
+	var raw []string
+	for _, a := range ic.Body {
+		raw = a.Vars(raw)
+	}
+	return dedup(raw)
+}
+
+// ExistVars returns the existential variables z̄ (head variables that do not
+// occur in the body), in order of first occurrence.
+func (ic *IC) ExistVars() []string {
+	body := map[string]bool{}
+	for _, v := range ic.BodyVars() {
+		body[v] = true
+	}
+	var raw []string
+	for _, a := range ic.Head {
+		for _, t := range a.Args {
+			if t.IsVar() && !body[t.Var] {
+				raw = append(raw, t.Var)
+			}
+		}
+	}
+	return dedup(raw)
+}
+
+func dedup(raw []string) []string {
+	seen := map[string]bool{}
+	out := raw[:0]
+	for _, v := range raw {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Classify determines the syntactic class of the constraint.
+func (ic *IC) Classify() Class {
+	if len(ic.ExistVars()) == 0 {
+		return ClassUIC
+	}
+	if len(ic.Body) == 1 && len(ic.Head) == 1 && len(ic.Phi) == 0 {
+		return ClassRIC
+	}
+	return ClassGeneral
+}
+
+// IsDenial reports whether the constraint is a denial constraint
+// ∀x̄(⋀ Pᵢ(x̄ᵢ) → false), i.e. has an empty consequent.
+func (ic *IC) IsDenial() bool { return len(ic.Head) == 0 && len(ic.Phi) == 0 }
+
+// IsCheck reports whether the constraint is a check constraint: no head
+// atoms, only builtins in the consequent.
+func (ic *IC) IsCheck() bool { return len(ic.Head) == 0 && len(ic.Phi) > 0 }
+
+// Validate checks the standardization conditions of form (1):
+//   - m ≥ 1 (non-empty body);
+//   - no constant null anywhere (null may not appear in constraints; NNCs
+//     exist for that purpose);
+//   - head atoms use only body variables, existential variables, or
+//     constants;
+//   - existential variable sets of distinct head atoms are disjoint
+//     (z̄ᵢ ∩ z̄ⱼ = ∅ for i ≠ j);
+//   - ϕ's variables all occur in the body.
+func (ic *IC) Validate() error {
+	if len(ic.Body) == 0 {
+		return fmt.Errorf("constraint %s: empty antecedent (m >= 1 required)", ic.Name)
+	}
+	for _, a := range ic.Body {
+		if err := noNull(a); err != nil {
+			return fmt.Errorf("constraint %s: %v", ic.Name, err)
+		}
+	}
+	body := map[string]bool{}
+	for _, v := range ic.BodyVars() {
+		body[v] = true
+	}
+	seenExist := map[string]int{} // var -> head atom index
+	for j, a := range ic.Head {
+		if err := noNull(a); err != nil {
+			return fmt.Errorf("constraint %s: %v", ic.Name, err)
+		}
+		for _, t := range a.Args {
+			if !t.IsVar() || body[t.Var] {
+				continue
+			}
+			if prev, ok := seenExist[t.Var]; ok && prev != j {
+				return fmt.Errorf("constraint %s: existential variable %q shared by head atoms %d and %d",
+					ic.Name, t.Var, prev+1, j+1)
+			}
+			seenExist[t.Var] = j
+		}
+	}
+	for _, b := range ic.Phi {
+		for _, t := range []term.T{b.L, b.R} {
+			if t.IsVar() && !body[t.Var] {
+				return fmt.Errorf("constraint %s: builtin variable %q does not occur in the antecedent", ic.Name, t.Var)
+			}
+			if !t.IsVar() && t.Const.IsNull() {
+				return fmt.Errorf("constraint %s: null constant in builtin (use a NOT NULL-constraint)", ic.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func noNull(a term.Atom) error {
+	for _, t := range a.Args {
+		if !t.IsVar() && t.Const.IsNull() {
+			return fmt.Errorf("atom %s contains the constant null", a)
+		}
+	}
+	return nil
+}
+
+// String renders the constraint in the repo's textual constraint syntax,
+// e.g. "P(x,y) -> exists z: R(x,y,z)" or "P(x,y) -> S(x) | y > 0".
+func (ic *IC) String() string {
+	var b strings.Builder
+	for i, a := range ic.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(" -> ")
+	if exist := ic.ExistVars(); len(exist) > 0 {
+		b.WriteString("exists ")
+		b.WriteString(strings.Join(exist, ","))
+		b.WriteString(": ")
+	}
+	if ic.IsDenial() {
+		b.WriteString("false")
+		return b.String()
+	}
+	first := true
+	for _, a := range ic.Head {
+		if !first {
+			b.WriteString(" | ")
+		}
+		first = false
+		b.WriteString(a.String())
+	}
+	for _, bi := range ic.Phi {
+		if !first {
+			b.WriteString(" | ")
+		}
+		first = false
+		b.WriteString(bi.String())
+	}
+	return b.String()
+}
+
+// AttrSet is a set of relevant attribute positions per predicate name:
+// pred -> sorted 0-based positions. It realizes A(ψ) of Definition 2 and the
+// projection argument of Definition 3.
+type AttrSet map[string][]int
+
+// Contains reports whether the set contains position pos of pred.
+func (s AttrSet) Contains(pred string, pos int) bool {
+	for _, p := range s[pred] {
+		if p == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the set the way the paper writes it: {P[1], R[2]}
+// (1-based).
+func (s AttrSet) String() string {
+	preds := make([]string, 0, len(s))
+	for p := range s {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	var parts []string
+	for _, p := range preds {
+		for _, pos := range s[p] {
+			parts = append(parts, fmt.Sprintf("%s[%d]", p, pos+1))
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// RelevantAttrs computes A(ψ) of Definition 2: the positions R[i] holding a
+// variable that occurs at least twice in ψ (anywhere: body, head, or ϕ), or a
+// constant. These are exactly the attributes involved in joins, in
+// antecedent/consequent transfers, and in ϕ.
+func (ic *IC) RelevantAttrs() AttrSet {
+	count := map[string]int{}
+	var all []string
+	for _, a := range ic.Body {
+		all = a.Vars(all)
+	}
+	for _, a := range ic.Head {
+		all = a.Vars(all)
+	}
+	for _, b := range ic.Phi {
+		all = b.Vars(all)
+	}
+	for _, v := range all {
+		count[v]++
+	}
+
+	set := map[string]map[int]bool{}
+	add := func(pred string, pos int) {
+		if set[pred] == nil {
+			set[pred] = map[int]bool{}
+		}
+		set[pred][pos] = true
+	}
+	scan := func(a term.Atom) {
+		for i, t := range a.Args {
+			if t.IsVar() {
+				if count[t.Var] >= 2 {
+					add(a.Pred, i)
+				}
+			} else {
+				add(a.Pred, i)
+			}
+		}
+	}
+	for _, a := range ic.Body {
+		scan(a)
+	}
+	for _, a := range ic.Head {
+		scan(a)
+	}
+
+	out := make(AttrSet, len(set))
+	for pred, positions := range set {
+		ps := make([]int, 0, len(positions))
+		for p := range positions {
+			ps = append(ps, p)
+		}
+		sort.Ints(ps)
+		out[pred] = ps
+	}
+	return out
+}
+
+// RelevantBodyVars returns the antecedent variables that occupy a relevant
+// position, i.e. A(ψ) ∩ x̄ from Definition 4: the variables guarded by
+// IsNull disjuncts in ψ_N. The result is sorted.
+func (ic *IC) RelevantBodyVars() []string {
+	rel := ic.RelevantAttrs()
+	seen := map[string]bool{}
+	for _, a := range ic.Body {
+		for i, t := range a.Args {
+			if t.IsVar() && rel.Contains(a.Pred, i) {
+				seen[t.Var] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RICParts decomposes a RIC ∀x̄(P(x̄) → ∃ȳ Q(x̄′, ȳ)) into the pieces the
+// repair machinery needs: for the single head atom, which positions carry
+// shared (x̄′) terms or constants, and which carry existential variables. It
+// reports ok = false if the constraint is not a RIC.
+type RICParts struct {
+	BodyAtom term.Atom
+	HeadAtom term.Atom
+	// SharedPos are head positions holding body variables or constants
+	// (the x̄′ positions — the relevant positions of Q).
+	SharedPos []int
+	// ExistPos are head positions holding existential variables.
+	ExistPos []int
+}
+
+// RICParts decomposes the constraint; ok is false unless ic is a RIC.
+func (ic *IC) RICParts() (RICParts, bool) {
+	if ic.Classify() != ClassRIC {
+		return RICParts{}, false
+	}
+	body := map[string]bool{}
+	for _, v := range ic.BodyVars() {
+		body[v] = true
+	}
+	p := RICParts{BodyAtom: ic.Body[0], HeadAtom: ic.Head[0]}
+	for i, t := range ic.Head[0].Args {
+		if t.IsVar() && !body[t.Var] {
+			p.ExistPos = append(p.ExistPos, i)
+		} else {
+			p.SharedPos = append(p.SharedPos, i)
+		}
+	}
+	return p, true
+}
+
+// Set is a finite set of ICs and NNCs, the paper's IC.
+type Set struct {
+	ICs  []*IC
+	NNCs []*NNC
+}
+
+// NewSet builds a validated set, naming anonymous constraints ic1, ic2, ...
+// and nnc1, nnc2, ...
+func NewSet(ics []*IC, nncs []*NNC) (*Set, error) {
+	s := &Set{ICs: ics, NNCs: nncs}
+	for i, ic := range ics {
+		if ic.Name == "" {
+			ic.Name = fmt.Sprintf("ic%d", i+1)
+		}
+		if err := ic.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for i, n := range nncs {
+		if n.Name == "" {
+			n.Name = fmt.Sprintf("nnc%d", i+1)
+		}
+		if n.Pos < 0 || n.Pos >= n.Arity {
+			return nil, fmt.Errorf("NNC %s: position %d out of range for arity %d", n.Name, n.Pos, n.Arity)
+		}
+	}
+	return s, nil
+}
+
+// MustSet is NewSet, panicking on invalid input. Intended for tests and
+// examples with literal constraints.
+func MustSet(ics []*IC, nncs []*NNC) *Set {
+	s, err := NewSet(ics, nncs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// UICs returns the universal constraints in the set (IC_U of Definition 1).
+func (s *Set) UICs() []*IC {
+	var out []*IC
+	for _, ic := range s.ICs {
+		if ic.Classify() == ClassUIC {
+			out = append(out, ic)
+		}
+	}
+	return out
+}
+
+// RICs returns the referential constraints in the set.
+func (s *Set) RICs() []*IC {
+	var out []*IC
+	for _, ic := range s.ICs {
+		if ic.Classify() == ClassRIC {
+			out = append(out, ic)
+		}
+	}
+	return out
+}
+
+// Conflicts returns the conflicting (RIC existential attribute, NNC) pairs
+// per the assumption in Section 4: a set is non-conflicting iff no NNC
+// constrains an attribute that is existentially quantified in some IC of
+// form (1). Example 20 shows what happens otherwise.
+func (s *Set) Conflicts() []Conflict {
+	var out []Conflict
+	for _, ic := range s.ICs {
+		body := map[string]bool{}
+		for _, v := range ic.BodyVars() {
+			body[v] = true
+		}
+		for _, a := range ic.Head {
+			for i, t := range a.Args {
+				if !t.IsVar() || body[t.Var] {
+					continue
+				}
+				for _, n := range s.NNCs {
+					if n.Pred == a.Pred && n.Arity == len(a.Args) && n.Pos == i {
+						out = append(out, Conflict{IC: ic, NNC: n, Pred: a.Pred, Pos: i})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NonConflicting reports whether the set satisfies the standing assumption
+// of Section 4.
+func (s *Set) NonConflicting() bool { return len(s.Conflicts()) == 0 }
+
+// Conflict is a violation of the non-conflicting assumption.
+type Conflict struct {
+	IC   *IC
+	NNC  *NNC
+	Pred string
+	Pos  int
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("NNC %s forbids null in %s[%d], which is existentially quantified in %s",
+		c.NNC.Name, c.Pred, c.Pos+1, c.IC.Name)
+}
+
+// Constants returns const(IC): the sorted set of constants appearing in the
+// constraints (Proposition 1 restricts repair domains to
+// adom(D) ∪ const(IC) ∪ {null}).
+func (s *Set) Constants() []term.T {
+	seen := map[string]term.T{}
+	scan := func(t term.T) {
+		if !t.IsVar() {
+			seen[t.Const.Key()] = t
+		}
+	}
+	for _, ic := range s.ICs {
+		for _, a := range ic.Body {
+			for _, t := range a.Args {
+				scan(t)
+			}
+		}
+		for _, a := range ic.Head {
+			for _, t := range a.Args {
+				scan(t)
+			}
+		}
+		for _, b := range ic.Phi {
+			scan(b.L)
+			scan(b.R)
+		}
+	}
+	out := make([]term.T, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Const.Compare(out[j].Const) < 0 })
+	return out
+}
+
+// Preds returns the sorted predicate names mentioned by the set (with their
+// arities), used to build dependency graphs and repair programs.
+func (s *Set) Preds() []PredSig {
+	seen := map[string]int{}
+	add := func(name string, arity int) { seen[fmt.Sprintf("%s/%d", name, arity)] = arity }
+	for _, ic := range s.ICs {
+		for _, a := range ic.Body {
+			add(a.Pred, a.Arity())
+		}
+		for _, a := range ic.Head {
+			add(a.Pred, a.Arity())
+		}
+	}
+	for _, n := range s.NNCs {
+		add(n.Pred, n.Arity)
+	}
+	out := make([]PredSig, 0, len(seen))
+	for key, arity := range seen {
+		name := key[:strings.LastIndexByte(key, '/')]
+		out = append(out, PredSig{Name: name, Arity: arity})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}
+
+// PredSig identifies a predicate by name and arity.
+type PredSig struct {
+	Name  string
+	Arity int
+}
+
+func (p PredSig) String() string { return fmt.Sprintf("%s/%d", p.Name, p.Arity) }

@@ -1,0 +1,68 @@
+package constraint
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// Standardize renames existential variables so that distinct head atoms use
+// disjoint existential variable sets, as form (1) requires (z̄ᵢ ∩ z̄ⱼ = ∅ for
+// i ≠ j). Since the existential quantifier distributes over the disjunction,
+// the renaming preserves the constraint's meaning; the paper notes that "a
+// wide class of ICs can be accommodated in this general syntactic class by
+// appropriate renaming of variables if necessary" (Example 1(c) is written
+// with a shared existential variable). Repetitions of an existential
+// variable within a single head atom are kept (Example 13 relies on them).
+func (ic *IC) Standardize() {
+	body := map[string]bool{}
+	for _, v := range ic.BodyVars() {
+		body[v] = true
+	}
+	used := map[string]bool{}
+	for v := range body {
+		used[v] = true
+	}
+	for _, a := range ic.Head {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				used[t.Var] = true
+			}
+		}
+	}
+	seenInEarlierAtom := map[string]bool{}
+	for j := range ic.Head {
+		rename := map[string]string{}
+		atom := ic.Head[j].Clone()
+		for i, t := range atom.Args {
+			if !t.IsVar() || body[t.Var] {
+				continue
+			}
+			if !seenInEarlierAtom[t.Var] {
+				continue // first atom to use it keeps the name
+			}
+			fresh, ok := rename[t.Var]
+			if !ok {
+				fresh = freshVar(t.Var, used)
+				used[fresh] = true
+				rename[t.Var] = fresh
+			}
+			atom.Args[i] = term.V(fresh)
+		}
+		ic.Head[j] = atom
+		for _, t := range atom.Args {
+			if t.IsVar() && !body[t.Var] {
+				seenInEarlierAtom[t.Var] = true
+			}
+		}
+	}
+}
+
+func freshVar(base string, used map[string]bool) string {
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s_%d", base, i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}

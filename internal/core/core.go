@@ -1,0 +1,268 @@
+// Package core ties the paper together: consistent query answering
+// (Definition 8) under the null-aware repair semantics. A ground tuple t̄ is
+// a consistent answer to Q on D wrt IC iff t̄ is an answer to Q in every
+// repair of D; for boolean queries the consistent answer is yes iff the
+// query holds in every repair.
+//
+// Two interchangeable engines are provided, mirroring the two halves of the
+// paper:
+//
+//   - EngineSearch materializes Rep(D, IC) with the violation-driven search
+//     of internal/repair (Sections 3–4);
+//   - EngineProgram builds the repair program Π(D, IC) of Definition 9
+//     (corrected variant by default), computes its stable models, and reads
+//     each repair off the t**-annotated atoms (Section 5). Intersecting the
+//     query answers across the induced repairs is exactly cautious
+//     reasoning over the stable models extended with the query rules.
+//
+// Theorem 2 (decidability) is witnessed by both engines terminating on
+// every non-conflicting input, including cyclic referential constraints.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/ground"
+	"repro/internal/nullsem"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/repair"
+	"repro/internal/repairprog"
+	"repro/internal/stable"
+)
+
+// Engine selects how repairs are produced.
+type Engine uint8
+
+const (
+	// EngineSearch uses the violation-driven repair search.
+	EngineSearch Engine = iota
+	// EngineProgram uses the Definition 9 repair program and its stable
+	// models, materializing each repair and evaluating the query on it.
+	EngineProgram
+	// EngineProgramCautious runs the paper's Section 5 pipeline
+	// end-to-end: the query is compiled to rules over the t**-annotated
+	// predicates, appended to the repair program, and the consistent
+	// answers are the cautious (certain) consequences of the combined
+	// program — no repair is ever materialized.
+	EngineProgramCautious
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineProgram:
+		return "program"
+	case EngineProgramCautious:
+		return "program-cautious"
+	default:
+		return "search"
+	}
+}
+
+// Options configures consistent query answering.
+type Options struct {
+	Engine Engine
+	// Variant selects the repair-program flavour for EngineProgram.
+	// The zero value is repairprog.VariantPaper; NewOptions defaults to
+	// the corrected variant, which is the one matching Theorem 4 on all
+	// inputs.
+	Variant repairprog.Variant
+	// Repair configures the search engine.
+	Repair repair.Options
+	// Stable configures the model enumeration.
+	Stable stable.Options
+}
+
+// NewOptions returns the default options: search engine, corrected
+// program variant.
+func NewOptions() Options {
+	return Options{Variant: repairprog.VariantCorrected}
+}
+
+// Answer is the result of consistent query answering.
+type Answer struct {
+	// Tuples are the certain answers (sorted, distinct); nil for boolean
+	// queries.
+	Tuples []relational.Tuple
+	// Boolean is the certain answer of a boolean query.
+	Boolean bool
+	// NumRepairs is the number of repairs inspected.
+	NumRepairs int
+}
+
+// IsConsistent reports D |=_N IC.
+func IsConsistent(d *relational.Instance, set *constraint.Set) bool {
+	return nullsem.Satisfies(d, set, nullsem.NullAware)
+}
+
+// RepairsOf produces the repair set with the selected engine.
+func RepairsOf(d *relational.Instance, set *constraint.Set, opts Options) ([]*relational.Instance, error) {
+	switch opts.Engine {
+	case EngineProgram, EngineProgramCautious:
+		tr, err := repairprog.Build(d, set, opts.Variant)
+		if err != nil {
+			return nil, err
+		}
+		insts, _, err := tr.StableRepairs(opts.Stable)
+		return insts, err
+	default:
+		res, err := repair.Repairs(d, set, opts.Repair)
+		if err != nil {
+			return nil, err
+		}
+		return res.Repairs, nil
+	}
+}
+
+// ConsistentAnswers computes the consistent answers to q on d wrt set.
+func ConsistentAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
+	if err := q.Validate(); err != nil {
+		return Answer{}, err
+	}
+	if opts.Engine == EngineProgramCautious {
+		return cautiousAnswers(d, set, q, opts)
+	}
+	repairs, err := RepairsOf(d, set, opts)
+	if err != nil {
+		return Answer{}, err
+	}
+	if len(repairs) == 0 {
+		return Answer{}, fmt.Errorf("core: empty repair set (Proposition 1 guarantees at least one repair; this indicates an engine limitation on this input)")
+	}
+	ans := Answer{NumRepairs: len(repairs)}
+	if q.IsBoolean() {
+		ans.Boolean = true
+		for _, r := range repairs {
+			holds, err := query.EvalBool(r, q)
+			if err != nil {
+				return Answer{}, err
+			}
+			if !holds {
+				ans.Boolean = false
+				break
+			}
+		}
+		return ans, nil
+	}
+
+	certain := map[string]relational.Tuple{}
+	for i, r := range repairs {
+		tuples, err := query.Eval(r, q)
+		if err != nil {
+			return Answer{}, err
+		}
+		if i == 0 {
+			for _, t := range tuples {
+				certain[t.Key()] = t
+			}
+			continue
+		}
+		here := map[string]bool{}
+		for _, t := range tuples {
+			here[t.Key()] = true
+		}
+		for k := range certain {
+			if !here[k] {
+				delete(certain, k)
+			}
+		}
+		if len(certain) == 0 {
+			break
+		}
+	}
+	for _, t := range certain {
+		ans.Tuples = append(ans.Tuples, t)
+	}
+	sort.Slice(ans.Tuples, func(i, j int) bool { return ans.Tuples[i].Compare(ans.Tuples[j]) < 0 })
+	return ans, nil
+}
+
+// cautiousAnswers implements EngineProgramCautious: cautious reasoning over
+// the stable models of Π(D, IC) ∪ Π(q).
+func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
+	tr, err := repairprog.BuildWith(d, set, repairprog.BuildOptions{
+		Variant:            opts.Variant,
+		PruneUnconstrained: true,
+	})
+	if err != nil {
+		return Answer{}, err
+	}
+	prog, err := tr.WithQuery(q)
+	if err != nil {
+		return Answer{}, err
+	}
+	gp, err := ground.Ground(prog)
+	if err != nil {
+		return Answer{}, err
+	}
+	models, err := stable.Models(gp, opts.Stable)
+	if err != nil {
+		return Answer{}, err
+	}
+	if len(models) == 0 {
+		return Answer{}, fmt.Errorf("core: the repair program has no stable model")
+	}
+
+	repairKeys := map[string]bool{}
+	for _, m := range models {
+		repairKeys[tr.Interpret(gp, m).Key()] = true
+	}
+	ans := Answer{NumRepairs: len(repairKeys)}
+
+	certain := map[string]relational.Tuple{}
+	for i, m := range models {
+		here := map[string]relational.Tuple{}
+		for _, id := range m {
+			f := gp.Atoms[id]
+			if f.Pred == repairprog.AnswerPred {
+				here[f.Args.Key()] = f.Args
+			}
+		}
+		if i == 0 {
+			certain = here
+			continue
+		}
+		for k := range certain {
+			if _, ok := here[k]; !ok {
+				delete(certain, k)
+			}
+		}
+	}
+	if q.IsBoolean() {
+		_, ans.Boolean = certain[relational.Tuple{}.Key()]
+		return ans, nil
+	}
+	for _, t := range certain {
+		ans.Tuples = append(ans.Tuples, t)
+	}
+	sort.Slice(ans.Tuples, func(i, j int) bool { return ans.Tuples[i].Compare(ans.Tuples[j]) < 0 })
+	return ans, nil
+}
+
+// PossibleAnswers returns the tuples answering q in at least one repair
+// (brave semantics) — the complement perspective the CQA literature uses
+// when discussing the Π₂ᵖ upper bound.
+func PossibleAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) ([]relational.Tuple, error) {
+	repairs, err := RepairsOf(d, set, opts)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]relational.Tuple{}
+	for _, r := range repairs {
+		tuples, err := query.Eval(r, q)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tuples {
+			seen[t.Key()] = t
+		}
+	}
+	out := make([]relational.Tuple, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}

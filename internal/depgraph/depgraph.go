@@ -1,0 +1,249 @@
+// Package depgraph implements the dependency graphs of Definition 1 and
+// Examples 2–3: the dependency graph G(IC) over database predicates, the
+// contraction of the connected components of G(IC_U), and the RIC-acyclicity
+// test that gates the correctness of the repair programs (Theorem 4).
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/constraint"
+)
+
+// Edge is a directed edge of a dependency graph, labelled with the names of
+// the constraints that induce it.
+type Edge struct {
+	From, To string
+	Labels   []string
+}
+
+// Graph is a directed graph over predicate names.
+type Graph struct {
+	verts map[string]bool
+	edges map[string]map[string][]string // from -> to -> labels
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{verts: map[string]bool{}, edges: map[string]map[string][]string{}}
+}
+
+// AddVertex adds a vertex.
+func (g *Graph) AddVertex(v string) { g.verts[v] = true }
+
+// AddEdge adds a labelled directed edge, creating the endpoints as needed.
+func (g *Graph) AddEdge(from, to, label string) {
+	g.AddVertex(from)
+	g.AddVertex(to)
+	if g.edges[from] == nil {
+		g.edges[from] = map[string][]string{}
+	}
+	g.edges[from][to] = append(g.edges[from][to], label)
+}
+
+// HasEdge reports whether the edge from -> to exists.
+func (g *Graph) HasEdge(from, to string) bool {
+	_, ok := g.edges[from][to]
+	return ok
+}
+
+// Vertices returns the sorted vertex set.
+func (g *Graph) Vertices() []string {
+	out := make([]string, 0, len(g.verts))
+	for v := range g.verts {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges returns the edges sorted by (from, to).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for from, tos := range g.edges {
+		for to, labels := range tos {
+			ls := append([]string(nil), labels...)
+			sort.Strings(ls)
+			out = append(out, Edge{From: from, To: to, Labels: ls})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// HasCycle reports whether the graph contains a directed cycle (self-loops
+// included).
+func (g *Graph) HasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(v string) bool
+	visit = func(v string) bool {
+		color[v] = gray
+		for to := range g.edges[v] {
+			switch color[to] {
+			case gray:
+				return true
+			case white:
+				if visit(to) {
+					return true
+				}
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for v := range g.verts {
+		if color[v] == white && visit(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// WeaklyConnectedComponents returns the weakly connected components of the
+// graph (edge direction ignored), each sorted, ordered by first element.
+// This is the notion of "connected component" Definition 1 uses when
+// contracting G(IC_U): in Example 3, adding T(x,y) → R(y) puts all four
+// predicates in one component even though T and S have no directed path
+// between them.
+func (g *Graph) WeaklyConnectedComponents() [][]string {
+	adj := map[string]map[string]bool{}
+	link := func(a, b string) {
+		if adj[a] == nil {
+			adj[a] = map[string]bool{}
+		}
+		adj[a][b] = true
+	}
+	for from, tos := range g.edges {
+		for to := range tos {
+			link(from, to)
+			link(to, from)
+		}
+	}
+	seen := map[string]bool{}
+	var comps [][]string
+	for _, start := range g.Vertices() {
+		if seen[start] {
+			continue
+		}
+		var comp []string
+		stack := []string{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// String renders the graph as sorted "from -> to [labels]" lines.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vertices: %s\n", strings.Join(g.Vertices(), ", "))
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "%s -> %s [%s]\n", e.From, e.To, strings.Join(e.Labels, ","))
+	}
+	return b.String()
+}
+
+// Build constructs the dependency graph G(IC): one vertex per database
+// predicate appearing in IC, and an edge (P_i, P_j) iff some constraint has
+// P_i in its antecedent and P_j in its consequent. NNCs contribute their
+// predicate as a vertex but no edges (their consequent is false).
+func Build(s *constraint.Set) *Graph {
+	g := NewGraph()
+	for _, ic := range s.ICs {
+		for _, b := range ic.Body {
+			g.AddVertex(b.Pred)
+			for _, h := range ic.Head {
+				g.AddEdge(b.Pred, h.Pred, ic.Name)
+			}
+		}
+	}
+	for _, n := range s.NNCs {
+		g.AddVertex(n.Pred)
+	}
+	return g
+}
+
+// buildUniversal builds G(IC_U): the dependency graph of only the universal
+// constraints in the set.
+func buildUniversal(s *constraint.Set) *Graph {
+	return Build(constraint.MustSet(s.UICs(), nil))
+}
+
+// Contracted computes the contracted dependency graph G^C(IC) of
+// Definition 1: every connected component of G(IC_U) collapses to a single
+// vertex, all UIC edges are deleted, and the remaining (RIC) edges are drawn
+// between component vertices. Component vertices are named by their sorted
+// members, e.g. "{Q,R,S}".
+func Contracted(s *constraint.Set) *Graph {
+	comps := buildUniversal(s).WeaklyConnectedComponents()
+	compOf := map[string]string{}
+	for _, comp := range comps {
+		name := "{" + strings.Join(comp, ",") + "}"
+		for _, v := range comp {
+			compOf[v] = name
+		}
+	}
+	vertexFor := func(p string) string {
+		if c, ok := compOf[p]; ok {
+			return c
+		}
+		return p
+	}
+	full := Build(s)
+	out := NewGraph()
+	for _, v := range full.Vertices() {
+		out.AddVertex(vertexFor(v))
+	}
+	for _, ic := range s.RICs() {
+		for _, b := range ic.Body {
+			for _, h := range ic.Head {
+				out.AddEdge(vertexFor(b.Pred), vertexFor(h.Pred), ic.Name)
+			}
+		}
+	}
+	// General constraints with existentials behave like RICs for cycle
+	// purposes: their consequent insertions can trigger further repairs.
+	for _, ic := range s.ICs {
+		if ic.Classify() != constraint.ClassGeneral || len(ic.ExistVars()) == 0 {
+			continue
+		}
+		for _, b := range ic.Body {
+			for _, h := range ic.Head {
+				out.AddEdge(vertexFor(b.Pred), vertexFor(h.Pred), ic.Name)
+			}
+		}
+	}
+	return out
+}
+
+// RICAcyclic reports whether the constraint set is RIC-acyclic
+// (Definition 1): the contracted dependency graph has no directed cycles.
+// A set of UICs only is always RIC-acyclic.
+func RICAcyclic(s *constraint.Set) bool {
+	return !Contracted(s).HasCycle()
+}

@@ -1,0 +1,189 @@
+package depgraph
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/term"
+)
+
+func v(name string) term.T                       { return term.V(name) }
+func atom(pred string, args ...term.T) term.Atom { return term.NewAtom(pred, args...) }
+
+// example2Set builds IC of Example 2: ic1: S(x) → Q(x), ic2: Q(x) → R(x),
+// ic3: Q(x) → ∃y T(x,y).
+func example2Set(t *testing.T) *constraint.Set {
+	t.Helper()
+	ic1 := &constraint.IC{Name: "ic1", Body: []term.Atom{atom("S", v("x"))}, Head: []term.Atom{atom("Q", v("x"))}}
+	ic2 := &constraint.IC{Name: "ic2", Body: []term.Atom{atom("Q", v("x"))}, Head: []term.Atom{atom("R", v("x"))}}
+	ic3 := &constraint.IC{Name: "ic3", Body: []term.Atom{atom("Q", v("x"))}, Head: []term.Atom{atom("T", v("x"), v("y"))}}
+	s, err := constraint.NewSet([]*constraint.IC{ic1, ic2, ic3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildExample2(t *testing.T) {
+	g := Build(example2Set(t))
+	if got := g.Vertices(); !reflect.DeepEqual(got, []string{"Q", "R", "S", "T"}) {
+		t.Errorf("vertices = %v", got)
+	}
+	wantEdges := []struct{ from, to string }{{"Q", "R"}, {"Q", "T"}, {"S", "Q"}}
+	edges := g.Edges()
+	if len(edges) != len(wantEdges) {
+		t.Fatalf("edges = %v", edges)
+	}
+	for i, w := range wantEdges {
+		if edges[i].From != w.from || edges[i].To != w.to {
+			t.Errorf("edge %d = %v, want %s->%s", i, edges[i], w.from, w.to)
+		}
+	}
+	if g.HasCycle() {
+		t.Error("Example 2 graph has no directed cycle")
+	}
+}
+
+func TestContractedExample3(t *testing.T) {
+	s := example2Set(t)
+	gc := Contracted(s)
+	if got := gc.Vertices(); !reflect.DeepEqual(got, []string{"T", "{Q,R,S}"}) {
+		t.Errorf("contracted vertices = %v", got)
+	}
+	if !gc.HasEdge("{Q,R,S}", "T") {
+		t.Errorf("missing contracted RIC edge:\n%s", gc)
+	}
+	if !RICAcyclic(s) {
+		t.Error("Example 2/3 set must be RIC-acyclic")
+	}
+}
+
+func TestContractedExample3WithExtraUIC(t *testing.T) {
+	// Adding ic4: T(x,y) → R(y) merges everything into one component, and
+	// the RIC edge Q → T becomes a self-loop: not RIC-acyclic.
+	s := example2Set(t)
+	ic4 := &constraint.IC{Name: "ic4", Body: []term.Atom{atom("T", v("x"), v("y"))}, Head: []term.Atom{atom("R", v("y"))}}
+	s2, err := constraint.NewSet(append(append([]*constraint.IC{}, s.ICs...), ic4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := Contracted(s2)
+	if got := gc.Vertices(); !reflect.DeepEqual(got, []string{"{Q,R,S,T}"}) {
+		t.Errorf("contracted vertices = %v", got)
+	}
+	if !gc.HasEdge("{Q,R,S,T}", "{Q,R,S,T}") {
+		t.Errorf("expected self-loop:\n%s", gc)
+	}
+	if RICAcyclic(s2) {
+		t.Error("extended Example 3 set must not be RIC-acyclic")
+	}
+}
+
+func TestUICOnlySetAlwaysAcyclic(t *testing.T) {
+	// "As expected, a set of UICs is always RIC-acyclic" — even with
+	// cyclic UIC dependencies.
+	ic1 := &constraint.IC{Body: []term.Atom{atom("P", v("x"))}, Head: []term.Atom{atom("Q", v("x"))}}
+	ic2 := &constraint.IC{Body: []term.Atom{atom("Q", v("x"))}, Head: []term.Atom{atom("P", v("x"))}}
+	s := constraint.MustSet([]*constraint.IC{ic1, ic2}, nil)
+	if !RICAcyclic(s) {
+		t.Error("UIC-only set reported RIC-cyclic")
+	}
+	g := Build(s)
+	if !g.HasCycle() {
+		t.Error("G(IC) itself should be cyclic here")
+	}
+}
+
+func TestCyclicRICs(t *testing.T) {
+	// Example 18: P(x,y) → T(x) (UIC), T(x) → ∃y P(y,x) (RIC): the
+	// contracted graph has a cycle {P,T} via the RIC edge.
+	uic := &constraint.IC{Body: []term.Atom{atom("P", v("x"), v("y"))}, Head: []term.Atom{atom("T", v("x"))}}
+	ric := &constraint.IC{Body: []term.Atom{atom("T", v("x"))}, Head: []term.Atom{atom("P", v("y"), v("x"))}}
+	s := constraint.MustSet([]*constraint.IC{uic, ric}, nil)
+	if RICAcyclic(s) {
+		t.Error("Example 18 set must be RIC-cyclic")
+	}
+}
+
+func TestTwoRICCycle(t *testing.T) {
+	r1 := &constraint.IC{Body: []term.Atom{atom("P", v("x"))}, Head: []term.Atom{atom("Q", v("x"), v("y"))}}
+	r2 := &constraint.IC{Body: []term.Atom{atom("Q", v("x"), v("y"))}, Head: []term.Atom{atom("P", v("z"))}}
+	// r2's head var z is existential; x,y universal. P(z) with z fresh.
+	s := constraint.MustSet([]*constraint.IC{r1, r2}, nil)
+	if RICAcyclic(s) {
+		t.Error("mutual RICs must be RIC-cyclic")
+	}
+}
+
+func TestSelfLoopRIC(t *testing.T) {
+	// P(x,y) → ∃z P(y,z): self-referential RIC is a cycle.
+	r := &constraint.IC{Body: []term.Atom{atom("P", v("x"), v("y"))}, Head: []term.Atom{atom("P", v("y"), v("z"))}}
+	s := constraint.MustSet([]*constraint.IC{r}, nil)
+	if RICAcyclic(s) {
+		t.Error("self-referential RIC must be RIC-cyclic")
+	}
+}
+
+func TestGeneralExistentialTreatedAsRICEdge(t *testing.T) {
+	// A general constraint with an existential must contribute contracted
+	// edges: P(x),S(x) → ∃z Q(x,z) then Q(x,z) → P(x) makes a cycle.
+	g1 := &constraint.IC{
+		Body: []term.Atom{atom("P", v("x")), atom("S", v("x"))},
+		Head: []term.Atom{atom("Q", v("x"), v("z"))},
+	}
+	u1 := &constraint.IC{Body: []term.Atom{atom("Q", v("x"), v("z"))}, Head: []term.Atom{atom("P", v("x"))}}
+	s := constraint.MustSet([]*constraint.IC{g1, u1}, nil)
+	if RICAcyclic(s) {
+		t.Error("existential general constraint into a UIC component cycle must be RIC-cyclic")
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("A", "B", "e1")
+	g.AddEdge("C", "B", "e2") // weakly connects C despite no directed path A<->C
+	g.AddVertex("D")
+	comps := g.WeaklyConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if !reflect.DeepEqual(comps[0], []string{"A", "B", "C"}) || !reflect.DeepEqual(comps[1], []string{"D"}) {
+		t.Errorf("components = %v", comps)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := Build(example2Set(t))
+	out := g.String()
+	if !strings.Contains(out, "S -> Q [ic1]") || !strings.Contains(out, "Q -> T [ic3]") {
+		t.Errorf("String output:\n%s", out)
+	}
+}
+
+func TestNNCVertexOnly(t *testing.T) {
+	ic := &constraint.IC{Body: []term.Atom{atom("P", v("x"))}, Head: []term.Atom{atom("Q", v("x"))}}
+	s := constraint.MustSet([]*constraint.IC{ic}, []*constraint.NNC{{Pred: "Z", Arity: 1, Pos: 0}})
+	g := Build(s)
+	if got := g.Vertices(); !reflect.DeepEqual(got, []string{"P", "Q", "Z"}) {
+		t.Errorf("vertices = %v", got)
+	}
+	if len(g.Edges()) != 1 {
+		t.Errorf("edges = %v", g.Edges())
+	}
+}
+
+func TestHasCycleSelfLoop(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("A", "A", "loop")
+	if !g.HasCycle() {
+		t.Error("self-loop not detected")
+	}
+	g2 := NewGraph()
+	g2.AddEdge("A", "B", "x")
+	g2.AddEdge("B", "C", "y")
+	if g2.HasCycle() {
+		t.Error("acyclic graph reported cyclic")
+	}
+}

@@ -1,0 +1,94 @@
+// Package experiments reproduces every evaluation artifact of the paper:
+// the worked examples 2–24 (instance tables, consistency verdicts, repair
+// sets, repair programs, stable models, dependency-graph figures) and a set
+// of quantitative experiments exercising the complexity and decidability
+// claims (Theorems 1–5). Each experiment prints the measured artifact and
+// returns an error if it deviates from what the paper states, so the whole
+// suite doubles as an executable regression test of the reproduction
+// (EXPERIMENTS.md records the outcomes).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	// ID is the index key, e.g. "E04" (paper example 4) or "C1"
+	// (complexity experiment 1).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// PaperClaim summarizes what the paper states for this artifact.
+	PaperClaim string
+	// Run prints the measured artifact to w and returns an error if it
+	// does not match the paper's claim.
+	Run func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll runs every experiment, printing a banner per experiment, and
+// returns the number of failures.
+func RunAll(w io.Writer) int {
+	failures := 0
+	for _, e := range All() {
+		fmt.Fprintf(w, "=== %s: %s\n", e.ID, e.Title)
+		fmt.Fprintf(w, "paper: %s\n", e.PaperClaim)
+		if err := e.Run(w); err != nil {
+			failures++
+			fmt.Fprintf(w, "FAIL: %v\n", err)
+		} else {
+			fmt.Fprintf(w, "ok\n")
+		}
+		fmt.Fprintln(w)
+	}
+	return failures
+}
+
+// table writes an aligned table.
+func table(w io.Writer, header []string, rows [][]string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+}
+
+func verdict(b bool) string {
+	if b {
+		return "consistent"
+	}
+	return "INCONSISTENT"
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

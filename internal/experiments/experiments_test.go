@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every registered experiment; each validates
+// its own artifact against the paper's claim.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%s (%s): %v\noutput:\n%s", e.ID, e.Title, err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"C1", "C2", "C3", "C4", "C5",
+		"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09", "E10",
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19",
+		"E20", "E21", "E22", "E23", "E23b", "E24",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.PaperClaim == "" || e.Run == nil {
+			t.Errorf("experiment %s is incomplete", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, ok := ByID("E15")
+	if !ok || e.ID != "E15" {
+		t.Fatal("ByID(E15) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	failures := RunAll(&buf)
+	if failures != 0 {
+		t.Fatalf("RunAll reported %d failures:\n%s", failures, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"=== E04", "=== E23", "=== C1", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}
+
+func TestTableHelper(t *testing.T) {
+	var buf bytes.Buffer
+	table(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Errorf("table lines = %d", len(lines))
+	}
+}
+
+var _ io.Writer = (*bytes.Buffer)(nil)

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/depgraph"
+	"repro/internal/ground"
+	"repro/internal/parser"
+	"repro/internal/repairprog"
+	"repro/internal/stable"
+)
+
+// This file reproduces the dependency-graph figures (Examples 2–3) and the
+// head-cycle-freeness artifacts (Example 24, Theorem 5).
+
+func init() {
+	register(Experiment{
+		ID:         "E02",
+		Title:      "Example 2: dependency graph G(IC) for {S→Q, Q→R, Q→∃T}",
+		PaperClaim: "vertices S,Q,R,T; edges S→Q (ic1), Q→R (ic2), Q→T (ic3)",
+		Run:        runE02,
+	})
+	register(Experiment{
+		ID:         "E03",
+		Title:      "Example 3: contracted graph G^C(IC); RIC-acyclicity flips when adding T→R",
+		PaperClaim: "{Q,R,S}→T is acyclic; adding T(x,y)→R(y) creates a self-loop (not RIC-acyclic)",
+		Run:        runE03,
+	})
+	register(Experiment{
+		ID:         "E24",
+		Title:      "Example 24 / Theorem 5: bilateral predicates and guaranteed HCF",
+		PaperClaim: "bilateral = {T}; the condition holds, so Π(D,IC) is head-cycle-free",
+		Run:        runE24,
+	})
+}
+
+const example2Src = `
+	s(X) -> q(X).
+	q(X) -> r(X).
+	q(X) -> t(X, Y).
+`
+
+func runE02(w io.Writer) error {
+	set := parser.MustConstraints(example2Src)
+	g := depgraph.Build(set)
+	fmt.Fprintf(w, "G(IC):\n%s", g)
+	if got := strings.Join(g.Vertices(), ","); got != "q,r,s,t" {
+		return fmt.Errorf("vertices = %s", got)
+	}
+	for _, e := range []struct{ from, to string }{{"s", "q"}, {"q", "r"}, {"q", "t"}} {
+		if !g.HasEdge(e.from, e.to) {
+			return fmt.Errorf("missing edge %s→%s", e.from, e.to)
+		}
+	}
+	if len(g.Edges()) != 3 {
+		return fmt.Errorf("edges = %d, want 3", len(g.Edges()))
+	}
+	return nil
+}
+
+func runE03(w io.Writer) error {
+	set := parser.MustConstraints(example2Src)
+	gc := depgraph.Contracted(set)
+	fmt.Fprintf(w, "G^C(IC):\n%s", gc)
+	if !depgraph.RICAcyclic(set) {
+		return fmt.Errorf("the original set must be RIC-acyclic")
+	}
+	if got := strings.Join(gc.Vertices(), " "); got != "t {q,r,s}" {
+		return fmt.Errorf("contracted vertices = %q", got)
+	}
+	fmt.Fprintf(w, "RIC-acyclic: %s\n\n", yesNo(true))
+
+	extended := parser.MustConstraints(example2Src + `t(X, Y) -> r(Y).`)
+	gc2 := depgraph.Contracted(extended)
+	fmt.Fprintf(w, "after adding T(x,y) -> R(y):\nG^C(IC):\n%s", gc2)
+	if depgraph.RICAcyclic(extended) {
+		return fmt.Errorf("the extended set must not be RIC-acyclic")
+	}
+	if got := strings.Join(gc2.Vertices(), " "); got != "{q,r,s,t}" {
+		return fmt.Errorf("contracted vertices = %q", got)
+	}
+	fmt.Fprintf(w, "RIC-acyclic: %s\n", yesNo(false))
+	return nil
+}
+
+func runE24(w io.Writer) error {
+	set := parser.MustConstraints(`
+		t(X) -> r(X, Y).
+		s(X, Y) -> t(X).
+	`)
+	bp := repairprog.BilateralPreds(set)
+	fmt.Fprintf(w, "bilateral predicates: %v\n", bp)
+	if len(bp) != 1 || bp[0] != "t" {
+		return fmt.Errorf("bilateral = %v, paper says {T}", bp)
+	}
+	if !repairprog.GuaranteedHCF(set) {
+		return fmt.Errorf("Theorem 5's condition must hold")
+	}
+	fmt.Fprintf(w, "Theorem 5 condition: holds\n")
+
+	d := parser.MustInstance(`t(a). s(a, b). s(c, d).`)
+	tr, err := repairprog.Build(d, set, repairprog.VariantPaper)
+	if err != nil {
+		return err
+	}
+	gp, err := ground.Ground(tr.Program)
+	if err != nil {
+		return err
+	}
+	hcf := stable.IsHCF(gp)
+	fmt.Fprintf(w, "ground Π(D,IC) head-cycle-free: %s\n", yesNo(hcf))
+	if !hcf {
+		return fmt.Errorf("the program must be HCF")
+	}
+
+	// The sufficient condition is not necessary: P(x,a) → P(x,b).
+	set2 := parser.MustConstraints(`p(X, a) -> p(X, b).`)
+	d2 := parser.MustInstance(`p(q, a).`)
+	tr2, err := repairprog.Build(d2, set2, repairprog.VariantPaper)
+	if err != nil {
+		return err
+	}
+	gp2, err := ground.Ground(tr2.Program)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "P(x,a)->P(x,b): condition=%s, ground HCF=%s (sufficient, not necessary)\n",
+		yesNo(repairprog.GuaranteedHCF(set2)), yesNo(stable.IsHCF(gp2)))
+	if repairprog.GuaranteedHCF(set2) || !stable.IsHCF(gp2) {
+		return fmt.Errorf("P(x,a)->P(x,b) must fail the condition yet ground to an HCF program")
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/nullsem"
+	"repro/internal/parser"
+	"repro/internal/relational"
+	"repro/internal/repair"
+	"repro/internal/value"
+)
+
+// This file reproduces the repair-semantics artifacts: Examples 14–20 of
+// Section 4.
+
+func init() {
+	register(Experiment{
+		ID:         "E14",
+		Title:      "Example 14: classic repairs sweep the domain",
+		PaperClaim: "classic repairs: one deletion plus Student(34,µ) for every domain value µ",
+		Run:        runE14,
+	})
+	register(Experiment{
+		ID:         "E15",
+		Title:      "Example 15: null-based repairs of the Course/Student instance",
+		PaperClaim: "exactly two repairs: delete Course(34,C18), or insert Student(34,null)",
+		Run:        runE15,
+	})
+	register(Experiment{
+		ID:         "E16",
+		Title:      "Example 16: repairs under a non-generic check constraint",
+		PaperClaim: "two repairs: D1 = {} and D2 = {P(a,c), Q(a,null)}",
+		Run:        runE16,
+	})
+	register(Experiment{
+		ID:         "E17",
+		Title:      "Example 17: null insertion dominates arbitrary-value insertion",
+		PaperClaim: "two repairs; D3 = D ∪ {R(b,d)} satisfies IC but D1 <_D D3",
+		Run:        runE17,
+	})
+	register(Experiment{
+		ID:         "E18",
+		Title:      "Example 18: finitely many repairs for a RIC-cyclic set (Theorem 2)",
+		PaperClaim: "exactly four repairs D1–D4, each finite",
+		Run:        runE18,
+	})
+	register(Experiment{
+		ID:         "E19",
+		Title:      "Example 19: primary key + foreign key + NOT NULL",
+		PaperClaim: "four repairs D1–D4",
+		Run:        runE19,
+	})
+	register(Experiment{
+		ID:         "E20",
+		Title:      "Example 20: conflicting NNC and the deletion-preferring class Rep_d",
+		PaperClaim: "repairs are the deletion plus Q(a,µ) for arbitrary µ; Rep_d keeps only the deletion",
+		Run:        runE20,
+	})
+}
+
+func courseStudent() (*relational.Instance, string) {
+	return parser.MustInstance(`
+		course(21, c15).
+		course(34, c18).
+		student(21, "Ann").
+		student(45, "Paul").
+	`), `course(Id, Code) -> student(Id, Name).`
+}
+
+func printRepairs(w io.Writer, d *relational.Instance, res repair.Result) {
+	for i, r := range res.Repairs {
+		fmt.Fprintf(w, "repair %d: %s\n         Δ = %s\n", i+1, r, res.Deltas[i])
+	}
+	_ = d
+}
+
+func sameRepairSet(res repair.Result, want []*relational.Instance) bool {
+	if len(res.Repairs) != len(want) {
+		return false
+	}
+	keys := map[string]bool{}
+	for _, r := range res.Repairs {
+		keys[r.Key()] = true
+	}
+	for _, r := range want {
+		if !keys[r.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+func runE14(w io.Writer) error {
+	d, setSrc := courseStudent()
+	set := parser.MustConstraints(setSrc)
+	res, err := repair.Repairs(d, set, repair.Options{Mode: repair.Classic})
+	if err != nil {
+		return err
+	}
+	adom := len(d.ActiveDomain())
+	fmt.Fprintf(w, "active domain size: %d\n", adom)
+	fmt.Fprintf(w, "classic repairs (µ restricted to the active domain): %d\n", len(res.Repairs))
+	if len(res.Repairs) != 1+adom {
+		return fmt.Errorf("classic repairs = %d, want 1+|adom| = %d", len(res.Repairs), 1+adom)
+	}
+	for _, r := range res.Repairs {
+		for _, f := range relational.Diff(d, r).Added {
+			if f.Args.HasNull() {
+				return fmt.Errorf("classic repair inserted a null: %v", f)
+			}
+		}
+	}
+	fmt.Fprintf(w, "over the paper's infinite domain this family is infinite — the motivation for null-based repairs\n")
+	return nil
+}
+
+func runE15(w io.Writer) error {
+	d, setSrc := courseStudent()
+	set := parser.MustConstraints(setSrc)
+	res, err := repair.Repairs(d, set, repair.Options{})
+	if err != nil {
+		return err
+	}
+	printRepairs(w, d, res)
+	del := parser.MustInstance(`course(21, c15). student(21, "Ann"). student(45, "Paul").`)
+	ins := d.Clone()
+	ins.Insert(relational.F("student", value.Int(34), value.Null()))
+	if !sameRepairSet(res, []*relational.Instance{del, ins}) {
+		return fmt.Errorf("repairs do not match the paper's two repairs")
+	}
+	return nil
+}
+
+func runE16(w io.Writer) error {
+	d := parser.MustInstance(`q(a, b). p(a, c).`)
+	set := parser.MustConstraints(`
+		p(X, Y) -> q(X, Z).
+		q(X, Y) -> Y != b.
+	`)
+	res, err := repair.Repairs(d, set, repair.Options{})
+	if err != nil {
+		return err
+	}
+	printRepairs(w, d, res)
+	d1 := relational.NewInstance()
+	d2 := parser.MustInstance(`p(a, c). q(a, null).`)
+	if !sameRepairSet(res, []*relational.Instance{d1, d2}) {
+		return fmt.Errorf("repairs do not match the paper (D1 = {}, D2 = {P(a,c), Q(a,null)})")
+	}
+	return nil
+}
+
+func runE17(w io.Writer) error {
+	d := parser.MustInstance(`p(a, null). p(b, c). r(a, b).`)
+	set := parser.MustConstraints(`p(X, Y) -> r(X, Z).`)
+	res, err := repair.Repairs(d, set, repair.Options{})
+	if err != nil {
+		return err
+	}
+	printRepairs(w, d, res)
+	d1 := d.Clone()
+	d1.Insert(relational.F("r", value.Str("b"), value.Null()))
+	d2 := parser.MustInstance(`p(a, null). r(a, b).`)
+	if !sameRepairSet(res, []*relational.Instance{d1, d2}) {
+		return fmt.Errorf("repairs do not match the paper")
+	}
+	d3 := d.Clone()
+	d3.Insert(relational.F("r", value.Str("b"), value.Str("d")))
+	if !nullsem.Satisfies(d3, set, nullsem.NullAware) {
+		return fmt.Errorf("D3 must satisfy IC")
+	}
+	if !repair.LessD(d, d1, d3) {
+		return fmt.Errorf("D1 <_D D3 must hold")
+	}
+	fmt.Fprintf(w, "D3 = D ∪ {r(b,d)} satisfies IC but D1 <_D D3: not a repair\n")
+	return nil
+}
+
+func runE18(w io.Writer) error {
+	d := parser.MustInstance(`p(a, b). p(null, a). t(c).`)
+	set := parser.MustConstraints(`
+		p(X, Y) -> t(X).
+		t(X) -> p(Y, X).
+	`)
+	res, err := repair.Repairs(d, set, repair.Options{})
+	if err != nil {
+		return err
+	}
+	printRepairs(w, d, res)
+	want := []*relational.Instance{
+		parser.MustInstance(`p(a, b). p(null, a). t(c). p(null, c). t(a).`),
+		parser.MustInstance(`p(a, b). p(null, a). t(a).`),
+		parser.MustInstance(`p(null, a). t(c). p(null, c).`),
+		parser.MustInstance(`p(null, a).`),
+	}
+	if !sameRepairSet(res, want) {
+		return fmt.Errorf("repairs do not match the paper's D1–D4")
+	}
+	fmt.Fprintf(w, "the set is RIC-cyclic, yet the repair set is finite: CQA is decidable (Theorem 2)\n")
+	return nil
+}
+
+func runE19(w io.Writer) error {
+	d := parser.MustInstance(`r(a, b). r(a, c). s(e, f). s(null, a).`)
+	set := parser.MustConstraints(`
+		r(X, Y), r(X, Z) -> Y = Z.
+		s(U, V) -> r(V, W).
+		r(X, Y), isnull(X) -> false.
+	`)
+	if !set.NonConflicting() {
+		return fmt.Errorf("the set must be non-conflicting")
+	}
+	res, err := repair.Repairs(d, set, repair.Options{})
+	if err != nil {
+		return err
+	}
+	printRepairs(w, d, res)
+	want := []*relational.Instance{
+		parser.MustInstance(`r(a, b). s(e, f). s(null, a). r(f, null).`),
+		parser.MustInstance(`r(a, c). s(e, f). s(null, a). r(f, null).`),
+		parser.MustInstance(`r(a, b). s(null, a).`),
+		parser.MustInstance(`r(a, c). s(null, a).`),
+	}
+	if !sameRepairSet(res, want) {
+		return fmt.Errorf("repairs do not match the paper's D1–D4")
+	}
+	return nil
+}
+
+func runE20(w io.Writer) error {
+	d := parser.MustInstance(`p(a). p(b). q(b, c).`)
+	set := parser.MustConstraints(`
+		p(X) -> q(X, Y).
+		q(X, Y), isnull(Y) -> false.
+	`)
+	if set.NonConflicting() {
+		return fmt.Errorf("the set must be conflicting")
+	}
+	fmt.Fprintf(w, "conflict: %s\n", set.Conflicts()[0])
+	if _, err := repair.Repairs(d, set, repair.Options{}); err == nil {
+		return fmt.Errorf("Repairs must refuse the conflicting set")
+	}
+	res, err := repair.RepairsD(d, set, repair.Options{})
+	if err != nil {
+		return err
+	}
+	printRepairs(w, d, res)
+	del := parser.MustInstance(`p(b). q(b, c).`)
+	if !sameRepairSet(res, []*relational.Instance{del}) {
+		return fmt.Errorf("Rep_d must keep only the tuple-deletion repair")
+	}
+	fmt.Fprintf(w, "Rep_d prefers the deletion: the arbitrary-value insertions Q(a,µ) are dominated\n")
+	return nil
+}

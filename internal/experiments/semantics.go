@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/nullsem"
+	"repro/internal/parser"
+	"repro/internal/relational"
+	"repro/internal/value"
+)
+
+// This file reproduces the satisfaction-semantics artifacts: Examples 4–13
+// of Section 3.
+
+func init() {
+	register(Experiment{
+		ID:    "E04",
+		Title: "Example 4: verdict matrix for D={P(a,b,null)} under five semantics",
+		PaperClaim: "ψ1 consistent under [10] and simple-match, inconsistent under partial- " +
+			"and full-match; ψ2 consistent only under [10]",
+		Run: runE04,
+	})
+	register(Experiment{
+		ID:    "E05",
+		Title: "Example 5: Course/Exp foreign key with nulls (IBM DB2 behaviour)",
+		PaperClaim: "DB2 accepts the instance (simple match); partial and full match reject it; " +
+			"inserting Course(CS41,18,null) is rejected",
+		Run: runE05,
+	})
+	register(Experiment{
+		ID:         "E06",
+		Title:      "Example 6: single-row check constraint Salary > 100 with nulls",
+		PaperClaim: "the instance is consistent; inserting (32,null,50) is rejected",
+		Run:        runE06,
+	})
+	register(Experiment{
+		ID:         "E07",
+		Title:      "Example 7: set semantics for duplicate rows",
+		PaperClaim: "with first-order (set) semantics, the duplicate P(a,b) collapses and the key FD is satisfied",
+		Run:        runE07,
+	})
+	register(Experiment{
+		ID:         "E08",
+		Title:      "Example 8: multi-row check constraint u > w+15 over Person",
+		PaperClaim: "the instance is consistent: the only matching join has a null age (unknown passes)",
+		Run:        runE08,
+	})
+	register(Experiment{
+		ID:         "E09",
+		Title:      "Example 9: non-FK inclusion dependency with null in the referenced attribute",
+		PaperClaim: "(W04,34) is not less informative than (W04,null): the instance is inconsistent",
+		Run:        runE09,
+	})
+	register(Experiment{
+		ID:         "E10",
+		Title:      "Example 10: relevant attributes and projected instances D^A",
+		PaperClaim: "A(ψ)={P[1],P[2],R[1],R[2]}; A(γ)={P[1],P[3],R[1],R[2]}",
+		Run:        runE10,
+	})
+	register(Experiment{
+		ID:         "E11",
+		Title:      "Example 11: consistency wrt a UIC and a RIC; adding P(f,d,null) breaks (a)",
+		PaperClaim: "D is consistent; D ∪ {P(f,d,null)} is inconsistent wrt constraint (a)",
+		Run:        runE11,
+	})
+	register(Experiment{
+		ID:         "E12",
+		Title:      "Example 12: joins through null under the ordinary-constant treatment",
+		PaperClaim: "D^A(ψ) |= ψ_N: the database satisfies the constraint",
+		Run:        runE12,
+	})
+	register(Experiment{
+		ID:         "E13",
+		Title:      "Example 13: repeated existential variable with a null witness",
+		PaperClaim: "Q(a,null,null) satisfies ∃z Q(x,z,z); the database is consistent",
+		Run:        runE13,
+	})
+}
+
+func runE04(w io.Writer) error {
+	d := parser.MustInstance(`p(a, b, null).`)
+	set1 := parser.MustConstraints(`p(X, Y, Z) -> r(Y, Z).`)
+	set2 := parser.MustConstraints(`p(X, Y, Z) -> r(X, Y).`)
+	want1 := map[nullsem.Semantics]bool{
+		nullsem.NullAware: true, nullsem.ClassicFO: false, nullsem.AllExempt: true,
+		nullsem.SimpleMatch: true, nullsem.PartialMatch: false, nullsem.FullMatch: false,
+	}
+	want2 := map[nullsem.Semantics]bool{
+		nullsem.NullAware: false, nullsem.ClassicFO: false, nullsem.AllExempt: true,
+		nullsem.SimpleMatch: false, nullsem.PartialMatch: false, nullsem.FullMatch: false,
+	}
+	var rows [][]string
+	for _, sem := range nullsem.AllSemantics() {
+		got1 := nullsem.Satisfies(d, set1, sem)
+		got2 := nullsem.Satisfies(d, set2, sem)
+		rows = append(rows, []string{sem.String(), verdict(got1), verdict(got2)})
+		if got1 != want1[sem] {
+			return fmt.Errorf("ψ1 under %v = %v, paper says %v", sem, got1, want1[sem])
+		}
+		if got2 != want2[sem] {
+			return fmt.Errorf("ψ2 under %v = %v, paper says %v", sem, got2, want2[sem])
+		}
+	}
+	table(w, []string{"semantics", "ψ1: P(x,y,z)->R(y,z)", "ψ2: P(x,y,z)->R(x,y)"}, rows)
+	return nil
+}
+
+func example5() (*relational.Instance, string) {
+	return parser.MustInstance(`
+		course(cs27, 21, w04).
+		course(cs18, 34, null).
+		course(cs50, null, w05).
+		exp(21, cs27, 3).
+		exp(34, cs18, null).
+		exp(45, cs32, 2).
+	`), `
+		course(Code, Id, Term) -> exp(Id, Code, Times).
+		exp(I, C, T1), exp(I, C, T2) -> T1 = T2.
+		exp(I, C, T), isnull(I) -> false.
+		exp(I, C, T), isnull(C) -> false.
+	`
+}
+
+func runE05(w io.Writer) error {
+	d, setSrc := example5()
+	set := parser.MustConstraints(setSrc)
+	var rows [][]string
+	expect := map[nullsem.Semantics]bool{
+		nullsem.NullAware: true, nullsem.SimpleMatch: true,
+		nullsem.PartialMatch: false, nullsem.FullMatch: false,
+	}
+	for _, sem := range []nullsem.Semantics{nullsem.NullAware, nullsem.SimpleMatch, nullsem.PartialMatch, nullsem.FullMatch} {
+		got := nullsem.Satisfies(d, set, sem)
+		rows = append(rows, []string{sem.String(), verdict(got)})
+		if got != expect[sem] {
+			return fmt.Errorf("under %v = %v, paper says %v", sem, got, expect[sem])
+		}
+	}
+	table(w, []string{"semantics", "verdict"}, rows)
+
+	bad := relational.F("course", value.Str("cs41"), value.Int(18), value.Null())
+	if nullsem.InsertionAllowed(d, set, bad, nullsem.NullAware) {
+		return fmt.Errorf("insertion of course(cs41,18,null) must be rejected")
+	}
+	fmt.Fprintf(w, "insert course(cs41,18,null): rejected (as in DB2)\n")
+	good := relational.F("course", value.Str("cs32"), value.Int(45), value.Null())
+	if !nullsem.InsertionAllowed(d, set, good, nullsem.NullAware) {
+		return fmt.Errorf("insertion of course(cs32,45,null) must be accepted")
+	}
+	fmt.Fprintf(w, "insert course(cs32,45,null): accepted\n")
+	return nil
+}
+
+func runE06(w io.Writer) error {
+	d := parser.MustInstance(`
+		emp(32, null, 1000).
+		emp(41, "Paul", null).
+	`)
+	set := parser.MustConstraints(`emp(Id, Name, Salary) -> Salary > 100.`)
+	got := nullsem.Satisfies(d, set, nullsem.NullAware)
+	fmt.Fprintf(w, "D |=_N (Salary > 100): %s\n", verdict(got))
+	if !got {
+		return fmt.Errorf("Example 6 instance must be consistent")
+	}
+	bad := relational.F("emp", value.Int(32), value.Null(), value.Int(50))
+	if nullsem.InsertionAllowed(d, set, bad, nullsem.NullAware) {
+		return fmt.Errorf("insertion of (32,null,50) must be rejected")
+	}
+	fmt.Fprintf(w, "insert emp(32,null,50): rejected (50 > 100 is false)\n")
+	return nil
+}
+
+func runE07(w io.Writer) error {
+	d := relational.NewInstance()
+	first := d.Insert(relational.F("p", value.Str("a"), value.Str("b")))
+	second := d.Insert(relational.F("p", value.Str("a"), value.Str("b")))
+	fmt.Fprintf(w, "insert P(a,b): new=%v; insert P(a,b) again: new=%v; |D| = %d\n",
+		first, second, d.Len())
+	if !first || second || d.Len() != 1 {
+		return fmt.Errorf("set semantics violated")
+	}
+	set := parser.MustConstraints(`p(X, Y), p(X, Z) -> Y = Z.`)
+	if !nullsem.Satisfies(d, set, nullsem.NullAware) {
+		return fmt.Errorf("the collapsed instance must satisfy the key FD")
+	}
+	fmt.Fprintf(w, "key FD P[1] -> P[2] holds on the collapsed instance\n")
+	return nil
+}
+
+func runE08(w io.Writer) error {
+	d := parser.MustInstance(`
+		person("Lee", "Rod", "Mary", 27).
+		person("Rod", "Joe", "Tess", 55).
+		person("Mary", "Adam", "Ann", null).
+	`)
+	set := parser.MustConstraints(`person(X,Y,Z,W), person(Z,S,T,U) -> U > W + 15.`)
+	got := nullsem.Satisfies(d, set, nullsem.NullAware)
+	fmt.Fprintf(w, "relevant attributes: %s\n", set.ICs[0].RelevantAttrs())
+	fmt.Fprintf(w, "D |=_N: %s\n", verdict(got))
+	if !got {
+		return fmt.Errorf("Example 8 must be consistent")
+	}
+	if want := "{person[1], person[3], person[4]}"; set.ICs[0].RelevantAttrs().String() != want {
+		return fmt.Errorf("relevant attributes = %s, paper says %s", set.ICs[0].RelevantAttrs(), want)
+	}
+	d2 := d.Clone()
+	d2.Delete(relational.F("person", value.Str("Mary"), value.Str("Adam"), value.Str("Ann"), value.Null()))
+	d2.Insert(relational.F("person", value.Str("Mary"), value.Str("Adam"), value.Str("Ann"), value.Int(30)))
+	if nullsem.Satisfies(d2, set, nullsem.NullAware) {
+		return fmt.Errorf("with age 30 the constraint must fail (30 > 27+15 is false)")
+	}
+	fmt.Fprintf(w, "with Mary's age = 30 instead of null: INCONSISTENT (30 > 27+15 fails)\n")
+	return nil
+}
+
+func runE09(w io.Writer) error {
+	d := parser.MustInstance(`
+		course(cs18, w04, 34).
+		employee(w04, null).
+	`)
+	set := parser.MustConstraints(`course(X, Y, Z) -> employee(Y, Z).`)
+	got := nullsem.Satisfies(d, set, nullsem.NullAware)
+	fmt.Fprintf(w, "D |=_N Course(x,y,z) -> Employee(y,z): %s\n", verdict(got))
+	if got {
+		return fmt.Errorf("Example 9 must be inconsistent")
+	}
+	d.Insert(relational.F("employee", value.Str("w04"), value.Int(34)))
+	if !nullsem.Satisfies(d, set, nullsem.NullAware) {
+		return fmt.Errorf("with Employee(w04,34) the instance must be consistent")
+	}
+	fmt.Fprintf(w, "after inserting employee(w04,34): consistent\n")
+	return nil
+}
+
+func runE10(w io.Writer) error {
+	d := parser.MustInstance(`
+		p(a, b, a).
+		p(b, c, a).
+		r(a, 5).
+		r(a, 2).
+	`)
+	psi := parser.MustConstraints(`p(X, Y, Z) -> r(X, Y).`).ICs[0]
+	gamma := parser.MustConstraints(`p(X, Y, Z), r(Z, W) -> r(X, V) | W > 3.`).ICs[0]
+	fmt.Fprintf(w, "A(ψ) = %s\n", psi.RelevantAttrs())
+	fmt.Fprintf(w, "A(γ) = %s\n", gamma.RelevantAttrs())
+	if got, want := psi.RelevantAttrs().String(), "{p[1], p[2], r[1], r[2]}"; got != want {
+		return fmt.Errorf("A(ψ) = %s, paper says %s", got, want)
+	}
+	if got, want := gamma.RelevantAttrs().String(), "{p[1], p[3], r[1], r[2]}"; got != want {
+		return fmt.Errorf("A(γ) = %s, paper says %s", got, want)
+	}
+	projPsi := nullsem.ProjectInstance(d, nullsem.ProjectConstraint(psi))
+	projGamma := nullsem.ProjectInstance(d, nullsem.ProjectConstraint(gamma))
+	fmt.Fprintf(w, "D^A(ψ) = %s\n", projPsi)
+	fmt.Fprintf(w, "D^A(γ) = %s\n", projGamma)
+	// D^A(γ) collapses P onto positions {1,3}: (a,a) and (b,a).
+	if projGamma.Len() != 4 {
+		return fmt.Errorf("D^A(γ) = %d facts, want 4", projGamma.Len())
+	}
+	return nil
+}
+
+func runE11(w io.Writer) error {
+	d := parser.MustInstance(`
+		p(a, d, e).
+		p(b, null, g).
+		r(a, d).
+		t(b).
+	`)
+	set := parser.MustConstraints(`
+		p(X, Y, Z) -> r(X, Y).
+		t(X) -> p(X, Y, Z).
+	`)
+	if !nullsem.Satisfies(d, set, nullsem.NullAware) {
+		return fmt.Errorf("Example 11 must be consistent:\n%s", nullsem.Check(d, set, nullsem.NullAware))
+	}
+	fmt.Fprintf(w, "D |=_N {(a),(b)}: consistent\n")
+	d.Insert(relational.F("p", value.Str("f"), value.Str("d"), value.Null()))
+	rep := nullsem.Check(d, set, nullsem.NullAware)
+	if rep.Consistent() || len(rep.IC) != 1 || rep.IC[0].IC.Name != "ic1" {
+		return fmt.Errorf("adding P(f,d,null) must violate exactly constraint (a); got %s", rep)
+	}
+	fmt.Fprintf(w, "after adding p(f,d,null): %s\n", rep)
+	return nil
+}
+
+func runE12(w io.Writer) error {
+	d := parser.MustInstance(`
+		p1(a, b, c).  p1(d, null, c).  p1(b, e, null).  p1(null, b, b).
+		p2(b, a).     p2(e, c).        p2(d, null).     p2(null, b).
+		q(a, a, c).   q(b, null, c).   q(b, c, d).      q(null, c, a).
+	`)
+	set := parser.MustConstraints(`p1(X, Y, W), p2(Y, Z) -> q(X, Z, U).`)
+	nullAware := nullsem.Satisfies(d, set, nullsem.NullAware)
+	classic := nullsem.Satisfies(d, set, nullsem.ClassicFO)
+	fmt.Fprintf(w, "D |=_N ψ: %s (classically: %s)\n", verdict(nullAware), verdict(classic))
+	if !nullAware {
+		return fmt.Errorf("Example 12 must be consistent under |=_N")
+	}
+	if classic {
+		return fmt.Errorf("Example 12 should be inconsistent classically (null joins fire)")
+	}
+	return nil
+}
+
+func runE13(w io.Writer) error {
+	d := parser.MustInstance(`
+		p(a, b).
+		p(null, c).
+		q(a, null, null).
+	`)
+	set := parser.MustConstraints(`p(X, Y) -> q(X, Z, Z).`)
+	if got := set.ICs[0].RelevantAttrs().String(); got != "{p[1], q[1], q[2], q[3]}" {
+		return fmt.Errorf("A(ψ) = %s, paper says {p[1], q[1], q[2], q[3]}", got)
+	}
+	fmt.Fprintf(w, "A(ψ) = %s\n", set.ICs[0].RelevantAttrs())
+	if !nullsem.Satisfies(d, set, nullsem.NullAware) {
+		return fmt.Errorf("Example 13 must be consistent under |=_N")
+	}
+	fmt.Fprintf(w, "D |=_N ψ: consistent (z = null witnesses ∃z Q(x,z,z))\n")
+	if nullsem.Satisfies(d, set, nullsem.SimpleMatch) {
+		return fmt.Errorf("under SQL-style matching the null witness must fail")
+	}
+	fmt.Fprintf(w, "under simple-match: INCONSISTENT (null never equals null in SQL)\n")
+	return nil
+}

@@ -1,0 +1,320 @@
+// Package ground instantiates disjunctive logic programs over their active
+// (Herbrand) domain, producing the ground programs consumed by the stable
+// model engine in internal/stable.
+//
+// Grounding is "intelligent" in the DLV sense: a fixpoint first computes an
+// over-approximation of the derivable atoms (treating every disjunct of
+// every applicable rule as derivable and ignoring negation), and rules are
+// then instantiated only over that set. Negative literals whose atom cannot
+// possibly be derived are dropped as trivially true; positive literals that
+// are facts are dropped as well. The result is typically a small fraction
+// of the naive instantiation.
+package ground
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/relational"
+	"repro/internal/term"
+)
+
+// Program is a ground disjunctive program over interned atoms.
+type Program struct {
+	// Names renders each atom id.
+	Names []string
+	// Atoms maps each atom id back to predicate and arguments.
+	Atoms []relational.Fact
+	// Facts are atom ids that are unconditionally true.
+	Facts []int
+	// Rules are the instantiated non-fact rules.
+	Rules []Rule
+}
+
+// Rule is one ground rule over atom ids.
+type Rule struct {
+	Head []int
+	Pos  []int
+	Neg  []int
+}
+
+// NumAtoms returns the number of interned atoms.
+func (p *Program) NumAtoms() int { return len(p.Names) }
+
+// String renders the ground program deterministically.
+func (p *Program) String() string {
+	var b strings.Builder
+	facts := append([]int(nil), p.Facts...)
+	sort.Ints(facts)
+	for _, f := range facts {
+		b.WriteString(p.Names[f])
+		b.WriteString(".\n")
+	}
+	for _, r := range p.Rules {
+		var parts []string
+		for _, h := range r.Head {
+			parts = append(parts, p.Names[h])
+		}
+		b.WriteString(strings.Join(parts, " v "))
+		var body []string
+		for _, a := range r.Pos {
+			body = append(body, p.Names[a])
+		}
+		for _, a := range r.Neg {
+			body = append(body, "not "+p.Names[a])
+		}
+		if len(body) > 0 {
+			if len(r.Head) > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString(":- ")
+			b.WriteString(strings.Join(body, ", "))
+		}
+		b.WriteString(".\n")
+	}
+	return b.String()
+}
+
+// interner assigns dense ids to ground atoms.
+type interner struct {
+	ids   map[string]int
+	names []string
+	atoms []relational.Fact
+}
+
+func newInterner() *interner {
+	return &interner{ids: map[string]int{}}
+}
+
+func (in *interner) intern(f relational.Fact) int {
+	k := f.Key()
+	if id, ok := in.ids[k]; ok {
+		return id
+	}
+	id := len(in.names)
+	in.ids[k] = id
+	in.names = append(in.names, f.String())
+	in.atoms = append(in.atoms, f)
+	return id
+}
+
+func (in *interner) lookup(f relational.Fact) (int, bool) {
+	id, ok := in.ids[f.Key()]
+	return id, ok
+}
+
+// Ground instantiates the program. It returns an error for unsafe rules.
+func Ground(p *logic.Program) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	in := newInterner()
+
+	// possible holds the over-approximated derivable atoms, indexed by
+	// predicate signature for the joins.
+	possible := map[string][]relational.Fact{}
+	possibleSet := map[string]bool{}
+	factSet := map[string]bool{}
+	sig := func(f relational.Fact) string { return fmt.Sprintf("%s/%d", f.Pred, len(f.Args)) }
+	addPossible := func(f relational.Fact) bool {
+		k := f.Key()
+		if possibleSet[k] {
+			return false
+		}
+		possibleSet[k] = true
+		possible[sig(f)] = append(possible[sig(f)], f)
+		return true
+	}
+
+	gp := &Program{}
+	for _, a := range p.Facts {
+		f := groundFact(a)
+		if !factSet[f.Key()] {
+			factSet[f.Key()] = true
+			gp.Facts = append(gp.Facts, in.intern(f))
+		}
+		addPossible(f)
+	}
+
+	// Fixpoint: instantiate heads of rules whose positive bodies join
+	// over the possible set and whose builtins hold.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			joinPossible(possible, r, func(subst term.Subst) {
+				for _, h := range r.Head {
+					if addPossible(groundAtom(h, subst)) {
+						changed = true
+					}
+				}
+			})
+		}
+	}
+
+	// Instantiate the rules over the possible set.
+	seenRules := map[string]bool{}
+	for _, r := range p.Rules {
+		joinPossible(possible, r, func(subst term.Subst) {
+			rule, keep := instantiate(in, r, subst, possibleSet, factSet)
+			if !keep {
+				return
+			}
+			key := ruleKey(rule)
+			if !seenRules[key] {
+				seenRules[key] = true
+				gp.Rules = append(gp.Rules, rule)
+			}
+		})
+	}
+
+	gp.Names = in.names
+	gp.Atoms = in.atoms
+	return gp, nil
+}
+
+// instantiate builds one ground rule, simplifying it against the possible
+// and fact sets. keep is false when the rule instance is trivially
+// satisfied (a head atom or negated non-possible literal... ) or its body is
+// false.
+func instantiate(in *interner, r logic.Rule, subst term.Subst, possibleSet, factSet map[string]bool) (Rule, bool) {
+	var out Rule
+	for _, h := range r.Head {
+		f := groundAtom(h, subst)
+		if factSet[f.Key()] {
+			return Rule{}, false // head already true
+		}
+		out.Head = appendUniq(out.Head, in.intern(f))
+	}
+	for _, a := range r.Pos {
+		f := groundAtom(a, subst)
+		if factSet[f.Key()] {
+			continue // always true
+		}
+		if !possibleSet[f.Key()] {
+			return Rule{}, false // body can never hold
+		}
+		out.Pos = appendUniq(out.Pos, in.intern(f))
+	}
+	for _, a := range r.Neg {
+		f := groundAtom(a, subst)
+		if factSet[f.Key()] {
+			return Rule{}, false // not <fact> is false
+		}
+		if !possibleSet[f.Key()] {
+			continue // not <underivable> is true
+		}
+		out.Neg = appendUniq(out.Neg, in.intern(f))
+	}
+	return out, true
+}
+
+func appendUniq(xs []int, x int) []int {
+	for _, y := range xs {
+		if y == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+func ruleKey(r Rule) string {
+	var b strings.Builder
+	for _, part := range [][]int{r.Head, r.Pos, r.Neg} {
+		s := append([]int(nil), part...)
+		sort.Ints(s)
+		fmt.Fprintf(&b, "%v|", s)
+	}
+	return b.String()
+}
+
+// joinPossible enumerates substitutions satisfying the positive body and
+// the builtins over the possible-atom set.
+func joinPossible(possible map[string][]relational.Fact, r logic.Rule, yield func(term.Subst)) {
+	subst := term.Subst{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(r.Pos) {
+			for _, b := range r.Builtins {
+				res, ok := b.Eval(subst)
+				if !ok || !res {
+					return
+				}
+			}
+			yield(subst)
+			return
+		}
+		a := r.Pos[i]
+		for _, f := range possible[fmt.Sprintf("%s/%d", a.Pred, a.Arity())] {
+			bound, ok := match(f.Args, a, subst)
+			if !ok {
+				continue
+			}
+			rec(i + 1)
+			for _, v := range bound {
+				delete(subst, v)
+			}
+		}
+	}
+	rec(0)
+}
+
+func match(tuple relational.Tuple, a term.Atom, subst term.Subst) (bound []string, ok bool) {
+	for i, t := range a.Args {
+		if !t.IsVar() {
+			if !tuple[i].Eq(t.Const) {
+				for _, v := range bound {
+					delete(subst, v)
+				}
+				return nil, false
+			}
+			continue
+		}
+		if v, isBound := subst[t.Var]; isBound {
+			if !tuple[i].Eq(v) {
+				for _, v := range bound {
+					delete(subst, v)
+				}
+				return nil, false
+			}
+			continue
+		}
+		subst[t.Var] = tuple[i]
+		bound = append(bound, t.Var)
+	}
+	return bound, true
+}
+
+func groundAtom(a term.Atom, subst term.Subst) relational.Fact {
+	args := make(relational.Tuple, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			args[i] = subst[t.Var]
+		} else {
+			args[i] = t.Const
+		}
+	}
+	return relational.Fact{Pred: a.Pred, Args: args}
+}
+
+func groundFact(a term.Atom) relational.Fact {
+	args := make(relational.Tuple, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = t.Const
+	}
+	return relational.Fact{Pred: a.Pred, Args: args}
+}
+
+// Facts exposed for tests: value constants of an atom id.
+func (p *Program) Fact(id int) relational.Fact { return p.Atoms[id] }
+
+// AtomID looks up the id of a ground fact, if interned.
+func (p *Program) AtomID(f relational.Fact) (int, bool) {
+	for id, g := range p.Atoms {
+		if g.Equal(f) {
+			return id, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,181 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/term"
+	"repro/internal/value"
+)
+
+func TestSQLNullsJoin(t *testing.T) {
+	// Under ConstantNulls the null values join; under SQLNulls they
+	// don't (null = null is unknown in SQL).
+	d := relational.NewInstance(
+		relational.F("P", s("a"), n()),
+		relational.F("R", n(), s("c")),
+		relational.F("P", s("b"), s("k")),
+		relational.F("R", s("k"), s("d")),
+	)
+	q := &Q{
+		Name: "q",
+		Head: []string{"X", "Z"},
+		Disjuncts: []Conj{{
+			Lits: []Literal{
+				{Atom: atom("P", v("X"), v("Y"))},
+				{Atom: atom("R", v("Y"), v("Z"))},
+			},
+		}},
+	}
+	constant, err := EvalWith(d, q, Options{Mode: ConstantNulls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(constant) != 2 { // (a,c) through the null join, (b,d) through k
+		t.Errorf("constant-nulls answers = %v", constant)
+	}
+	sql, err := EvalWith(d, q, Options{Mode: SQLNulls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sql) != 1 || !sql[0].Equal(relational.Tuple{s("b"), s("d")}) {
+		t.Errorf("sql-nulls answers = %v", sql)
+	}
+}
+
+func TestSQLNullsBuiltins(t *testing.T) {
+	d := relational.NewInstance(
+		relational.F("Emp", i(1), i(1000)),
+		relational.F("Emp", i(2), n()),
+	)
+	q := &Q{
+		Name: "q",
+		Head: []string{"Id"},
+		Disjuncts: []Conj{{
+			Lits:     []Literal{{Atom: atom("Emp", v("Id"), v("Sal"))}},
+			Builtins: []term.Builtin{{Op: term.GT, L: v("Sal"), R: term.CInt(100)}},
+		}},
+	}
+	sql, err := EvalWith(d, q, Options{Mode: SQLNulls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sql) != 1 || !sql[0].Equal(relational.Tuple{i(1)}) {
+		t.Errorf("sql-nulls answers = %v (null > 100 must be discarded)", sql)
+	}
+}
+
+func TestSQLNullsRetrievesNullColumns(t *testing.T) {
+	// A null is still retrievable through a fresh variable.
+	d := relational.NewInstance(relational.F("P", s("a"), n()))
+	q := &Q{Name: "q", Head: []string{"Y"},
+		Disjuncts: []Conj{{Lits: []Literal{{Atom: atom("P", s2("a"), v("Y"))}}}}}
+	sql, err := EvalWith(d, q, Options{Mode: SQLNulls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sql) != 1 || !sql[0][0].IsNull() {
+		t.Errorf("answers = %v", sql)
+	}
+	// ...unless ExcludeNullAnswers is set.
+	excl, err := EvalWith(d, q, Options{Mode: SQLNulls, ExcludeNullAnswers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(excl) != 0 {
+		t.Errorf("answers = %v, want none", excl)
+	}
+}
+
+func s2(x string) term.T { return term.CStr(x) }
+
+func TestSQLNullsNegation(t *testing.T) {
+	d := relational.NewInstance(
+		relational.F("P", s("a")),
+		relational.F("P", s("b")),
+		relational.F("Block", s("a")),
+	)
+	q := &Q{Name: "q", Head: []string{"X"},
+		Disjuncts: []Conj{{
+			Lits: []Literal{
+				{Atom: atom("P", v("X"))},
+				{Atom: atom("Block", v("X")), Neg: true},
+			},
+		}}}
+	sql, err := EvalWith(d, q, Options{Mode: SQLNulls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sql) != 1 || !sql[0].Equal(relational.Tuple{s("b")}) {
+		t.Errorf("answers = %v", sql)
+	}
+}
+
+func TestModesCoincideWithoutNulls(t *testing.T) {
+	// The paper's requirement: |=q_N agrees with classical semantics on
+	// null-free databases — so both modes must agree there.
+	rng := rand.New(rand.NewSource(3))
+	consts := []value.V{s("a"), s("b"), s("c")}
+	pick := func() value.V { return consts[rng.Intn(len(consts))] }
+	queries := []*Q{
+		{Name: "q", Head: []string{"X"},
+			Disjuncts: []Conj{{Lits: []Literal{
+				{Atom: atom("P", v("X"), v("Y"))},
+				{Atom: atom("R", v("Y"))},
+			}}}},
+		{Name: "q", Head: []string{"X", "Y"},
+			Disjuncts: []Conj{{
+				Lits:     []Literal{{Atom: atom("P", v("X"), v("Y"))}},
+				Builtins: []term.Builtin{{Op: term.NEQ, L: v("X"), R: v("Y")}},
+			}}},
+		{Name: "q", Head: []string{"X"},
+			Disjuncts: []Conj{{Lits: []Literal{
+				{Atom: atom("P", v("X"), v("Y"))},
+				{Atom: atom("R", v("X")), Neg: true},
+			}}}},
+	}
+	for trial := 0; trial < 200; trial++ {
+		d := relational.NewInstance()
+		for k := 0; k < rng.Intn(6); k++ {
+			d.Insert(relational.F("P", pick(), pick()))
+		}
+		for k := 0; k < rng.Intn(4); k++ {
+			d.Insert(relational.F("R", pick()))
+		}
+		q := queries[trial%len(queries)]
+		a, err := EvalWith(d, q, Options{Mode: ConstantNulls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := EvalWith(d, q, Options{Mode: SQLNulls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: modes disagree on a null-free database: %v vs %v", trial, a, b)
+		}
+		for idx := range a {
+			if !a[idx].Equal(b[idx]) {
+				t.Fatalf("trial %d: tuple %d differs: %v vs %v", trial, idx, a[idx], b[idx])
+			}
+		}
+	}
+}
+
+func TestEvalWithMatchesEval(t *testing.T) {
+	d := db()
+	q := &Q{Name: "q", Head: []string{"Id"},
+		Disjuncts: []Conj{{Lits: []Literal{{Atom: atom("Student", v("Id"), v("Nm"))}}}}}
+	a, err := Eval(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvalWith(d, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("Eval and EvalWith(zero) disagree: %v vs %v", a, b)
+	}
+}

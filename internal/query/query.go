@@ -1,0 +1,251 @@
+// Package query implements the query language over which consistent query
+// answering (Definition 8) is defined: safe unions of conjunctive queries
+// with negated atoms and builtin comparisons — the fragment the CQA
+// literature works with, covering safe first-order queries in the sense of
+// Van Gelder & Topor (the paper's [32]).
+//
+// Query answering over databases with nulls follows the same convention as
+// IC checking inside repairs: null is an ordinary constant (null joins with
+// null, and a negated atom holds iff the ground atom is absent). The paper
+// deliberately leaves the query semantics |=q_N open ("we are not
+// committing to any particular semantics"), requiring only polynomial data
+// complexity and agreement with classical semantics on null-free databases;
+// this choice satisfies both requirements and matches how the repair
+// programs treat null.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relational"
+	"repro/internal/term"
+)
+
+// Literal is a possibly negated predicate atom.
+type Literal struct {
+	Atom term.Atom
+	Neg  bool
+}
+
+func (l Literal) String() string {
+	if l.Neg {
+		return "not " + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Conj is one conjunctive disjunct of a query.
+type Conj struct {
+	Lits     []Literal
+	Builtins []term.Builtin
+}
+
+func (c Conj) String() string {
+	parts := make([]string, 0, len(c.Lits)+len(c.Builtins))
+	for _, l := range c.Lits {
+		parts = append(parts, l.String())
+	}
+	for _, b := range c.Builtins {
+		parts = append(parts, b.String())
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Q is a query: a union of conjunctive queries with negation, projected
+// onto the head variables. An empty Head makes it a boolean query.
+type Q struct {
+	// Name labels the query in output (e.g. "q").
+	Name string
+	// Head lists the free (answer) variables.
+	Head []string
+	// Disjuncts are the union members; at least one is required.
+	Disjuncts []Conj
+}
+
+func (q *Q) String() string {
+	head := q.Name
+	if head == "" {
+		head = "q"
+	}
+	head += "(" + strings.Join(q.Head, ",") + ")"
+	parts := make([]string, len(q.Disjuncts))
+	for i, d := range q.Disjuncts {
+		parts[i] = head + " :- " + d.String() + "."
+	}
+	return strings.Join(parts, "\n")
+}
+
+// IsBoolean reports whether the query has no answer variables.
+func (q *Q) IsBoolean() bool { return len(q.Head) == 0 }
+
+// Validate checks safety: in every disjunct, each head variable, negated
+// variable and builtin variable must occur in a positive literal.
+func (q *Q) Validate() error {
+	if len(q.Disjuncts) == 0 {
+		return fmt.Errorf("query %s: no disjuncts", q.Name)
+	}
+	for i, d := range q.Disjuncts {
+		posVars := map[string]bool{}
+		for _, l := range d.Lits {
+			if !l.Neg {
+				for _, t := range l.Atom.Args {
+					if t.IsVar() {
+						posVars[t.Var] = true
+					}
+				}
+			}
+		}
+		check := func(v, role string) error {
+			if !posVars[v] {
+				return fmt.Errorf("query %s, disjunct %d: %s variable %q not bound by a positive literal (unsafe)",
+					q.Name, i+1, role, v)
+			}
+			return nil
+		}
+		for _, v := range q.Head {
+			if err := check(v, "head"); err != nil {
+				return err
+			}
+		}
+		for _, l := range d.Lits {
+			if l.Neg {
+				for _, t := range l.Atom.Args {
+					if t.IsVar() {
+						if err := check(t.Var, "negated"); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		for _, b := range d.Builtins {
+			for _, v := range b.Vars(nil) {
+				if err := check(v, "builtin"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Eval returns the distinct answers of the query over the instance, sorted.
+// For boolean queries the result is non-nil (a single empty tuple) iff the
+// query holds.
+func Eval(d *relational.Instance, q *Q) ([]relational.Tuple, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	seen := map[string]relational.Tuple{}
+	for _, disj := range q.Disjuncts {
+		evalConj(d, disj, q.Head, func(t relational.Tuple) {
+			seen[t.Key()] = t
+		})
+	}
+	out := make([]relational.Tuple, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// EvalBool evaluates a boolean query.
+func EvalBool(d *relational.Instance, q *Q) (bool, error) {
+	if !q.IsBoolean() {
+		return false, fmt.Errorf("query %s is not boolean", q.Name)
+	}
+	ts, err := Eval(d, q)
+	if err != nil {
+		return false, err
+	}
+	return len(ts) > 0, nil
+}
+
+// evalConj joins the positive literals, then filters by negated literals
+// and builtins, yielding each head projection.
+func evalConj(d *relational.Instance, c Conj, head []string, yield func(relational.Tuple)) {
+	var posAtoms []term.Atom
+	for _, l := range c.Lits {
+		if !l.Neg {
+			posAtoms = append(posAtoms, l.Atom)
+		}
+	}
+	subst := term.Subst{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(posAtoms) {
+			for _, b := range c.Builtins {
+				res, ok := b.Eval(subst)
+				if !ok || !res {
+					return
+				}
+			}
+			for _, l := range c.Lits {
+				if l.Neg && holdsGround(d, l.Atom, subst) {
+					return
+				}
+			}
+			out := make(relational.Tuple, len(head))
+			for j, v := range head {
+				out[j] = subst[v]
+			}
+			yield(out)
+			return
+		}
+		a := posAtoms[i]
+		for _, tuple := range d.Relation(a.Pred, a.Arity()) {
+			bound, ok := matchAtom(tuple, a, subst)
+			if !ok {
+				continue
+			}
+			rec(i + 1)
+			for _, v := range bound {
+				delete(subst, v)
+			}
+		}
+	}
+	rec(0)
+}
+
+func holdsGround(d *relational.Instance, a term.Atom, subst term.Subst) bool {
+	args := make(relational.Tuple, len(a.Args))
+	for i, t := range a.Args {
+		v, ok := subst.Apply(t)
+		if !ok {
+			return false
+		}
+		args[i] = v
+	}
+	return d.Has(relational.Fact{Pred: a.Pred, Args: args})
+}
+
+func matchAtom(tuple relational.Tuple, a term.Atom, subst term.Subst) (bound []string, ok bool) {
+	for i, t := range a.Args {
+		if !t.IsVar() {
+			if !tuple[i].Eq(t.Const) {
+				undo(subst, bound)
+				return nil, false
+			}
+			continue
+		}
+		if v, isBound := subst[t.Var]; isBound {
+			if !tuple[i].Eq(v) {
+				undo(subst, bound)
+				return nil, false
+			}
+			continue
+		}
+		subst[t.Var] = tuple[i]
+		bound = append(bound, t.Var)
+	}
+	return bound, true
+}
+
+func undo(subst term.Subst, bound []string) {
+	for _, v := range bound {
+		delete(subst, v)
+	}
+}

@@ -1,0 +1,475 @@
+// Package relational implements the database substrate of the paper: finite
+// relational instances over a schema Σ = (U, R, B) whose domain U contains
+// the distinguished constant null (Section 2). Instances are finite sets of
+// ground atoms with set semantics (the paper's standing assumption after
+// Example 7), and the package provides the projection D^A of Definition 3,
+// active domains, and the symmetric difference Δ(D, D′) underlying repairs.
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Tuple is a finite sequence of constants from U.
+type Tuple []value.V
+
+// Key returns an injective encoding of the tuple for use in set membership.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Equal reports whether two tuples are identical (null compares equal to
+// null, per the ordinary-constant treatment of Definition 4).
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Eq(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNull reports whether any position of the tuple is null.
+func (t Tuple) HasNull() bool {
+	for _, v := range t {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Project returns the subtuple at the given positions (0-based), in the order
+// given. This is Π_A(t̄) from Definition 3.
+func (t Tuple) Project(positions []int) Tuple {
+	p := make(Tuple, len(positions))
+	for i, pos := range positions {
+		p[i] = t[pos]
+	}
+	return p
+}
+
+// Compare orders tuples lexicographically for deterministic output.
+func (t Tuple) Compare(u Tuple) int {
+	for i := 0; i < len(t) && i < len(u); i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Fact is a ground database atom P(c1, ..., cn).
+type Fact struct {
+	Pred string
+	Args Tuple
+}
+
+// F builds a Fact from bare values.
+func F(pred string, args ...value.V) Fact {
+	return Fact{Pred: pred, Args: Tuple(args)}
+}
+
+func (f Fact) String() string {
+	if len(f.Args) == 0 {
+		return f.Pred
+	}
+	return f.Pred + f.Args.String()
+}
+
+// Key returns an injective encoding of the fact.
+func (f Fact) Key() string { return f.Pred + "/" + fmt.Sprint(len(f.Args)) + ":" + f.Args.Key() }
+
+// Equal reports whether two facts are identical.
+func (f Fact) Equal(g Fact) bool { return f.Pred == g.Pred && f.Args.Equal(g.Args) }
+
+// Compare orders facts by predicate, then tuple, for deterministic output.
+func (f Fact) Compare(g Fact) int {
+	if f.Pred != g.Pred {
+		if f.Pred < g.Pred {
+			return -1
+		}
+		return 1
+	}
+	return f.Args.Compare(g.Args)
+}
+
+// SortFacts sorts a fact slice in place and returns it.
+func SortFacts(fs []Fact) []Fact {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Compare(fs[j]) < 0 })
+	return fs
+}
+
+// Relation describes one predicate of the schema: a name and an ordered list
+// of attribute names. R[i] in the paper denotes the attribute at (1-based)
+// position i; this package uses 0-based positions internally and formats them
+// 1-based to match the paper.
+type Relation struct {
+	Name  string
+	Attrs []string
+}
+
+// Arity returns the number of attributes.
+func (r Relation) Arity() int { return len(r.Attrs) }
+
+// Schema is the database schema: the set R of database predicates. The
+// domain U is implicit (all of package value) and the builtins B are fixed.
+type Schema struct {
+	rels  map[string]Relation
+	order []string
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{rels: make(map[string]Relation)}
+}
+
+// MustAddRelation adds a relation, panicking on duplicates. Attribute names
+// are optional; pass generated names via Anon if unknown.
+func (s *Schema) MustAddRelation(name string, attrs ...string) *Schema {
+	if err := s.AddRelation(name, attrs...); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AddRelation adds a relation to the schema.
+func (s *Schema) AddRelation(name string, attrs ...string) error {
+	if name == "" {
+		return fmt.Errorf("relational: empty relation name")
+	}
+	if _, dup := s.rels[name]; dup {
+		return fmt.Errorf("relational: duplicate relation %q", name)
+	}
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return fmt.Errorf("relational: relation %q has an empty attribute name", name)
+		}
+		if seen[a] {
+			return fmt.Errorf("relational: relation %q repeats attribute %q", name, a)
+		}
+		seen[a] = true
+	}
+	s.rels[name] = Relation{Name: name, Attrs: append([]string(nil), attrs...)}
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Anon generates n anonymous attribute names A1..An.
+func Anon(n int) []string {
+	attrs := make([]string, n)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("A%d", i+1)
+	}
+	return attrs
+}
+
+// Relation looks up a relation by name.
+func (s *Schema) Relation(name string) (Relation, bool) {
+	r, ok := s.rels[name]
+	return r, ok
+}
+
+// Relations returns the relations in declaration order.
+func (s *Schema) Relations() []Relation {
+	out := make([]Relation, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.rels[n])
+	}
+	return out
+}
+
+// Instance is a finite database instance: a set of ground atoms.
+// The zero value is not usable; call NewInstance.
+type Instance struct {
+	facts map[string]Fact // key -> fact
+}
+
+// NewInstance returns an empty instance, optionally populated with facts.
+func NewInstance(facts ...Fact) *Instance {
+	d := &Instance{facts: make(map[string]Fact, len(facts))}
+	for _, f := range facts {
+		d.Insert(f)
+	}
+	return d
+}
+
+// Insert adds a fact (set semantics: duplicates are absorbed). It reports
+// whether the fact was new.
+func (d *Instance) Insert(f Fact) bool {
+	k := f.Key()
+	if _, ok := d.facts[k]; ok {
+		return false
+	}
+	d.facts[k] = Fact{Pred: f.Pred, Args: f.Args.Clone()}
+	return true
+}
+
+// Delete removes a fact, reporting whether it was present.
+func (d *Instance) Delete(f Fact) bool {
+	k := f.Key()
+	if _, ok := d.facts[k]; !ok {
+		return false
+	}
+	delete(d.facts, k)
+	return true
+}
+
+// Has reports membership.
+func (d *Instance) Has(f Fact) bool {
+	_, ok := d.facts[f.Key()]
+	return ok
+}
+
+// Len returns the number of facts.
+func (d *Instance) Len() int { return len(d.facts) }
+
+// Facts returns all facts sorted deterministically.
+func (d *Instance) Facts() []Fact {
+	out := make([]Fact, 0, len(d.facts))
+	for _, f := range d.facts {
+		out = append(out, f)
+	}
+	return SortFacts(out)
+}
+
+// Relation returns the sorted tuples of the given predicate with the given
+// arity.
+func (d *Instance) Relation(pred string, arity int) []Tuple {
+	var out []Tuple
+	for _, f := range d.facts {
+		if f.Pred == pred && len(f.Args) == arity {
+			out = append(out, f.Args)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Preds returns the sorted predicate names occurring in the instance.
+func (d *Instance) Preds() []string {
+	seen := map[string]bool{}
+	for _, f := range d.facts {
+		seen[f.Pred] = true
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of the instance.
+func (d *Instance) Clone() *Instance {
+	c := &Instance{facts: make(map[string]Fact, len(d.facts))}
+	for k, f := range d.facts {
+		c.facts[k] = f
+	}
+	return c
+}
+
+// Equal reports set equality of instances.
+func (d *Instance) Equal(e *Instance) bool {
+	if len(d.facts) != len(e.facts) {
+		return false
+	}
+	for k := range d.facts {
+		if _, ok := e.facts[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical encoding of the whole instance (used to memoize
+// repair search states).
+func (d *Instance) Key() string {
+	keys := make([]string, 0, len(d.facts))
+	for k := range d.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// String renders the instance as a sorted set of facts.
+func (d *Instance) String() string {
+	fs := d.Facts()
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// ActiveDomain returns adom(D): the set of constants occurring in the
+// instance, sorted, excluding null (null is accounted for separately in
+// Proposition 1: adom(D) ∪ const(IC) ∪ {null}).
+func (d *Instance) ActiveDomain() []value.V {
+	seen := map[string]value.V{}
+	for _, f := range d.facts {
+		for _, v := range f.Args {
+			if !v.IsNull() {
+				seen[v.Key()] = v
+			}
+		}
+	}
+	out := make([]value.V, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Project computes D^A of Definition 3: every fact of a predicate named in
+// positions is projected onto the given 0-based attribute positions (sorted
+// ascending); predicates absent from positions are dropped. Projected
+// predicates keep their names (their arity changes, which keeps them distinct
+// in this package's Fact keys).
+func (d *Instance) Project(positions map[string][]int) *Instance {
+	out := NewInstance()
+	for _, f := range d.facts {
+		pos, ok := positions[f.Pred]
+		if !ok || !fits(pos, len(f.Args)) {
+			continue
+		}
+		out.Insert(Fact{Pred: f.Pred, Args: f.Args.Project(pos)})
+	}
+	return out
+}
+
+// fits reports whether every position is valid for the given arity (facts
+// of a same-named predicate with a smaller arity are skipped rather than
+// panicking).
+func fits(pos []int, arity int) bool {
+	for _, p := range pos {
+		if p < 0 || p >= arity {
+			return false
+		}
+	}
+	return true
+}
+
+// Delta is the symmetric difference Δ(D, D′) split into its two halves:
+// Removed = D \ D′ and Added = D′ \ D, each sorted.
+type Delta struct {
+	Removed []Fact
+	Added   []Fact
+}
+
+// Size returns |Δ|.
+func (dl Delta) Size() int { return len(dl.Removed) + len(dl.Added) }
+
+// Facts returns all atoms of the symmetric difference, sorted.
+func (dl Delta) Facts() []Fact {
+	out := make([]Fact, 0, dl.Size())
+	out = append(out, dl.Removed...)
+	out = append(out, dl.Added...)
+	return SortFacts(out)
+}
+
+func (dl Delta) String() string {
+	fs := dl.Facts()
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Diff computes Δ(d, e).
+func Diff(d, e *Instance) Delta {
+	var dl Delta
+	for k, f := range d.facts {
+		if _, ok := e.facts[k]; !ok {
+			dl.Removed = append(dl.Removed, f)
+		}
+	}
+	for k, f := range e.facts {
+		if _, ok := d.facts[k]; !ok {
+			dl.Added = append(dl.Added, f)
+		}
+	}
+	SortFacts(dl.Removed)
+	SortFacts(dl.Added)
+	return dl
+}
+
+// FormatTable renders one relation as an aligned text table in the style of
+// the paper's examples, with attribute headers when the schema knows them.
+func FormatTable(d *Instance, rel Relation) string {
+	tuples := d.Relation(rel.Name, rel.Arity())
+	headers := append([]string{rel.Name}, rel.Attrs...)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	rows := make([][]string, len(tuples))
+	for r, t := range tuples {
+		row := make([]string, len(headers))
+		row[0] = ""
+		for i, v := range t {
+			cell := v.String()
+			row[i+1] = cell
+			if len(cell) > widths[i+1] {
+				widths[i+1] = len(cell)
+			}
+		}
+		rows[r] = row
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,355 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func s(v string) value.V { return value.Str(v) }
+func n() value.V         { return value.Null() }
+func i(x int64) value.V  { return value.Int(x) }
+
+func TestTupleKeyInjective(t *testing.T) {
+	tuples := []Tuple{
+		{s("a"), s("b")},
+		{s("a,b")},
+		{s("a"), s("b"), n()},
+		{s("a"), n(), s("b")},
+		{n(), s("a"), s("b")},
+		{i(1), i(2)},
+		{s("1"), s("2")},
+		{},
+	}
+	seen := map[string]Tuple{}
+	for _, tp := range tuples {
+		k := tp.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %v and %v", prev, tp)
+		}
+		seen[k] = tp
+	}
+}
+
+func TestTupleProjectAndHasNull(t *testing.T) {
+	tp := Tuple{s("a"), n(), s("c")}
+	if !tp.HasNull() {
+		t.Error("HasNull false for tuple with null")
+	}
+	p := tp.Project([]int{0, 2})
+	if !p.Equal(Tuple{s("a"), s("c")}) {
+		t.Errorf("Project = %v", p)
+	}
+	if p.HasNull() {
+		t.Error("projection dropped null but HasNull still true")
+	}
+	if got := tp.Project(nil); len(got) != 0 {
+		t.Errorf("empty projection = %v", got)
+	}
+}
+
+func TestFactStringAndEqual(t *testing.T) {
+	f := F("Course", s("CS27"), i(21), s("W04"))
+	if f.String() != "Course(CS27,21,W04)" {
+		t.Errorf("String = %q", f.String())
+	}
+	if !f.Equal(F("Course", s("CS27"), i(21), s("W04"))) {
+		t.Error("Equal broken")
+	}
+	if f.Equal(F("Course", s("CS27"), i(21))) {
+		t.Error("arity must matter")
+	}
+	zero := F("True")
+	if zero.String() != "True" {
+		t.Errorf("0-ary String = %q", zero.String())
+	}
+}
+
+func TestInstanceSetSemantics(t *testing.T) {
+	// Example 7: with set semantics, inserting P(a,b) twice keeps one copy.
+	d := NewInstance()
+	if !d.Insert(F("P", s("a"), s("b"))) {
+		t.Error("first insert reported duplicate")
+	}
+	if d.Insert(F("P", s("a"), s("b"))) {
+		t.Error("second insert reported new")
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+	if !d.Delete(F("P", s("a"), s("b"))) {
+		t.Error("delete reported missing")
+	}
+	if d.Delete(F("P", s("a"), s("b"))) {
+		t.Error("second delete reported present")
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len = %d, want 0", d.Len())
+	}
+}
+
+func TestInstanceInsertClonesTuple(t *testing.T) {
+	args := Tuple{s("a")}
+	d := NewInstance()
+	d.Insert(Fact{Pred: "P", Args: args})
+	args[0] = s("mutated")
+	if !d.Has(F("P", s("a"))) {
+		t.Error("instance shares caller's tuple storage")
+	}
+}
+
+func TestInstanceCloneIndependent(t *testing.T) {
+	d := NewInstance(F("P", s("a")), F("Q", s("b"), n()))
+	c := d.Clone()
+	c.Delete(F("P", s("a")))
+	c.Insert(F("R", i(1)))
+	if !d.Has(F("P", s("a"))) || d.Has(F("R", i(1))) {
+		t.Error("Clone not independent")
+	}
+	if !d.Equal(NewInstance(F("Q", s("b"), n()), F("P", s("a")))) {
+		t.Error("Equal broken after clone mutation")
+	}
+}
+
+func TestInstanceRelationSorted(t *testing.T) {
+	d := NewInstance(
+		F("R", s("b"), i(2)),
+		F("R", s("a"), i(9)),
+		F("R", s("a"), i(1)),
+		F("S", s("z")),
+	)
+	rows := d.Relation("R", 2)
+	if len(rows) != 3 {
+		t.Fatalf("Relation rows = %d", len(rows))
+	}
+	if !rows[0].Equal(Tuple{s("a"), i(1)}) || !rows[2].Equal(Tuple{s("b"), i(2)}) {
+		t.Errorf("Relation not sorted: %v", rows)
+	}
+	if got := d.Relation("R", 3); len(got) != 0 {
+		t.Error("arity mismatch must return nothing")
+	}
+}
+
+func TestActiveDomainExcludesNull(t *testing.T) {
+	d := NewInstance(F("P", s("a"), n()), F("Q", i(3)), F("Q", i(3)))
+	adom := d.ActiveDomain()
+	if len(adom) != 2 {
+		t.Fatalf("adom = %v", adom)
+	}
+	for _, v := range adom {
+		if v.IsNull() {
+			t.Error("active domain contains null")
+		}
+	}
+}
+
+func TestProjectDefinition3(t *testing.T) {
+	// Example 10: D with P(a,b,a), P(b,c,a), R(a,5), R(a,2);
+	// A(ψ) = {P[1],P[2],R[1],R[2]} (0-based: P{0,1}, R{0,1}).
+	d := NewInstance(
+		F("P", s("a"), s("b"), s("a")),
+		F("P", s("b"), s("c"), s("a")),
+		F("R", s("a"), i(5)),
+		F("R", s("a"), i(2)),
+	)
+	proj := d.Project(map[string][]int{"P": {0, 1}, "R": {0, 1}})
+	want := NewInstance(
+		F("P", s("a"), s("b")),
+		F("P", s("b"), s("c")),
+		F("R", s("a"), i(5)),
+		F("R", s("a"), i(2)),
+	)
+	if !proj.Equal(want) {
+		t.Errorf("Project = %v, want %v", proj, want)
+	}
+
+	// A(γ) = {P[1],P[3],R[1],R[2]} (0-based P{0,2}, R{0,1}): P collapses.
+	proj2 := d.Project(map[string][]int{"P": {0, 2}, "R": {0, 1}})
+	want2 := NewInstance(
+		F("P", s("a"), s("a")),
+		F("P", s("b"), s("a")),
+		F("R", s("a"), i(5)),
+		F("R", s("a"), i(2)),
+	)
+	if !proj2.Equal(want2) {
+		t.Errorf("Project(γ) = %v, want %v", proj2, want2)
+	}
+}
+
+func TestProjectCanCollapseTuples(t *testing.T) {
+	d := NewInstance(F("P", s("a"), s("x")), F("P", s("a"), s("y")))
+	proj := d.Project(map[string][]int{"P": {0}})
+	if proj.Len() != 1 {
+		t.Errorf("projection should collapse to one tuple, got %v", proj)
+	}
+}
+
+func TestProjectToZeroAry(t *testing.T) {
+	d := NewInstance(F("P", s("a"), s("x")))
+	proj := d.Project(map[string][]int{"P": {}})
+	if proj.Len() != 1 || !proj.Has(F("P")) {
+		t.Errorf("0-ary projection = %v", proj)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	// Example 16: D = {Q(a,b), P(a,c)}, D2 = {P(a,c), Q(a,null)}.
+	d := NewInstance(F("Q", s("a"), s("b")), F("P", s("a"), s("c")))
+	d2 := NewInstance(F("P", s("a"), s("c")), F("Q", s("a"), n()))
+	dl := Diff(d, d2)
+	if len(dl.Removed) != 1 || !dl.Removed[0].Equal(F("Q", s("a"), s("b"))) {
+		t.Errorf("Removed = %v", dl.Removed)
+	}
+	if len(dl.Added) != 1 || !dl.Added[0].Equal(F("Q", s("a"), n())) {
+		t.Errorf("Added = %v", dl.Added)
+	}
+	if dl.Size() != 2 {
+		t.Errorf("Size = %d", dl.Size())
+	}
+	empty := Diff(d, d.Clone())
+	if empty.Size() != 0 {
+		t.Errorf("self diff = %v", empty)
+	}
+}
+
+func TestSchema(t *testing.T) {
+	sc := NewSchema().MustAddRelation("Course", "Code", "ID", "Term")
+	if err := sc.AddRelation("Course", "X"); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if err := sc.AddRelation("Bad", "A", "A"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if err := sc.AddRelation(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	r, ok := sc.Relation("Course")
+	if !ok || r.Arity() != 3 || r.Attrs[2] != "Term" {
+		t.Errorf("Relation lookup = %+v, %v", r, ok)
+	}
+	if len(sc.Relations()) != 1 {
+		t.Error("Relations count wrong")
+	}
+	if got := Anon(3); got[0] != "A1" || got[2] != "A3" {
+		t.Errorf("Anon = %v", got)
+	}
+}
+
+func TestInstanceKeyCanonical(t *testing.T) {
+	d1 := NewInstance(F("P", s("a")), F("Q", s("b")))
+	d2 := NewInstance(F("Q", s("b")), F("P", s("a")))
+	if d1.Key() != d2.Key() {
+		t.Error("Key not canonical across insertion orders")
+	}
+	d2.Insert(F("P", s("c")))
+	if d1.Key() == d2.Key() {
+		t.Error("distinct instances share a key")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	sc := NewSchema().MustAddRelation("Student", "ID", "Name")
+	d := NewInstance(F("Student", i(21), s("Ann")), F("Student", i(45), s("Paul")))
+	r, _ := sc.Relation("Student")
+	out := FormatTable(d, r)
+	if !strings.Contains(out, "ID") || !strings.Contains(out, "Ann") || !strings.Contains(out, "Paul") {
+		t.Errorf("FormatTable output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("FormatTable lines = %d, want 3", len(lines))
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	d := NewInstance(F("Q", s("b")), F("P", s("a")))
+	if got := d.String(); got != "{P(a), Q(b)}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// genTuple builds a tuple from quick-generated data.
+func genTuple(raw []uint8) Tuple {
+	tp := make(Tuple, 0, len(raw)%5)
+	for idx := 0; idx < len(raw) && idx < 4; idx++ {
+		switch raw[idx] % 3 {
+		case 0:
+			tp = append(tp, n())
+		case 1:
+			tp = append(tp, i(int64(raw[idx])))
+		default:
+			tp = append(tp, s(string(rune('a'+raw[idx]%26))))
+		}
+	}
+	return tp
+}
+
+func TestQuickDeltaInvariants(t *testing.T) {
+	// For random instance pairs: Diff(d,d)=∅, Removed ⊆ d, Added ⊆ e,
+	// and applying the delta to d yields e.
+	f := func(raws [][]uint8) bool {
+		d, e := NewInstance(), NewInstance()
+		for idx, raw := range raws {
+			fct := Fact{Pred: "P", Args: genTuple(raw)}
+			if idx%2 == 0 {
+				d.Insert(fct)
+			}
+			if idx%3 == 0 {
+				e.Insert(fct)
+			}
+		}
+		dl := Diff(d, e)
+		applied := d.Clone()
+		for _, r := range dl.Removed {
+			if !d.Has(r) || e.Has(r) {
+				return false
+			}
+			applied.Delete(r)
+		}
+		for _, a := range dl.Added {
+			if d.Has(a) || !e.Has(a) {
+				return false
+			}
+			applied.Insert(a)
+		}
+		return applied.Equal(e) && Diff(d, d).Size() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickProjectionMonotone(t *testing.T) {
+	// |D^A| <= |D| and every projected fact comes from some original fact.
+	f := func(raws [][]uint8) bool {
+		d := NewInstance()
+		for _, raw := range raws {
+			tp := genTuple(raw)
+			if len(tp) >= 2 {
+				d.Insert(Fact{Pred: "P", Args: tp[:2]})
+			}
+		}
+		proj := d.Project(map[string][]int{"P": {0}})
+		if proj.Len() > d.Len() {
+			return false
+		}
+		for _, pf := range proj.Facts() {
+			found := false
+			for _, of := range d.Facts() {
+				if of.Args[0].Eq(pf.Args[0]) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package repair
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/relational"
+	"repro/internal/term"
+)
+
+func TestDisjunctiveUICRepairChoices(t *testing.T) {
+	// P(x) → R(x) ∨ S(x): three ways to fix each violation.
+	uic := &constraint.IC{
+		Name: "u",
+		Body: []term.Atom{atom("P", v("x"))},
+		Head: []term.Atom{atom("R", v("x")), atom("S", v("x"))},
+	}
+	set := constraint.MustSet([]*constraint.IC{uic}, nil)
+	d := inst(fact("P", s("a")))
+	res := mustRepairs(t, d, set, Options{})
+	want := []*relational.Instance{
+		inst(),
+		inst(fact("P", s("a")), fact("R", s("a"))),
+		inst(fact("P", s("a")), fact("S", s("a"))),
+	}
+	wantRepairSet(t, res.Repairs, want)
+}
+
+func TestRICWithConstantHead(t *testing.T) {
+	// P(x) → ∃z Q(x, active, z): the null-padded insertion keeps the
+	// constant.
+	ric := &constraint.IC{
+		Name: "c",
+		Body: []term.Atom{atom("P", v("x"))},
+		Head: []term.Atom{atom("Q", v("x"), term.CStr("active"), v("z"))},
+	}
+	set := constraint.MustSet([]*constraint.IC{ric}, nil)
+	d := inst(fact("P", s("a")))
+	res := mustRepairs(t, d, set, Options{})
+	withInsert := inst(fact("P", s("a")), fact("Q", s("a"), s("active"), n()))
+	wantRepairSet(t, res.Repairs, []*relational.Instance{inst(), withInsert})
+}
+
+func TestRepeatedExistentialInsertion(t *testing.T) {
+	// P(x) → ∃z Q(x,z,z): a single insertion Q(a,null,null) suffices
+	// because null = null under the ordinary-constant treatment.
+	ric := &constraint.IC{
+		Name: "rep",
+		Body: []term.Atom{atom("P", v("x"))},
+		Head: []term.Atom{atom("Q", v("x"), v("z"), v("z"))},
+	}
+	set := constraint.MustSet([]*constraint.IC{ric}, nil)
+	d := inst(fact("P", s("a")))
+	res := mustRepairs(t, d, set, Options{})
+	withInsert := inst(fact("P", s("a")), fact("Q", s("a"), n(), n()))
+	wantRepairSet(t, res.Repairs, []*relational.Instance{inst(), withInsert})
+}
+
+func TestEmptyDatabaseRepairsToItself(t *testing.T) {
+	set := constraint.MustSet([]*constraint.IC{{
+		Name: "r",
+		Body: []term.Atom{atom("P", v("x"))},
+		Head: []term.Atom{atom("Q", v("x"))},
+	}}, nil)
+	res := mustRepairs(t, inst(), set, Options{})
+	if len(res.Repairs) != 1 || res.Repairs[0].Len() != 0 {
+		t.Errorf("repairs = %v", res.Repairs)
+	}
+	if res.StatesExplored != 1 {
+		t.Errorf("states = %d, want 1", res.StatesExplored)
+	}
+}
+
+func TestInterleavedNNCAndRIC(t *testing.T) {
+	// An insertion into Q triggered by a RIC can itself violate an FD
+	// on Q's shared position; the search must chain the fixes.
+	ric := &constraint.IC{
+		Name: "ric",
+		Body: []term.Atom{atom("P", v("x"))},
+		Head: []term.Atom{atom("Q", v("x"), v("z"))},
+	}
+	// Key on Q[1]: at most one row per key.
+	fd := constraint.FD("Q", 2, []int{0}, []int{1})
+	set := constraint.MustSet(append([]*constraint.IC{ric}, fd...), nil)
+	// Q(a,b) exists, so the RIC is satisfied and nothing fires.
+	d := inst(fact("P", s("a")), fact("Q", s("a"), s("b")))
+	res := mustRepairs(t, d, set, Options{})
+	if len(res.Repairs) != 1 || res.Repairs[0].Key() != d.Key() {
+		t.Fatalf("consistent instance must be its own repair: %v", res.Repairs)
+	}
+	// Remove the witness: inserting Q(a,null) does NOT violate the FD
+	// (null in a relevant ϕ-position exempts), so two repairs again.
+	d2 := inst(fact("P", s("a")))
+	res2 := mustRepairs(t, d2, set, Options{})
+	withInsert := inst(fact("P", s("a")), fact("Q", s("a"), n()))
+	wantRepairSet(t, res2.Repairs, []*relational.Instance{inst(), withInsert})
+}
+
+func TestClassicModeNeverUsesNull(t *testing.T) {
+	ric := &constraint.IC{
+		Name: "r",
+		Body: []term.Atom{atom("P", v("x"))},
+		Head: []term.Atom{atom("Q", v("x"), v("z"))},
+	}
+	set := constraint.MustSet([]*constraint.IC{ric}, nil)
+	d := inst(fact("P", s("a")), fact("P", n()))
+	res, err := Repairs(d, set, Options{Mode: Classic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic insertions draw existential values from the active domain
+	// only; a null may still appear in the shared position, copied from
+	// the antecedent tuple P(null) (null is an ordinary constant
+	// classically).
+	for _, r := range res.Repairs {
+		for _, f := range relational.Diff(d, r).Added {
+			if f.Args[1].IsNull() {
+				t.Errorf("classic repair used null for an existential position: %v in %v", f, r)
+			}
+		}
+	}
+	if len(res.Repairs) == 0 {
+		t.Fatal("classic mode found no repairs")
+	}
+}
+
+func TestRepairsDNonConflictingDelegates(t *testing.T) {
+	d, set := example18()
+	viaD, err := RepairsD(d, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := mustRepairs(t, d, set, Options{})
+	if len(viaD.Repairs) != len(direct.Repairs) {
+		t.Errorf("RepairsD disagrees with Repairs on a non-conflicting set: %d vs %d",
+			len(viaD.Repairs), len(direct.Repairs))
+	}
+}

@@ -1,0 +1,165 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/value"
+)
+
+// randomSmallInstance draws an instance over P/1 and Q/2 with constants
+// {a, b, null}.
+func randomSmallInstance(rng *rand.Rand) *relational.Instance {
+	vals := []value.V{value.Str("a"), value.Str("b"), value.Null()}
+	d := relational.NewInstance()
+	for _, x := range vals {
+		if rng.Intn(2) == 0 {
+			d.Insert(relational.F("P", x))
+		}
+		for _, y := range vals {
+			if rng.Intn(4) == 0 {
+				d.Insert(relational.F("Q", x, y))
+			}
+		}
+	}
+	return d
+}
+
+func TestLeqDReflexiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		d := randomSmallInstance(rng)
+		d1 := randomSmallInstance(rng)
+		if !LeqD(d, d1, d1) {
+			t.Fatalf("trial %d: ≤_D not reflexive for D=%v, D1=%v", trial, d, d1)
+		}
+	}
+}
+
+func TestLeqDTransitiveOnRandomTriples(t *testing.T) {
+	// ≤_D as implemented should be transitive on the instances the
+	// repair machinery compares; this property test guards the
+	// minimality filter's correctness.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		d := randomSmallInstance(rng)
+		d1 := randomSmallInstance(rng)
+		d2 := randomSmallInstance(rng)
+		d3 := randomSmallInstance(rng)
+		if LeqD(d, d1, d2) && LeqD(d, d2, d3) && !LeqD(d, d1, d3) {
+			t.Fatalf("trial %d: transitivity violated:\nD=%v\nD1=%v\nD2=%v\nD3=%v",
+				trial, d, d1, d2, d3)
+		}
+	}
+}
+
+func TestLeqDNeverComparesAcrossPredicates(t *testing.T) {
+	d := inst()
+	d1 := inst(fact("P", n()))
+	d2 := inst(fact("Q", s("a"), s("a")))
+	if LeqD(d, d1, d2) || LeqD(d, d2, d1) {
+		t.Error("insertions of different predicates must not match")
+	}
+}
+
+func TestLeqDArityMismatch(t *testing.T) {
+	d := inst()
+	d1 := d.Clone()
+	d1.Insert(relational.Fact{Pred: "Q", Args: relational.Tuple{n()}})
+	d2 := d.Clone()
+	d2.Insert(fact("Q", s("a"), s("b")))
+	if LeqD(d, d1, d2) {
+		t.Error("a null insertion must not match an insertion of different arity")
+	}
+}
+
+func TestMinimalUnderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		d := randomSmallInstance(rng)
+		var candidates []*relational.Instance
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			candidates = append(candidates, randomSmallInstance(rng))
+		}
+		minimal := MinimalUnder(d, candidates, LeqD)
+		if len(minimal) == 0 {
+			t.Fatalf("trial %d: minimal set empty for %d candidates", trial, len(candidates))
+		}
+		kept := map[string]bool{}
+		for _, m := range minimal {
+			kept[m.Key()] = true
+		}
+		// Every excluded candidate is strictly dominated by some
+		// candidate; every kept candidate is dominated by none.
+		for _, c := range candidates {
+			dominated := false
+			for _, o := range candidates {
+				if o.Key() != c.Key() && LessD(d, o, c) {
+					dominated = true
+					break
+				}
+			}
+			if kept[c.Key()] && dominated {
+				t.Fatalf("trial %d: kept candidate %v is dominated", trial, c)
+			}
+			if !kept[c.Key()] && !dominated {
+				t.Fatalf("trial %d: excluded candidate %v is not dominated", trial, c)
+			}
+		}
+	}
+}
+
+func TestSubsetDeltaMatchesSetInclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		d := randomSmallInstance(rng)
+		d1 := randomSmallInstance(rng)
+		d2 := randomSmallInstance(rng)
+		got := SubsetDelta(d, d1, d2)
+		// Independent reimplementation via maps.
+		set2 := map[string]bool{}
+		for _, f := range relational.Diff(d, d2).Facts() {
+			set2[f.Key()] = true
+		}
+		want := true
+		for _, f := range relational.Diff(d, d1).Facts() {
+			if !set2[f.Key()] {
+				want = false
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: SubsetDelta = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestLeqDLiteralDocumentedDifferences(t *testing.T) {
+	// The two readings agree on null-free instances.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		d := inst()
+		d1 := inst()
+		d2 := inst()
+		vals := []value.V{value.Str("a"), value.Str("b")}
+		for _, x := range vals {
+			for _, y := range vals {
+				f := fact("Q", x, y)
+				if rng.Intn(2) == 0 {
+					d.Insert(f)
+				}
+				if rng.Intn(2) == 0 {
+					d1.Insert(f)
+				}
+				if rng.Intn(2) == 0 {
+					d2.Insert(f)
+				}
+			}
+		}
+		if LeqD(d, d1, d2) != LeqDLiteral(d, d1, d2) {
+			t.Fatalf("trial %d: readings disagree on a null-free instance:\nD=%v\nD1=%v\nD2=%v",
+				trial, d, d1, d2)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/nullsem"
+	"repro/internal/relational"
+	"repro/internal/term"
+	"repro/internal/value"
+)
+
+// Mode selects a repair semantics.
+type Mode uint8
+
+const (
+	// NullBased is the paper's semantics (Definition 7): referential
+	// violations may be fixed by inserting tuples padded with null in the
+	// existential positions, and minimality is ≤_D.
+	NullBased Mode = iota
+	// Classic is the Arenas–Bertossi–Chomicki semantics (the paper's
+	// [2]): existential positions range over the active domain and the
+	// constraint constants (never null), minimality is ⊆ of the symmetric
+	// difference, and IC satisfaction is classical.
+	Classic
+)
+
+func (m Mode) String() string {
+	if m == Classic {
+		return "classic"
+	}
+	return "null-based"
+}
+
+// Options configures repair enumeration.
+type Options struct {
+	// Mode selects the repair semantics. Default NullBased.
+	Mode Mode
+	// MaxStates bounds the number of distinct search states explored
+	// before giving up (0 means DefaultMaxStates). Exceeding it returns
+	// ErrStateLimit.
+	MaxStates int
+}
+
+// DefaultMaxStates bounds the search space when Options.MaxStates is 0.
+const DefaultMaxStates = 1 << 20
+
+// ErrStateLimit is returned when the search exceeds Options.MaxStates.
+var ErrStateLimit = fmt.Errorf("repair: state limit exceeded")
+
+// Result is the outcome of a repair enumeration.
+type Result struct {
+	// Repairs are the minimal consistent instances, deterministically
+	// ordered by instance key.
+	Repairs []*relational.Instance
+	// Deltas are the symmetric differences Δ(D, repair), aligned with
+	// Repairs.
+	Deltas []relational.Delta
+	// StatesExplored counts distinct instances visited by the search.
+	StatesExplored int
+	// Leaves counts distinct consistent instances reached before the
+	// minimality filter.
+	Leaves int
+}
+
+// Repairs computes Rep(D, IC) under the selected mode. For NullBased it
+// requires a non-conflicting set (Section 4's standing assumption); use
+// RepairsD for conflicting sets.
+func Repairs(d *relational.Instance, set *constraint.Set, opts Options) (Result, error) {
+	if opts.Mode == NullBased && !set.NonConflicting() {
+		return Result{}, fmt.Errorf("repair: conflicting IC set (%v); use RepairsD", set.Conflicts()[0])
+	}
+	return run(d, set, opts, nil)
+}
+
+// RepairsD computes the deletion-preferring class Rep_d(D, IC) defined at
+// the end of Section 4 for sets with conflicting NNCs: the repairs of D wrt
+// IC (with existential positions blocked by NNCs ranging over the active
+// domain, per Example 20) that are not strictly dominated by a repair of
+// the set IC′ obtained by dropping the conflicting NNCs. For
+// non-conflicting sets it coincides with Repairs.
+func RepairsD(d *relational.Instance, set *constraint.Set, opts Options) (Result, error) {
+	conflicts := set.Conflicts()
+	if len(conflicts) == 0 {
+		return Repairs(d, set, opts)
+	}
+	conflicted := map[string]bool{}
+	for _, c := range conflicts {
+		conflicted[c.IC.Name] = true
+	}
+	full, err := run(d, set, opts, conflicted)
+	if err != nil {
+		return Result{}, err
+	}
+	prime, err := Repairs(d, dropConflictingNNCs(set), opts)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	res.StatesExplored = full.StatesExplored + prime.StatesExplored
+	res.Leaves = full.Leaves
+	for _, cand := range full.Repairs {
+		dominated := false
+		for _, dp := range prime.Repairs {
+			if LessD(d, dp, cand) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			res.Repairs = append(res.Repairs, cand)
+			res.Deltas = append(res.Deltas, relational.Diff(d, cand))
+		}
+	}
+	return res, nil
+}
+
+func dropConflictingNNCs(set *constraint.Set) *constraint.Set {
+	bad := map[*constraint.NNC]bool{}
+	for _, c := range set.Conflicts() {
+		bad[c.NNC] = true
+	}
+	var keep []*constraint.NNC
+	for _, n := range set.NNCs {
+		if !bad[n] {
+			keep = append(keep, n)
+		}
+	}
+	return constraint.MustSet(set.ICs, keep)
+}
+
+// run performs the violation-driven search. adomICs, when non-nil, names
+// the ICs whose existential positions must range over the active domain in
+// addition to null (used by RepairsD for conflicting RICs).
+func run(d *relational.Instance, set *constraint.Set, opts Options, adomICs map[string]bool) (Result, error) {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	sem := nullsem.NullAware
+	insertDomain := []value.V{value.Null()}
+	if opts.Mode == Classic {
+		sem = nullsem.ClassicFO
+		insertDomain = nil
+	}
+	if opts.Mode == Classic || adomICs != nil {
+		for _, v := range d.ActiveDomain() {
+			insertDomain = append(insertDomain, v)
+		}
+		for _, t := range set.Constants() {
+			insertDomain = append(insertDomain, t.Const)
+		}
+		insertDomain = dedupValues(insertDomain)
+	}
+
+	visited := map[string]bool{}
+	leaves := map[string]*relational.Instance{}
+	var res Result
+
+	var rec func(cur *relational.Instance) error
+	rec = func(cur *relational.Instance) error {
+		key := cur.Key()
+		if visited[key] {
+			return nil
+		}
+		if len(visited) >= maxStates {
+			return ErrStateLimit
+		}
+		visited[key] = true
+
+		viol, nncViol, ok := firstViolation(cur, set, sem)
+		if !ok {
+			leaves[key] = cur
+			return nil
+		}
+		for _, next := range fixes(cur, set, viol, nncViol, opts.Mode, insertDomain, adomICs) {
+			if err := rec(next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(d); err != nil {
+		return Result{}, err
+	}
+	res.StatesExplored = len(visited)
+	res.Leaves = len(leaves)
+
+	keys := make([]string, 0, len(leaves))
+	for k := range leaves {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	candidates := make([]*relational.Instance, 0, len(keys))
+	for _, k := range keys {
+		candidates = append(candidates, leaves[k])
+	}
+	ord := Ordering(LeqD)
+	if opts.Mode == Classic {
+		ord = SubsetDelta
+	}
+	res.Repairs = MinimalUnder(d, candidates, ord)
+	res.Deltas = make([]relational.Delta, len(res.Repairs))
+	for i, r := range res.Repairs {
+		res.Deltas[i] = relational.Diff(d, r)
+	}
+	return res, nil
+}
+
+// firstViolation returns a deterministic first violation of the set, if
+// any: either an IC violation or an NNC violation.
+func firstViolation(d *relational.Instance, set *constraint.Set, sem nullsem.Semantics) (*nullsem.Violation, *nullsem.NNCViolation, bool) {
+	for _, ic := range set.ICs {
+		vs := nullsem.CheckIC(d, ic, sem)
+		if len(vs) > 0 {
+			return &vs[0], nil, true
+		}
+	}
+	for _, n := range set.NNCs {
+		fs := nullsem.CheckNNC(d, n)
+		if len(fs) > 0 {
+			return nil, &nullsem.NNCViolation{NNC: n, Fact: fs[0]}, true
+		}
+	}
+	return nil, nil, false
+}
+
+// fixes returns the paper-sanctioned successor instances for one violation:
+// delete one antecedent support atom, or insert one instantiated consequent
+// atom (existential positions drawn from insertDomain — {null} in the
+// paper's semantics).
+func fixes(cur *relational.Instance, set *constraint.Set, viol *nullsem.Violation, nncViol *nullsem.NNCViolation, mode Mode, insertDomain []value.V, adomICs map[string]bool) []*relational.Instance {
+	var out []*relational.Instance
+	if nncViol != nil {
+		next := cur.Clone()
+		next.Delete(nncViol.Fact)
+		return []*relational.Instance{next}
+	}
+
+	seen := map[string]bool{}
+	for _, f := range viol.Support {
+		if seen[f.Key()] {
+			continue
+		}
+		seen[f.Key()] = true
+		next := cur.Clone()
+		next.Delete(f)
+		out = append(out, next)
+	}
+
+	domain := insertDomain
+	if mode == NullBased && adomICs != nil && !adomICs[viol.IC.Name] {
+		// Rep_d search: only conflicted ICs use the extended domain.
+		domain = []value.V{value.Null()}
+	}
+	for _, head := range viol.IC.Head {
+		for _, f := range instantiations(head, viol.Subst, domain) {
+			next := cur.Clone()
+			next.Insert(f)
+			out = append(out, next)
+		}
+	}
+	_ = set
+	return out
+}
+
+// instantiations grounds a head atom under the antecedent substitution,
+// with each distinct existential variable ranging over domain.
+func instantiations(head term.Atom, subst term.Subst, domain []value.V) []relational.Fact {
+	var existVars []string
+	seen := map[string]bool{}
+	for _, t := range head.Args {
+		if t.IsVar() {
+			if _, bound := subst[t.Var]; !bound && !seen[t.Var] {
+				seen[t.Var] = true
+				existVars = append(existVars, t.Var)
+			}
+		}
+	}
+	assign := make(map[string]value.V, len(existVars))
+	var out []relational.Fact
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(existVars) {
+			args := make(relational.Tuple, len(head.Args))
+			for j, t := range head.Args {
+				switch {
+				case !t.IsVar():
+					args[j] = t.Const
+				default:
+					if v, ok := subst[t.Var]; ok {
+						args[j] = v
+					} else {
+						args[j] = assign[t.Var]
+					}
+				}
+			}
+			out = append(out, relational.Fact{Pred: head.Pred, Args: args})
+			return
+		}
+		for _, v := range domain {
+			assign[existVars[i]] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+func dedupValues(vs []value.V) []value.V {
+	seen := map[string]bool{}
+	out := vs[:0]
+	for _, v := range vs {
+		if !seen[v.Key()] {
+			seen[v.Key()] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsRepair reports whether cand belongs to Rep(D, IC) under the options, by
+// membership in the enumerated repair set (the search is complete over the
+// finite Proposition 1 domain).
+func IsRepair(d *relational.Instance, set *constraint.Set, cand *relational.Instance, opts Options) (bool, error) {
+	res, err := Repairs(d, set, opts)
+	if err != nil {
+		return false, err
+	}
+	key := cand.Key()
+	for _, r := range res.Repairs {
+		if r.Key() == key {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,79 @@
+package repairprog
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/term"
+)
+
+// This file implements the query side of Section 5: consistent query
+// answering as cautious reasoning over the stable models of the repair
+// program extended with query rules. A query atom P(t̄) is evaluated in a
+// repair D_M through the t**-annotated version of P; predicates the repair
+// program does not annotate (possible with pruning, see prune.go) are read
+// from their base facts, which every stable model preserves.
+
+// AnswerPred is the reserved head predicate of generated query rules.
+const AnswerPred = "q_ans"
+
+// QueryRules translates a safe query into logic rules over the program's
+// annotated predicates, with head predicate AnswerPred.
+func (tr *Translation) QueryRules(q *query.Q) ([]logic.Rule, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	head := term.Atom{Pred: AnswerPred}
+	for _, v := range q.Head {
+		head.Args = append(head.Args, term.V(v))
+	}
+	var rules []logic.Rule
+	for _, disj := range q.Disjuncts {
+		r := logic.Rule{Head: []term.Atom{head}}
+		for _, lit := range disj.Lits {
+			atom := tr.repairedAtom(lit.Atom)
+			if lit.Neg {
+				r.Neg = append(r.Neg, atom)
+			} else {
+				r.Pos = append(r.Pos, atom)
+			}
+		}
+		r.Builtins = append(r.Builtins, disj.Builtins...)
+		if !r.Safe() {
+			return nil, fmt.Errorf("repairprog: query disjunct %s grounds to an unsafe rule", disj)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// repairedAtom maps a query atom onto the repaired database: the
+// t**-annotated predicate when the program annotates it, the base predicate
+// otherwise.
+func (tr *Translation) repairedAtom(a term.Atom) term.Atom {
+	if _, ok := tr.annToBase[a.Pred+AnnSuffix]; ok && tr.annotates(a.Pred) {
+		return annAtom(a, TSS)
+	}
+	return a.Clone()
+}
+
+// annotates reports whether the program carries rules 5–7 for the
+// predicate.
+func (tr *Translation) annotates(pred string) bool {
+	return tr.annotated == nil || tr.annotated[pred]
+}
+
+// WithQuery returns a copy of the repair program extended with the query
+// rules for q.
+func (tr *Translation) WithQuery(q *query.Q) (*logic.Program, error) {
+	rules, err := tr.QueryRules(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &logic.Program{
+		Facts: append([]term.Atom(nil), tr.Program.Facts...),
+		Rules: append(append([]logic.Rule(nil), tr.Program.Rules...), rules...),
+	}
+	return p, nil
+}

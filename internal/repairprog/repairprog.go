@@ -1,0 +1,463 @@
+// Package repairprog builds the repair logic programs of Definition 9: for
+// a database D and a set IC of universal constraints, referential
+// constraints and NOT NULL-constraints, a disjunctive program Π(D, IC)
+// whose stable models correspond to the repairs of D for RIC-acyclic IC
+// (Theorem 4). It also implements the bilateral-predicate analysis of
+// Definition 11 and the sufficient head-cycle-freeness condition of
+// Theorem 5.
+//
+// Annotated predicates carry an extra final attribute holding one of the
+// annotation constants (the paper's ta, fa, t*, t**); their names get an
+// "_a" suffix so annotated relations can never collide with base relations
+// regardless of the data values.
+//
+// # Known wrinkle of Definition 9 (documented deviation)
+//
+// The aux rules of Definition 9 require every existential attribute of a
+// witness tuple to be non-null. That keeps inserted null-padded witnesses
+// from deriving aux and destroying their own justification, but it also
+// means an original fact with a null in an existential position — which
+// satisfies the constraint under Definition 4 — cannot witness it either,
+// and the program gains a spurious stable model that instead deletes the
+// referencing tuple. VariantPaper reproduces the definition verbatim
+// (matching Examples 21–23); VariantCorrected adds, per RIC, the rule
+//
+//	aux(x̄′) ← Q(x̄′, ȳ), not Q_a(x̄′, ȳ, fa), x̄′ ≠ null
+//
+// which lets original facts (any null pattern in ȳ) act as witnesses while
+// inserted atoms remain governed by the paper's rules. With the corrected
+// variant the Theorem 4 correspondence holds on all our test instances,
+// including the discriminating ones.
+package repairprog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/ground"
+	"repro/internal/logic"
+	"repro/internal/relational"
+	"repro/internal/stable"
+	"repro/internal/term"
+	"repro/internal/value"
+)
+
+// Annotation constants (the paper's ta, fa, t*, t**).
+var (
+	TA  = value.Str("ta")
+	FA  = value.Str("fa")
+	TS  = value.Str("ts")
+	TSS = value.Str("tss")
+)
+
+// AnnSuffix distinguishes annotated predicate names from base relations.
+const AnnSuffix = "_a"
+
+// Variant selects the aux-rule treatment.
+type Variant uint8
+
+const (
+	// VariantPaper is Definition 9 verbatim.
+	VariantPaper Variant = iota
+	// VariantCorrected adds the fact-based aux rule (see package doc).
+	VariantCorrected
+)
+
+func (v Variant) String() string {
+	if v == VariantCorrected {
+		return "corrected"
+	}
+	return "paper"
+}
+
+// Translation is a generated repair program with the metadata needed to
+// read repairs back from its stable models.
+type Translation struct {
+	Program *logic.Program
+	Set     *constraint.Set
+	Variant Variant
+	// annToBase maps annotated predicate names to their base predicate.
+	annToBase map[string]string
+	// annotated records the base predicates carrying rules 5–7; nil
+	// means "all of them" (no pruning).
+	annotated map[string]bool
+	// passthrough records the predicates whose base facts are copied
+	// verbatim into every repair (pruned unconstrained predicates).
+	passthrough map[string]bool
+}
+
+// BuildOptions configures program generation.
+type BuildOptions struct {
+	Variant Variant
+	// PruneUnconstrained drops the annotation rules 5–7 for predicates
+	// that occur in no constraint: such relations are untouched by every
+	// repair, so their facts can be copied into D_M directly. This is
+	// the spirit of the repair-program optimizations of Caniupán &
+	// Bertossi (SCCC 2005, the paper's [12]): smaller programs, smaller
+	// groundings, same stable-model repairs.
+	PruneUnconstrained bool
+}
+
+// annAtom returns the annotated version of atom a with the given
+// annotation constant.
+func annAtom(a term.Atom, ann value.V) term.Atom {
+	args := make([]term.T, 0, len(a.Args)+1)
+	args = append(args, a.Args...)
+	args = append(args, term.C(ann))
+	return term.Atom{Pred: a.Pred + AnnSuffix, Args: args}
+}
+
+// freshVars returns the variable terms prefix1..prefixN.
+func freshVars(prefix string, n int) []term.T {
+	out := make([]term.T, n)
+	for i := range out {
+		out[i] = term.V(fmt.Sprintf("%s%d", prefix, i+1))
+	}
+	return out
+}
+
+// Build translates (D, IC) into the repair program Π(D, IC). It returns an
+// error if the set contains constraints outside Definition 9's scope
+// (general existential constraints with multiple body or head atoms) or if
+// the set is conflicting.
+func Build(d *relational.Instance, set *constraint.Set, variant Variant) (*Translation, error) {
+	return BuildWith(d, set, BuildOptions{Variant: variant})
+}
+
+// BuildWith is Build with explicit options.
+func BuildWith(d *relational.Instance, set *constraint.Set, opts BuildOptions) (*Translation, error) {
+	variant := opts.Variant
+	if !set.NonConflicting() {
+		return nil, fmt.Errorf("repairprog: conflicting IC set: %v", set.Conflicts()[0])
+	}
+	tr := &Translation{
+		Program:   &logic.Program{},
+		Set:       set,
+		Variant:   variant,
+		annToBase: map[string]string{},
+	}
+	if opts.PruneUnconstrained {
+		tr.annotated = map[string]bool{}
+		tr.passthrough = map[string]bool{}
+		for _, sig := range set.Preds() {
+			tr.annotated[sig.Name] = true
+		}
+		for _, f := range d.Facts() {
+			if !tr.annotated[f.Pred] {
+				tr.passthrough[f.Pred] = true
+			}
+		}
+	}
+
+	// Rule 1: facts.
+	tr.Program.AddInstance(d)
+
+	for _, ic := range set.ICs {
+		switch ic.Classify() {
+		case constraint.ClassUIC:
+			tr.addUIC(ic)
+		case constraint.ClassRIC:
+			tr.addRIC(ic)
+		default:
+			return nil, fmt.Errorf("repairprog: constraint %s is outside Definition 9's class (general existential constraint)", ic.Name)
+		}
+	}
+
+	// Rule 4: NNCs.
+	for _, n := range set.NNCs {
+		vars := freshVars("x", n.Arity)
+		base := term.Atom{Pred: n.Pred, Args: vars}
+		tr.notePred(n.Pred)
+		tr.Program.Rules = append(tr.Program.Rules, logic.Rule{
+			Head:     []term.Atom{annAtom(base, FA)},
+			Pos:      []term.Atom{annAtom(base, TS)},
+			Builtins: []term.Builtin{{Op: term.EQ, L: vars[n.Pos], R: term.CNull()}},
+		})
+	}
+
+	// Rules 5–7 for every predicate of the constraints and the instance
+	// (constrained predicates only when pruning).
+	for _, sig := range tr.allPreds(d) {
+		if tr.annotated != nil && !tr.annotated[sig.Name] {
+			continue
+		}
+		vars := freshVars("x", sig.Arity)
+		base := term.Atom{Pred: sig.Name, Args: vars}
+		tr.notePred(sig.Name)
+		tr.Program.Rules = append(tr.Program.Rules,
+			// Rule 5: t* holds for facts and for advised insertions.
+			logic.Rule{Head: []term.Atom{annAtom(base, TS)}, Pos: []term.Atom{base}},
+			logic.Rule{Head: []term.Atom{annAtom(base, TS)}, Pos: []term.Atom{annAtom(base, TA)}},
+			// Rule 6: t** holds for what is (or becomes) true and is
+			// not advised false.
+			logic.Rule{
+				Head: []term.Atom{annAtom(base, TSS)},
+				Pos:  []term.Atom{annAtom(base, TS)},
+				Neg:  []term.Atom{annAtom(base, FA)},
+			},
+			// Rule 7: the program denial.
+			logic.Rule{Pos: []term.Atom{annAtom(base, TA), annAtom(base, FA)}},
+		)
+	}
+	if err := tr.Program.Validate(); err != nil {
+		return nil, fmt.Errorf("repairprog: generated an invalid program: %v", err)
+	}
+	return tr, nil
+}
+
+func (tr *Translation) notePred(name string) {
+	tr.annToBase[name+AnnSuffix] = name
+}
+
+// allPreds collects predicate signatures from the constraint set and the
+// instance (repairs leave unconstrained relations untouched, but rule 6
+// must still annotate their atoms with t**).
+func (tr *Translation) allPreds(d *relational.Instance) []constraint.PredSig {
+	seen := map[constraint.PredSig]bool{}
+	var out []constraint.PredSig
+	add := func(sig constraint.PredSig) {
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, sig)
+		}
+	}
+	for _, sig := range tr.Set.Preds() {
+		add(sig)
+	}
+	for _, f := range d.Facts() {
+		add(constraint.PredSig{Name: f.Pred, Arity: len(f.Args)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}
+
+// addUIC emits the rules 2 of Definition 9: one rule per split of the
+// consequent atoms into Q′ (advised false) and Q″ (not originally true).
+func (tr *Translation) addUIC(ic *constraint.IC) {
+	relevantVars := ic.RelevantBodyVars()
+	n := len(ic.Head)
+	for mask := 0; mask < 1<<n; mask++ {
+		var r logic.Rule
+		for _, b := range ic.Body {
+			tr.notePred(b.Pred)
+			r.Head = append(r.Head, annAtom(b, FA))
+			r.Pos = append(r.Pos, annAtom(b, TS))
+		}
+		for j, h := range ic.Head {
+			tr.notePred(h.Pred)
+			r.Head = append(r.Head, annAtom(h, TA))
+			if mask&(1<<j) != 0 {
+				r.Pos = append(r.Pos, annAtom(h, FA)) // Q′
+			} else {
+				r.Neg = append(r.Neg, h) // Q″: not originally true
+			}
+		}
+		for _, v := range relevantVars {
+			r.Builtins = append(r.Builtins, term.Builtin{Op: term.NEQ, L: term.V(v), R: term.CNull()})
+		}
+		for _, phi := range ic.Phi {
+			r.Builtins = append(r.Builtins, phi.Negate()) // ϕ̄
+		}
+		tr.Program.Rules = append(tr.Program.Rules, r)
+	}
+}
+
+// addRIC emits the rules 3 of Definition 9 (plus the corrected aux rule
+// when selected).
+func (tr *Translation) addRIC(ic *constraint.IC) {
+	parts, ok := ic.RICParts()
+	if !ok {
+		panic("repairprog: addRIC on non-RIC")
+	}
+	body, head := parts.BodyAtom, parts.HeadAtom
+	tr.notePred(body.Pred)
+	tr.notePred(head.Pred)
+
+	// x̄′: the shared terms, in head-position order.
+	shared := make([]term.T, 0, len(parts.SharedPos))
+	var sharedVars []string
+	seenVar := map[string]bool{}
+	for _, p := range parts.SharedPos {
+		t := head.Args[p]
+		shared = append(shared, t)
+		if t.IsVar() && !seenVar[t.Var] {
+			seenVar[t.Var] = true
+			sharedVars = append(sharedVars, t.Var)
+		}
+	}
+	auxName := "aux_" + ic.Name
+	auxAtom := term.Atom{Pred: auxName, Args: shared}
+
+	// Null-padded insertion head: existential positions become null.
+	padded := head.Clone()
+	for _, p := range parts.ExistPos {
+		padded.Args[p] = term.CNull()
+	}
+
+	sharedGuards := make([]term.Builtin, 0, len(sharedVars))
+	for _, v := range sharedVars {
+		sharedGuards = append(sharedGuards, term.Builtin{Op: term.NEQ, L: term.V(v), R: term.CNull()})
+	}
+
+	// Main rule: P(x̄,fa) ∨ Q(x̄′,null,ta) ← P(x̄,t*), not aux(x̄′), x̄′ ≠ null.
+	tr.Program.Rules = append(tr.Program.Rules, logic.Rule{
+		Head:     []term.Atom{annAtom(body, FA), annAtom(padded, TA)},
+		Pos:      []term.Atom{annAtom(body, TS)},
+		Neg:      []term.Atom{auxAtom},
+		Builtins: sharedGuards,
+	})
+
+	// aux rules, one per distinct existential variable (Definition 9):
+	// aux(x̄′) ← Q(x̄′,ȳ,t*), not Q(x̄′,ȳ,fa), x̄′ ≠ null, yi ≠ null.
+	var existVars []string
+	seenExist := map[string]bool{}
+	for _, p := range parts.ExistPos {
+		v := head.Args[p].Var
+		if !seenExist[v] {
+			seenExist[v] = true
+			existVars = append(existVars, v)
+		}
+	}
+	for _, y := range existVars {
+		builtins := append(append([]term.Builtin{}, sharedGuards...),
+			term.Builtin{Op: term.NEQ, L: term.V(y), R: term.CNull()})
+		tr.Program.Rules = append(tr.Program.Rules, logic.Rule{
+			Head:     []term.Atom{auxAtom},
+			Pos:      []term.Atom{annAtom(head, TS)},
+			Neg:      []term.Atom{annAtom(head, FA)},
+			Builtins: builtins,
+		})
+	}
+
+	if tr.Variant == VariantCorrected {
+		// aux(x̄′) ← Q(x̄′,ȳ), not Q(x̄′,ȳ,fa), x̄′ ≠ null: original
+		// facts witness regardless of nulls in existential positions.
+		tr.Program.Rules = append(tr.Program.Rules, logic.Rule{
+			Head:     []term.Atom{auxAtom},
+			Pos:      []term.Atom{head},
+			Neg:      []term.Atom{annAtom(head, FA)},
+			Builtins: sharedGuards,
+		})
+	}
+}
+
+// Interpret extracts the database instance D_M of Definition 10 from a
+// stable model: the atoms annotated t**, plus the base facts of pruned
+// unconstrained predicates (which every repair preserves verbatim).
+func (tr *Translation) Interpret(gp *ground.Program, m stable.Model) *relational.Instance {
+	out := relational.NewInstance()
+	for _, id := range m {
+		f := gp.Atoms[id]
+		if tr.passthrough[f.Pred] {
+			out.Insert(f)
+			continue
+		}
+		base, ok := tr.annToBase[f.Pred]
+		if !ok || len(f.Args) == 0 {
+			continue
+		}
+		if !f.Args[len(f.Args)-1].Eq(TSS) {
+			continue
+		}
+		out.Insert(relational.Fact{Pred: base, Args: f.Args[:len(f.Args)-1]})
+	}
+	return out
+}
+
+// StableRepairs grounds the program, enumerates its stable models, and
+// returns the distinct database instances they induce, sorted by key, along
+// with the models themselves.
+func (tr *Translation) StableRepairs(opts stable.Options) ([]*relational.Instance, []stable.Model, error) {
+	gp, err := ground.Ground(tr.Program)
+	if err != nil {
+		return nil, nil, err
+	}
+	models, err := stable.Models(gp, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	seen := map[string]*relational.Instance{}
+	for _, m := range models {
+		inst := tr.Interpret(gp, m)
+		seen[inst.Key()] = inst
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*relational.Instance, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out, models, nil
+}
+
+// BilateralPreds returns the predicates that occur in the antecedent of
+// some constraint and in the consequent of some (possibly the same)
+// constraint — Definition 11.
+func BilateralPreds(set *constraint.Set) []string {
+	inBody := map[string]bool{}
+	inHead := map[string]bool{}
+	for _, ic := range set.ICs {
+		for _, a := range ic.Body {
+			inBody[a.Pred] = true
+		}
+		for _, a := range ic.Head {
+			inHead[a.Pred] = true
+		}
+	}
+	var out []string
+	for p := range inBody {
+		if inHead[p] {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GuaranteedHCF implements Theorem 5's sufficient condition: every
+// constraint has at most one occurrence of a bilateral predicate. The
+// condition is sufficient but not necessary (the paper's P(x,a) → P(x,b)
+// example fails the condition yet grounds to an HCF program).
+func GuaranteedHCF(set *constraint.Set) bool {
+	bilateral := map[string]bool{}
+	for _, p := range BilateralPreds(set) {
+		bilateral[p] = true
+	}
+	for _, ic := range set.ICs {
+		occurrences := 0
+		for _, a := range ic.Body {
+			if bilateral[a.Pred] {
+				occurrences++
+			}
+		}
+		for _, a := range ic.Head {
+			if bilateral[a.Pred] {
+				occurrences++
+			}
+		}
+		if occurrences > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints the program with a rule-group commentary matching
+// Definition 9's numbering, for cmd/repairgen and the examples.
+func (tr *Translation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% repair program Π(D, IC), variant=%s\n", tr.Variant)
+	fmt.Fprintf(&b, "%% annotations: ta=advised true, fa=advised false, ts=t*, tss=t**\n")
+	b.WriteString(tr.Program.String())
+	return b.String()
+}

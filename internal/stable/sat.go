@@ -1,0 +1,248 @@
+package stable
+
+// A compact DPLL SAT solver with two watched literals, used as the search
+// core for model enumeration, minimization, and the GL-reduct minimality
+// check. Literal encoding: variable v (0-based) contributes literals 2v
+// (positive) and 2v+1 (negative).
+
+// lit constructors.
+func pos(v int) int { return 2 * v }
+func neg(v int) int { return 2*v + 1 }
+
+func litVar(l int) int   { return l >> 1 }
+func litSign(l int) bool { return l&1 == 0 } // true = positive
+
+func negate(l int) int { return l ^ 1 }
+
+type solver struct {
+	nVars   int
+	clauses [][]int
+	watch   [][]int // literal -> clause indices watching it
+	assign  []int8  // -1 unassigned, 0 false, 1 true
+	trail   []int   // assigned literals in order
+	reasons []int   // trail marks per decision level
+}
+
+func newSolver(nVars int, clauses [][]int) *solver {
+	s := &solver{
+		nVars:   nVars,
+		watch:   make([][]int, 2*nVars),
+		assign:  make([]int8, nVars),
+		clauses: make([][]int, 0, len(clauses)),
+	}
+	for i := range s.assign {
+		s.assign[i] = -1
+	}
+	for _, c := range clauses {
+		s.addClause(c)
+	}
+	return s
+}
+
+// addClause registers a clause; empty clauses make the instance trivially
+// unsatisfiable (tracked via a sentinel).
+func (s *solver) addClause(c []int) {
+	cc := dedupLits(c)
+	if cc == nil {
+		return // tautology
+	}
+	s.clauses = append(s.clauses, cc)
+	idx := len(s.clauses) - 1
+	if len(cc) >= 1 {
+		s.watch[cc[0]] = append(s.watch[cc[0]], idx)
+	}
+	if len(cc) >= 2 {
+		s.watch[cc[1]] = append(s.watch[cc[1]], idx)
+	}
+}
+
+// dedupLits removes duplicate literals; returns nil for tautologies.
+func dedupLits(c []int) []int {
+	seen := map[int]bool{}
+	out := make([]int, 0, len(c))
+	for _, l := range c {
+		if seen[negate(l)] {
+			return nil
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// value of a literal under the current assignment: 1 true, 0 false, -1
+// unassigned.
+func (s *solver) litValue(l int) int8 {
+	v := s.assign[litVar(l)]
+	if v == -1 {
+		return -1
+	}
+	if litSign(l) {
+		return v
+	}
+	return 1 - v
+}
+
+// enqueue assigns a literal true; returns false on conflict.
+func (s *solver) enqueue(l int) bool {
+	switch s.litValue(l) {
+	case 1:
+		return true
+	case 0:
+		return false
+	}
+	if litSign(l) {
+		s.assign[litVar(l)] = 1
+	} else {
+		s.assign[litVar(l)] = 0
+	}
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation from the given trail position; returns
+// false on conflict.
+func (s *solver) propagate(from int) bool {
+	for qhead := from; qhead < len(s.trail); qhead++ {
+		l := s.trail[qhead]
+		falsified := negate(l)
+		ws := s.watch[falsified]
+		var kept []int
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			c := s.clauses[ci]
+			// Ensure the falsified literal is at position 1.
+			if len(c) >= 2 && c[0] == falsified {
+				c[0], c[1] = c[1], c[0]
+			}
+			if len(c) == 1 {
+				if s.litValue(c[0]) != 1 {
+					// unit clause falsified
+					kept = append(kept, ws[wi:]...)
+					s.watch[falsified] = kept
+					return false
+				}
+				kept = append(kept, ci)
+				continue
+			}
+			if s.litValue(c[0]) == 1 {
+				kept = append(kept, ci)
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c); k++ {
+				if s.litValue(c[k]) != 0 {
+					c[1], c[k] = c[k], c[1]
+					s.watch[c[1]] = append(s.watch[c[1]], ci)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit (or conflicting) on c[0].
+			kept = append(kept, ci)
+			if !s.enqueue(c[0]) {
+				kept = append(kept, ws[wi+1:]...)
+				s.watch[falsified] = kept
+				return false
+			}
+		}
+		s.watch[falsified] = kept
+	}
+	return true
+}
+
+// backtrackTo undoes assignments beyond the trail mark.
+func (s *solver) backtrackTo(mark int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		s.assign[litVar(s.trail[i])] = -1
+	}
+	s.trail = s.trail[:mark]
+}
+
+// initialUnits enqueues all unit clauses; returns false on conflict.
+func (s *solver) initialUnits() bool {
+	for _, c := range s.clauses {
+		if len(c) == 0 {
+			return false
+		}
+		if len(c) == 1 {
+			if !s.enqueue(c[0]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// solve searches for a satisfying assignment. preferFalse biases branching
+// toward false, which tends to find small models first. It returns the
+// model as a bitset of true variables.
+func (s *solver) solve(preferFalse bool) ([]bool, bool) {
+	if !s.initialUnits() || !s.propagate(0) {
+		return nil, false
+	}
+	type frame struct {
+		v         int
+		mark      int
+		triedBoth bool
+	}
+	var stack []frame
+	for {
+		// Pick an unassigned variable.
+		v := -1
+		for i := 0; i < s.nVars; i++ {
+			if s.assign[i] == -1 {
+				v = i
+				break
+			}
+		}
+		if v == -1 {
+			model := make([]bool, s.nVars)
+			for i := range model {
+				model[i] = s.assign[i] == 1
+			}
+			return model, true
+		}
+		mark := len(s.trail)
+		l := pos(v)
+		if preferFalse {
+			l = neg(v)
+		}
+		stack = append(stack, frame{v: v, mark: mark})
+		s.enqueue(l)
+		for !s.propagate(mark) {
+			// Conflict: flip the most recent decision not yet flipped.
+			for {
+				if len(stack) == 0 {
+					return nil, false
+				}
+				f := &stack[len(stack)-1]
+				s.backtrackTo(f.mark)
+				if f.triedBoth {
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				f.triedBoth = true
+				l := pos(f.v)
+				if !preferFalse {
+					l = neg(f.v)
+				}
+				mark = f.mark
+				s.enqueue(l)
+				break
+			}
+		}
+	}
+}
+
+// solveCNF is the package entry point: solve the clause set over nVars
+// variables.
+func solveCNF(nVars int, clauses [][]int, preferFalse bool) ([]bool, bool) {
+	return newSolver(nVars, clauses).solve(preferFalse)
+}

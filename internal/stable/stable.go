@@ -1,0 +1,256 @@
+// Package stable computes the stable models (answer sets) of ground
+// disjunctive logic programs — the semantics of Gelfond & Lifschitz (1991)
+// under which Definition 9's repair programs are interpreted (Section 5).
+//
+// The engine enumerates the minimal classical models of the program with a
+// DPLL SAT core and blocking clauses (every stable model of a disjunctive
+// program is a minimal model), and keeps exactly those that are minimal
+// models of their own Gelfond–Lifschitz reduct, checked with a second SAT
+// call. It also provides the head-cycle-freeness test and the shift
+// transformation sh(Π) of Section 6 (Ben-Eliyahu & Dechter).
+package stable
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ground"
+)
+
+// Options bounds the enumeration.
+type Options struct {
+	// MaxModels caps the number of stable models returned (0 = no cap).
+	MaxModels int
+	// MaxCandidates caps the number of minimal classical models examined
+	// (0 = DefaultMaxCandidates); exceeding it returns ErrCandidateLimit.
+	MaxCandidates int
+}
+
+// DefaultMaxCandidates bounds candidate enumeration when unset.
+const DefaultMaxCandidates = 1 << 18
+
+// ErrCandidateLimit reports that candidate enumeration was cut short.
+var ErrCandidateLimit = fmt.Errorf("stable: candidate model limit exceeded")
+
+// Model is a stable model: the sorted ids of its true atoms.
+type Model []int
+
+// Contains reports membership via binary search.
+func (m Model) Contains(atom int) bool {
+	i := sort.SearchInts(m, atom)
+	return i < len(m) && m[i] == atom
+}
+
+// clausify translates the ground program into CNF over its atom ids:
+// one clause per rule (¬body+ ∨ body- ∨ head), one unit per fact, and one
+// negative unit per atom that occurs in no head and is no fact (such atoms
+// can never be justified).
+func clausify(p *ground.Program) [][]int {
+	n := p.NumAtoms()
+	clauses := make([][]int, 0, len(p.Rules)+n)
+	inHead := make([]bool, n)
+	isFact := make([]bool, n)
+	for _, f := range p.Facts {
+		isFact[f] = true
+		clauses = append(clauses, []int{pos(f)})
+	}
+	for _, r := range p.Rules {
+		c := make([]int, 0, len(r.Head)+len(r.Pos)+len(r.Neg))
+		for _, h := range r.Head {
+			c = append(c, pos(h))
+			inHead[h] = true
+		}
+		for _, b := range r.Pos {
+			c = append(c, neg(b))
+		}
+		for _, b := range r.Neg {
+			c = append(c, pos(b))
+		}
+		clauses = append(clauses, c)
+	}
+	for a := 0; a < n; a++ {
+		if !inHead[a] && !isFact[a] {
+			clauses = append(clauses, []int{neg(a)})
+		}
+	}
+	return clauses
+}
+
+func modelFromBits(bits []bool) Model {
+	var m Model
+	for i, b := range bits {
+		if b {
+			m = append(m, i)
+		}
+	}
+	return m
+}
+
+// minimize descends from a classical model to a minimal classical model of
+// the clause set (w.r.t. set inclusion of true atoms).
+func minimize(nAtoms int, clauses [][]int, m Model) Model {
+	for {
+		// Ask for a model strictly below m: all atoms outside m stay
+		// false, and at least one atom of m becomes false.
+		extra := make([][]int, 0, nAtoms-len(m)+1)
+		inM := make([]bool, nAtoms)
+		for _, a := range m {
+			inM[a] = true
+		}
+		for a := 0; a < nAtoms; a++ {
+			if !inM[a] {
+				extra = append(extra, []int{neg(a)})
+			}
+		}
+		smaller := make([]int, 0, len(m))
+		for _, a := range m {
+			smaller = append(smaller, neg(a))
+		}
+		extra = append(extra, smaller)
+		bits, sat := solveCNF(nAtoms, append(append([][]int{}, clauses...), extra...), true)
+		if !sat {
+			return m
+		}
+		m = modelFromBits(bits)
+	}
+}
+
+// isStable checks whether m is a minimal model of the GL-reduct Π^m.
+func isStable(p *ground.Program, m Model) bool {
+	n := p.NumAtoms()
+	reduct := make([][]int, 0, len(p.Rules)+len(p.Facts))
+	for _, f := range p.Facts {
+		reduct = append(reduct, []int{pos(f)})
+	}
+	for _, r := range p.Rules {
+		blocked := false
+		for _, b := range r.Neg {
+			if m.Contains(b) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		c := make([]int, 0, len(r.Head)+len(r.Pos))
+		for _, h := range r.Head {
+			c = append(c, pos(h))
+		}
+		for _, b := range r.Pos {
+			c = append(c, neg(b))
+		}
+		reduct = append(reduct, c)
+	}
+	// Any proper submodel of m that satisfies the reduct disproves
+	// stability.
+	for a := 0; a < n; a++ {
+		if !m.Contains(a) {
+			reduct = append(reduct, []int{neg(a)})
+		}
+	}
+	smaller := make([]int, 0, len(m))
+	for _, a := range m {
+		smaller = append(smaller, neg(a))
+	}
+	reduct = append(reduct, smaller)
+	_, sat := solveCNF(n, reduct, true)
+	return !sat
+}
+
+// Models enumerates the stable models of the ground program, sorted
+// lexicographically for determinism.
+func Models(p *ground.Program, opts Options) ([]Model, error) {
+	n := p.NumAtoms()
+	base := clausify(p)
+	blocked := make([][]int, 0, 16)
+	maxCand := opts.MaxCandidates
+	if maxCand == 0 {
+		maxCand = DefaultMaxCandidates
+	}
+	var out []Model
+	for cand := 0; ; cand++ {
+		if cand >= maxCand {
+			return nil, ErrCandidateLimit
+		}
+		clauses := append(append([][]int{}, base...), blocked...)
+		bits, sat := solveCNF(n, clauses, true)
+		if !sat {
+			break
+		}
+		m := minimize(n, base, modelFromBits(bits))
+		if isStable(p, m) {
+			out = append(out, m)
+			if opts.MaxModels > 0 && len(out) >= opts.MaxModels {
+				break
+			}
+		}
+		// Block m and all supersets; minimal models are pairwise
+		// incomparable, so no other minimal model is lost. An empty
+		// minimal model means no further (distinct) models exist.
+		if len(m) == 0 {
+			break
+		}
+		block := make([]int, 0, len(m))
+		for _, a := range m {
+			block = append(block, neg(a))
+		}
+		blocked = append(blocked, block)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessModel(out[i], out[j]) })
+	return out, nil
+}
+
+func lessModel(a, b Model) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// HasStableModel reports whether the program is consistent (has at least
+// one stable model).
+func HasStableModel(p *ground.Program) (bool, error) {
+	ms, err := Models(p, Options{MaxModels: 1})
+	if err != nil {
+		return false, err
+	}
+	return len(ms) > 0, nil
+}
+
+// Cautious returns the atoms true in every stable model (cautious/certain
+// consequences), or nil if the program has no stable model.
+func Cautious(models []Model) []int {
+	if len(models) == 0 {
+		return nil
+	}
+	out := append([]int(nil), models[0]...)
+	for _, m := range models[1:] {
+		var kept []int
+		for _, a := range out {
+			if m.Contains(a) {
+				kept = append(kept, a)
+			}
+		}
+		out = kept
+	}
+	return out
+}
+
+// Brave returns the atoms true in at least one stable model.
+func Brave(models []Model) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, m := range models {
+		for _, a := range m {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

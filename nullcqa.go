@@ -1,0 +1,239 @@
+package nullcqa
+
+import (
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/nullsem"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/repair"
+	"repro/internal/repairprog"
+	"repro/internal/stable"
+	"repro/internal/value"
+)
+
+// Core data types, re-exported for API clients.
+type (
+	// Value is a database constant; the zero value is null.
+	Value = value.V
+	// Tuple is a sequence of constants.
+	Tuple = relational.Tuple
+	// Fact is a ground database atom.
+	Fact = relational.Fact
+	// Instance is a finite database instance (a set of facts).
+	Instance = relational.Instance
+	// Delta is a symmetric difference Δ(D, D′).
+	Delta = relational.Delta
+	// IC is an integrity constraint of the paper's form (1).
+	IC = constraint.IC
+	// NNC is a NOT NULL-constraint (form (5)).
+	NNC = constraint.NNC
+	// ConstraintSet is a finite set of ICs and NNCs.
+	ConstraintSet = constraint.Set
+	// Query is a safe union of conjunctive queries with negation.
+	Query = query.Q
+	// Answer is the result of consistent query answering.
+	Answer = core.Answer
+	// RepairResult is the outcome of repair enumeration.
+	RepairResult = repair.Result
+	// CQAOptions configures consistent query answering.
+	CQAOptions = core.Options
+	// RepairOptions configures repair enumeration.
+	RepairOptions = repair.Options
+	// Semantics selects an IC-satisfaction semantics.
+	Semantics = nullsem.Semantics
+	// ViolationReport lists all constraint violations of an instance.
+	ViolationReport = nullsem.Report
+	// RepairProgram is a generated Definition 9 program.
+	RepairProgram = repairprog.Translation
+)
+
+// Value constructors.
+var (
+	// Null returns the distinguished null constant.
+	Null = value.Null
+	// Int returns an integer constant.
+	Int = value.Int
+	// Str returns a string constant.
+	Str = value.Str
+	// NewInstance builds an instance from facts.
+	NewInstance = relational.NewInstance
+	// F builds a fact.
+	F = relational.F
+)
+
+// Satisfaction semantics (Section 3).
+const (
+	// SemNullAware is the paper's |=_N (Definition 4).
+	SemNullAware = nullsem.NullAware
+	// SemClassicFO is classical first-order satisfaction.
+	SemClassicFO = nullsem.ClassicFO
+	// SemAllExempt is the CASCON 2004 semantics (the paper's [10]).
+	SemAllExempt = nullsem.AllExempt
+	// SemSimpleMatch is SQL:2003 simple match (the DBMS behaviour).
+	SemSimpleMatch = nullsem.SimpleMatch
+	// SemPartialMatch is SQL:2003 partial match.
+	SemPartialMatch = nullsem.PartialMatch
+	// SemFullMatch is SQL:2003 full match.
+	SemFullMatch = nullsem.FullMatch
+)
+
+// Repair modes (Section 4).
+const (
+	// RepairNullBased is the paper's semantics: null insertions, ≤_D
+	// minimality.
+	RepairNullBased = repair.NullBased
+	// RepairClassic is the Arenas–Bertossi–Chomicki baseline.
+	RepairClassic = repair.Classic
+)
+
+// Repair program variants (Section 5; see DESIGN.md for the wrinkle).
+const (
+	// VariantPaper is Definition 9 verbatim.
+	VariantPaper = repairprog.VariantPaper
+	// VariantCorrected adds the fact-based aux rule restoring Theorem 4
+	// on instances with nulls in existential witness positions.
+	VariantCorrected = repairprog.VariantCorrected
+)
+
+// CQA engines.
+const (
+	// EngineSearch enumerates repairs with the violation-driven search.
+	EngineSearch = core.EngineSearch
+	// EngineProgram uses Definition 9 repair programs and stable models.
+	EngineProgram = core.EngineProgram
+	// EngineProgramCautious compiles the query into the repair program
+	// and answers by cautious stable-model reasoning (the paper's
+	// Section 5 pipeline, no repairs materialized).
+	EngineProgramCautious = core.EngineProgramCautious
+)
+
+// Query evaluation modes for the open |=q_N choice (see internal/query).
+const (
+	// QueryConstantNulls treats null as an ordinary constant (default).
+	QueryConstantNulls = query.ConstantNulls
+	// QuerySQLNulls follows SQL three-valued logic.
+	QuerySQLNulls = query.SQLNulls
+)
+
+// QueryOptions configures direct query evaluation.
+type QueryOptions = query.Options
+
+// Parsing.
+
+// ParseInstance parses a database instance (facts like "course(21, c15).").
+func ParseInstance(src string) (*Instance, error) { return parser.Instance(src) }
+
+// ParseConstraints parses a constraint set (see internal/parser for the
+// grammar).
+func ParseConstraints(src string) (*ConstraintSet, error) { return parser.Constraints(src) }
+
+// ParseQuery parses a datalog-style query.
+func ParseQuery(src string) (*Query, error) { return parser.Query(src) }
+
+// Consistency checking (Section 3).
+
+// IsConsistent reports D |=_N IC.
+func IsConsistent(d *Instance, set *ConstraintSet) bool { return core.IsConsistent(d, set) }
+
+// SatisfiesUnder checks the instance under any of the six implemented
+// satisfaction semantics.
+func SatisfiesUnder(d *Instance, set *ConstraintSet, sem Semantics) bool {
+	return nullsem.Satisfies(d, set, sem)
+}
+
+// CheckViolations returns every violation under |=_N.
+func CheckViolations(d *Instance, set *ConstraintSet) ViolationReport {
+	return nullsem.Check(d, set, nullsem.NullAware)
+}
+
+// InsertionAllowed reports whether inserting f keeps the database
+// consistent — the DBMS-style admission check of Examples 5–6.
+func InsertionAllowed(d *Instance, set *ConstraintSet, f Fact, sem Semantics) bool {
+	return nullsem.InsertionAllowed(d, set, f, sem)
+}
+
+// Repairs (Section 4).
+
+// Repairs enumerates Rep(D, IC) under the paper's null-based semantics.
+func Repairs(d *Instance, set *ConstraintSet) (RepairResult, error) {
+	return repair.Repairs(d, set, repair.Options{})
+}
+
+// RepairsWith enumerates repairs with explicit options (classic baseline,
+// state limits).
+func RepairsWith(d *Instance, set *ConstraintSet, opts RepairOptions) (RepairResult, error) {
+	return repair.Repairs(d, set, opts)
+}
+
+// RepairsD enumerates the deletion-preferring class Rep_d for sets with
+// conflicting NOT NULL-constraints (Example 20).
+func RepairsD(d *Instance, set *ConstraintSet) (RepairResult, error) {
+	return repair.RepairsD(d, set, repair.Options{})
+}
+
+// IsRepair decides repair checking (Theorem 1's decision problem) by
+// membership in the enumerated repair set.
+func IsRepair(d *Instance, set *ConstraintSet, cand *Instance) (bool, error) {
+	return repair.IsRepair(d, set, cand, repair.Options{})
+}
+
+// RICAcyclic reports whether the set is RIC-acyclic (Definition 1).
+func RICAcyclic(set *ConstraintSet) bool { return depgraph.RICAcyclic(set) }
+
+// Repair programs (Section 5).
+
+// BuildRepairProgram generates the Definition 9 repair program Π(D, IC).
+func BuildRepairProgram(d *Instance, set *ConstraintSet, variant repairprog.Variant) (*RepairProgram, error) {
+	return repairprog.Build(d, set, variant)
+}
+
+// RepairProgramOptions configures program generation (variant, pruning).
+type RepairProgramOptions = repairprog.BuildOptions
+
+// BuildRepairProgramWith generates the program with explicit options, e.g.
+// PruneUnconstrained to skip annotation rules for relations no constraint
+// mentions (the [12]-style optimization).
+func BuildRepairProgramWith(d *Instance, set *ConstraintSet, opts RepairProgramOptions) (*RepairProgram, error) {
+	return repairprog.BuildWith(d, set, opts)
+}
+
+// GuaranteedHCF reports Theorem 5's sufficient head-cycle-freeness
+// condition on the constraint set.
+func GuaranteedHCF(set *ConstraintSet) bool { return repairprog.GuaranteedHCF(set) }
+
+// StableModelRepairs computes repairs via stable models of the repair
+// program (corrected variant).
+func StableModelRepairs(d *Instance, set *ConstraintSet) ([]*Instance, error) {
+	tr, err := repairprog.Build(d, set, repairprog.VariantCorrected)
+	if err != nil {
+		return nil, err
+	}
+	insts, _, err := tr.StableRepairs(stable.Options{})
+	return insts, err
+}
+
+// Consistent query answering (Definition 8).
+
+// NewCQAOptions returns the default CQA options.
+func NewCQAOptions() CQAOptions { return core.NewOptions() }
+
+// ConsistentAnswers computes the certain answers of q over all repairs.
+func ConsistentAnswers(d *Instance, set *ConstraintSet, q *Query, opts CQAOptions) (Answer, error) {
+	return core.ConsistentAnswers(d, set, q, opts)
+}
+
+// PossibleAnswers computes the brave answers (true in some repair).
+func PossibleAnswers(d *Instance, set *ConstraintSet, q *Query, opts CQAOptions) ([]Tuple, error) {
+	return core.PossibleAnswers(d, set, q, opts)
+}
+
+// EvalQuery evaluates q directly on one instance (no repairs).
+func EvalQuery(d *Instance, q *Query) ([]Tuple, error) { return query.Eval(d, q) }
+
+// EvalQueryWith evaluates q with an explicit null-handling mode.
+func EvalQueryWith(d *Instance, q *Query, opts QueryOptions) ([]Tuple, error) {
+	return query.EvalWith(d, q, opts)
+}

@@ -1,0 +1,179 @@
+package nullcqa_test
+
+import (
+	"strings"
+	"testing"
+
+	nullcqa "repro"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	// The Example 14/15 flow through the public facade.
+	d, err := nullcqa.ParseInstance(`
+		course(21, c15).
+		course(34, c18).
+		student(21, "Ann").
+		student(45, "Paul").
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := nullcqa.ParseConstraints(`course(Id, Code) -> student(Id, Name).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nullcqa.IsConsistent(d, set) {
+		t.Fatal("instance must be inconsistent")
+	}
+	rep := nullcqa.CheckViolations(d, set)
+	if rep.Consistent() || len(rep.IC) != 1 {
+		t.Fatalf("violations = %v", rep)
+	}
+
+	res, err := nullcqa.Repairs(d, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Repairs) != 2 {
+		t.Fatalf("repairs = %d, want 2", len(res.Repairs))
+	}
+
+	q, err := nullcqa.ParseQuery(`q(Id, Code) :- course(Id, Code).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := nullcqa.ConsistentAnswers(d, set, q, nullcqa.NewCQAOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Tuples) != 1 || ans.Tuples[0][0].String() != "21" {
+		t.Fatalf("certain answers = %v", ans.Tuples)
+	}
+}
+
+func TestPublicAPISemantics(t *testing.T) {
+	d := nullcqa.NewInstance(nullcqa.F("p", nullcqa.Str("a"), nullcqa.Str("b"), nullcqa.Null()))
+	set, err := nullcqa.ParseConstraints(`p(X, Y, Z) -> r(Y, Z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nullcqa.SatisfiesUnder(d, set, nullcqa.SemNullAware) {
+		t.Error("null in a relevant attribute must exempt under |=_N")
+	}
+	if nullcqa.SatisfiesUnder(d, set, nullcqa.SemFullMatch) {
+		t.Error("full match must reject a partially null key")
+	}
+	if !nullcqa.InsertionAllowed(d, set, nullcqa.F("r", nullcqa.Str("x"), nullcqa.Str("y")), nullcqa.SemNullAware) {
+		t.Error("harmless insertion rejected")
+	}
+}
+
+func TestPublicAPIRepairPrograms(t *testing.T) {
+	d, err := nullcqa.ParseInstance(`r(a, b). r(a, c).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := nullcqa.ParseConstraints(`r(X, Y), r(X, Z) -> Y = Z.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := nullcqa.BuildRepairProgram(d, set, nullcqa.VariantPaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.Program.String(), "r_a(X,Y,fa) v r_a(X,Z,fa)") {
+		t.Errorf("program:\n%s", tr.Program)
+	}
+	if !strings.Contains(tr.Program.DLV(), ":-") {
+		t.Error("DLV export looks empty")
+	}
+	insts, err := nullcqa.StableModelRepairs(d, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 {
+		t.Fatalf("stable repairs = %d, want 2", len(insts))
+	}
+	if !nullcqa.GuaranteedHCF(set) {
+		t.Error("FD-only set satisfies Theorem 5's condition")
+	}
+	if !nullcqa.RICAcyclic(set) {
+		t.Error("UIC-only set must be RIC-acyclic")
+	}
+}
+
+func TestPublicAPIRepairsDAndClassic(t *testing.T) {
+	d, err := nullcqa.ParseInstance(`p(a). p(b). q(b, c).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := nullcqa.ParseConstraints(`
+		p(X) -> q(X, Y).
+		q(X, Y), isnull(Y) -> false.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nullcqa.Repairs(d, set); err == nil {
+		t.Error("conflicting set must be refused by Repairs")
+	}
+	res, err := nullcqa.RepairsD(d, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Repairs) != 1 {
+		t.Fatalf("Rep_d = %d repairs, want 1", len(res.Repairs))
+	}
+
+	d2, _ := nullcqa.ParseInstance(`p(a).`)
+	set2, _ := nullcqa.ParseConstraints(`p(X) -> q(X, Y).`)
+	classic, err := nullcqa.RepairsWith(d2, set2, nullcqa.RepairOptions{Mode: nullcqa.RepairClassic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classic.Repairs) != 2 { // delete p(a), or insert q(a,a)
+		t.Fatalf("classic repairs = %d, want 2", len(classic.Repairs))
+	}
+}
+
+func TestPublicAPIIsRepair(t *testing.T) {
+	d, _ := nullcqa.ParseInstance(`p(a, null). p(b, c). r(a, b).`)
+	set, _ := nullcqa.ParseConstraints(`p(X, Y) -> r(X, Z).`)
+	good, _ := nullcqa.ParseInstance(`p(a, null). r(a, b).`)
+	ok, err := nullcqa.IsRepair(d, set, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("deletion repair not recognized")
+	}
+	bad := d.Clone()
+	bad.Insert(nullcqa.F("r", nullcqa.Str("b"), nullcqa.Str("d")))
+	ok, err = nullcqa.IsRepair(d, set, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("non-minimal instance accepted as repair")
+	}
+}
+
+func TestPublicAPIPossibleAnswers(t *testing.T) {
+	d, _ := nullcqa.ParseInstance(`course(34, c18). student(1, a).`)
+	set, _ := nullcqa.ParseConstraints(`course(Id, Code) -> student(Id, Name).`)
+	q, _ := nullcqa.ParseQuery(`q(Id) :- student(Id, Name).`)
+	possible, err := nullcqa.PossibleAnswers(d, set, q, nullcqa.NewCQAOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(possible) != 2 { // 1 certain + 34 possible
+		t.Fatalf("possible = %v", possible)
+	}
+	direct, err := nullcqa.EvalQuery(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != 1 {
+		t.Fatalf("direct = %v", direct)
+	}
+}
