@@ -427,6 +427,86 @@ func BenchmarkQueryModes(b *testing.B) {
 	}
 }
 
+// --- storage engine: repair enumeration at scale ---------------------------------------------------
+
+// scalingRepairDB embeds a fixed number of key violations in a bulk of
+// consistent rows plus an unrelated audit relation, the shape of the C1/C2
+// scaling workloads at production size. The repair count depends only on the
+// violations (2^3 = 8); the bulk exercises the per-state storage costs
+// (clone, membership, constraint re-check) that dominate enumeration.
+func scalingRepairDB(bulk int) (*relational.Instance, *constraint.Set) {
+	d := relational.NewInstance()
+	for i := 0; i < 3; i++ {
+		k := value.Str(fmt.Sprintf("k%d", i))
+		d.Insert(relational.F("r", k, value.Str("b")))
+		d.Insert(relational.F("r", k, value.Str("c")))
+	}
+	for i := 0; i < bulk; i++ {
+		d.Insert(relational.F("r", value.Str(fmt.Sprintf("u%d", i)), value.Str(fmt.Sprintf("v%d", i))))
+		d.Insert(relational.F("audit", value.Int(int64(i)), value.Str(fmt.Sprintf("a%d", i))))
+	}
+	return d, parser.MustConstraints(`r(X, Y), r(X, Z) -> Y = Z.`)
+}
+
+func BenchmarkRepairScaling(b *testing.B) {
+	for _, bulk := range []int{16, 64, 256} {
+		d, set := scalingRepairDB(bulk)
+		b.Run(fmt.Sprintf("bulk=%d", bulk), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := repair.Repairs(d, set, repair.Options{})
+				if err != nil || len(res.Repairs) != 8 {
+					b.Fatalf("repairs=%d err=%v", len(res.Repairs), err)
+				}
+			}
+		})
+	}
+}
+
+// --- storage engine: constraint-check cost vs unrelated data ---------------------------------------
+
+// BenchmarkUnrelatedScaling checks that |=_N satisfaction over a fixed
+// constraint workload is independent of the size of relations no constraint
+// mentions: doubling the unrelated relation must leave ns/op within noise.
+func BenchmarkUnrelatedScaling(b *testing.B) {
+	set := parser.MustConstraints(`r(X, Y), r(X, Z) -> Y = Z.`)
+	for _, unrelated := range []int{1000, 2000, 4000} {
+		d := relational.NewInstance()
+		for i := 0; i < 50; i++ {
+			d.Insert(relational.F("r", value.Int(int64(i)), value.Str("v")))
+		}
+		for i := 0; i < unrelated; i++ {
+			d.Insert(relational.F("audit", value.Int(int64(i)), value.Str(fmt.Sprintf("a%d", i))))
+		}
+		b.Run(fmt.Sprintf("unrelated=%d", unrelated), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !nullsem.Satisfies(d, set, nullsem.NullAware) {
+					b.Fatal("workload must be consistent")
+				}
+			}
+		})
+	}
+}
+
+// --- storage engine: query join cost with selective bindings ---------------------------------------
+
+func BenchmarkIndexedJoin(b *testing.B) {
+	d := relational.NewInstance()
+	for i := 0; i < 2000; i++ {
+		d.Insert(relational.F("e", value.Int(int64(i)), value.Int(int64((i+1)%2000))))
+		d.Insert(relational.F("lbl", value.Int(int64(i)), value.Str(fmt.Sprintf("n%d", i%7))))
+	}
+	q := parser.MustQuery(`q(X, L) :- e(X, Y), lbl(Y, L), e(Y, Z), lbl(Z, "n3").`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts, err := query.Eval(d, q)
+		if err != nil || len(ts) == 0 {
+			b.Fatalf("answers=%d err=%v", len(ts), err)
+		}
+	}
+}
+
 // --- public facade end-to-end -------------------------------------------------------------------
 
 func BenchmarkFacadeQuickstart(b *testing.B) {

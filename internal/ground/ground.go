@@ -112,30 +112,20 @@ func Ground(p *logic.Program) (*Program, error) {
 	}
 	in := newInterner()
 
-	// possible holds the over-approximated derivable atoms, indexed by
-	// predicate signature for the joins.
-	possible := map[string][]relational.Fact{}
-	possibleSet := map[string]bool{}
-	factSet := map[string]bool{}
-	sig := func(f relational.Fact) string { return fmt.Sprintf("%s/%d", f.Pred, len(f.Args)) }
-	addPossible := func(f relational.Fact) bool {
-		k := f.Key()
-		if possibleSet[k] {
-			return false
-		}
-		possibleSet[k] = true
-		possible[sig(f)] = append(possible[sig(f)], f)
-		return true
-	}
+	// possible holds the over-approximated derivable atoms in a relational
+	// instance, so rule instantiation joins through the engine's
+	// per-relation stores and bound-column indexes instead of re-keying
+	// fact slices. facts mirrors the unconditionally true atoms.
+	possible := relational.NewInstance()
+	facts := relational.NewInstance()
 
 	gp := &Program{}
 	for _, a := range p.Facts {
 		f := groundFact(a)
-		if !factSet[f.Key()] {
-			factSet[f.Key()] = true
+		if facts.Insert(f) {
 			gp.Facts = append(gp.Facts, in.intern(f))
 		}
-		addPossible(f)
+		possible.Insert(f)
 	}
 
 	// Fixpoint: instantiate heads of rules whose positive bodies join
@@ -145,7 +135,7 @@ func Ground(p *logic.Program) (*Program, error) {
 		for _, r := range p.Rules {
 			joinPossible(possible, r, func(subst term.Subst) {
 				for _, h := range r.Head {
-					if addPossible(groundAtom(h, subst)) {
+					if possible.Insert(groundAtom(h, subst)) {
 						changed = true
 					}
 				}
@@ -157,7 +147,7 @@ func Ground(p *logic.Program) (*Program, error) {
 	seenRules := map[string]bool{}
 	for _, r := range p.Rules {
 		joinPossible(possible, r, func(subst term.Subst) {
-			rule, keep := instantiate(in, r, subst, possibleSet, factSet)
+			rule, keep := instantiate(in, r, subst, possible, facts)
 			if !keep {
 				return
 			}
@@ -178,31 +168,31 @@ func Ground(p *logic.Program) (*Program, error) {
 // and fact sets. keep is false when the rule instance is trivially
 // satisfied (a head atom or negated non-possible literal... ) or its body is
 // false.
-func instantiate(in *interner, r logic.Rule, subst term.Subst, possibleSet, factSet map[string]bool) (Rule, bool) {
+func instantiate(in *interner, r logic.Rule, subst term.Subst, possible, facts *relational.Instance) (Rule, bool) {
 	var out Rule
 	for _, h := range r.Head {
 		f := groundAtom(h, subst)
-		if factSet[f.Key()] {
+		if facts.Has(f) {
 			return Rule{}, false // head already true
 		}
 		out.Head = appendUniq(out.Head, in.intern(f))
 	}
 	for _, a := range r.Pos {
 		f := groundAtom(a, subst)
-		if factSet[f.Key()] {
+		if facts.Has(f) {
 			continue // always true
 		}
-		if !possibleSet[f.Key()] {
+		if !possible.Has(f) {
 			return Rule{}, false // body can never hold
 		}
 		out.Pos = appendUniq(out.Pos, in.intern(f))
 	}
 	for _, a := range r.Neg {
 		f := groundAtom(a, subst)
-		if factSet[f.Key()] {
+		if facts.Has(f) {
 			return Rule{}, false // not <fact> is false
 		}
-		if !possibleSet[f.Key()] {
+		if !possible.Has(f) {
 			continue // not <underivable> is true
 		}
 		out.Neg = appendUniq(out.Neg, in.intern(f))
@@ -230,8 +220,9 @@ func ruleKey(r Rule) string {
 }
 
 // joinPossible enumerates substitutions satisfying the positive body and
-// the builtins over the possible-atom set.
-func joinPossible(possible map[string][]relational.Fact, r logic.Rule, yield func(term.Subst)) {
+// the builtins over the possible-atom instance, probing each atom through
+// the store index on its bound columns.
+func joinPossible(possible *relational.Instance, r logic.Rule, yield func(term.Subst)) {
 	subst := term.Subst{}
 	var rec func(i int)
 	rec = func(i int) {
@@ -246,16 +237,16 @@ func joinPossible(possible map[string][]relational.Fact, r logic.Rule, yield fun
 			return
 		}
 		a := r.Pos[i]
-		for _, f := range possible[fmt.Sprintf("%s/%d", a.Pred, a.Arity())] {
-			bound, ok := match(f.Args, a, subst)
-			if !ok {
-				continue
+		possible.Scan(a.Pred, a.Arity(), relational.AtomBindings(a, subst), func(t relational.Tuple) bool {
+			bound, ok := match(t, a, subst)
+			if ok {
+				rec(i + 1)
+				for _, v := range bound {
+					delete(subst, v)
+				}
 			}
-			rec(i + 1)
-			for _, v := range bound {
-				delete(subst, v)
-			}
-		}
+			return true
+		})
 	}
 	rec(0)
 }

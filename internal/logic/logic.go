@@ -131,11 +131,13 @@ func (p *Program) AddFact(a term.Atom) error {
 }
 
 // AddInstance appends every fact of a database instance (rule 1 of
-// Definition 9).
+// Definition 9), in the store's deterministic iteration order and without
+// materializing an intermediate slice.
 func (p *Program) AddInstance(d *relational.Instance) {
-	for _, f := range d.Facts() {
+	d.ForEach(func(f relational.Fact) bool {
 		p.Facts = append(p.Facts, FactAtom(f))
-	}
+		return true
+	})
 }
 
 // FactAtom converts a database fact into a ground program atom.

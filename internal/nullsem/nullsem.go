@@ -136,7 +136,9 @@ func (c *icContext) relevantVar(v string) bool { return c.counts[v] >= 2 }
 
 // joinBody enumerates every substitution of the antecedent variables whose
 // ground body atoms all belong to d, treating null as an ordinary constant.
-// yield returns false to stop the enumeration early.
+// Each atom is resolved by an indexed scan on its bound columns, so the join
+// cost tracks the matching tuples rather than the relation sizes. yield
+// returns false to stop the enumeration early.
 func joinBody(d *relational.Instance, body []term.Atom, yield func(term.Subst, []relational.Fact) bool) {
 	subst := term.Subst{}
 	support := make([]relational.Fact, 0, len(body))
@@ -146,22 +148,19 @@ func joinBody(d *relational.Instance, body []term.Atom, yield func(term.Subst, [
 			return yield(subst, support)
 		}
 		a := body[i]
-		for _, tuple := range d.Relation(a.Pred, a.Arity()) {
+		cont := true
+		d.Scan(a.Pred, a.Arity(), relational.AtomBindings(a, subst), func(tuple relational.Tuple) bool {
 			bound, ok := matchAtom(tuple, a, subst)
 			if !ok {
-				continue
+				return true
 			}
 			support = append(support, relational.Fact{Pred: a.Pred, Args: tuple})
-			cont := rec(i + 1)
+			cont = rec(i + 1)
 			support = support[:len(support)-1]
-			for _, v := range bound {
-				delete(subst, v)
-			}
-			if !cont {
-				return false
-			}
-		}
-		return true
+			undo(subst, bound)
+			return cont
+		})
+		return cont
 	}
 	rec(0)
 }
@@ -324,14 +323,62 @@ func (c *icContext) witnessMatches(sem Semantics, a term.Atom, tuple relational.
 	return true
 }
 
+// witnessBindings derives the index-servable columns for a witness scan of
+// head atom a: constants and body-variable positions whose comparison under
+// sem is plain interned equality. possible is false when the wanted value at
+// some position already rules out every witness (a null want under the
+// non-null-equality SQL semantics), letting the caller skip the scan.
+func (c *icContext) witnessBindings(sem Semantics, a term.Atom, subst term.Subst) (bs []relational.Binding, possible bool) {
+	for i, t := range a.Args {
+		var want value.V
+		switch {
+		case !t.IsVar():
+			want = t.Const
+		case c.body[t.Var]:
+			want = subst[t.Var]
+		default:
+			continue // existential: handled by witnessMatches
+		}
+		switch sem {
+		case NullAware, ClassicFO, AllExempt:
+			// Plain Eq: interned-id equality, null included.
+			bs = append(bs, relational.Binding{Pos: i, Val: want})
+		case SimpleMatch, FullMatch:
+			// Eq3 == True3 requires a non-null want.
+			if want.IsNull() {
+				return nil, false
+			}
+			bs = append(bs, relational.Binding{Pos: i, Val: want})
+		default: // PartialMatch
+			// A null want demands a non-null witness value — not an
+			// equality; leave it to witnessMatches.
+			if !want.IsNull() {
+				bs = append(bs, relational.Binding{Pos: i, Val: want})
+			}
+		}
+	}
+	return bs, true
+}
+
 // consequentHolds reports whether some head atom has a witness in d under
-// the given antecedent assignment.
+// the given antecedent assignment, probing the witness relation through the
+// index on the bound columns.
 func (c *icContext) consequentHolds(sem Semantics, d *relational.Instance, subst term.Subst) bool {
 	for _, a := range c.ic.Head {
-		for _, tuple := range d.Relation(a.Pred, a.Arity()) {
+		bs, possible := c.witnessBindings(sem, a, subst)
+		if !possible {
+			continue
+		}
+		found := false
+		d.Scan(a.Pred, a.Arity(), bs, func(tuple relational.Tuple) bool {
 			if c.witnessMatches(sem, a, tuple, subst) {
-				return true
+				found = true
+				return false
 			}
+			return true
+		})
+		if found {
+			return true
 		}
 	}
 	return false
@@ -388,14 +435,44 @@ func SatisfiesIC(d *relational.Instance, ic *constraint.IC, sem Semantics) bool 
 
 // CheckNNC returns the facts of d violating the NOT NULL-constraint.
 // NNC satisfaction is classical under every semantics (Definition 5).
+// The scan is index-backed on the constrained column (null is an ordinary
+// constant, so "is null at position p" is an equality probe).
 func CheckNNC(d *relational.Instance, n *constraint.NNC) []relational.Fact {
 	var out []relational.Fact
-	for _, tuple := range d.Relation(n.Pred, n.Arity) {
-		if tuple[n.Pos].IsNull() {
-			out = append(out, relational.Fact{Pred: n.Pred, Args: tuple})
-		}
-	}
+	d.Scan(n.Pred, n.Arity, []relational.Binding{{Pos: n.Pos, Val: value.Null()}}, func(tuple relational.Tuple) bool {
+		out = append(out, relational.Fact{Pred: n.Pred, Args: tuple})
+		return true
+	})
 	return out
+}
+
+// FirstViolationIC returns a deterministic first violation of a single IC,
+// stopping the body join as soon as one is found. It is the hot probe of the
+// repair search, which only ever needs one violation per state.
+func FirstViolationIC(d *relational.Instance, ic *constraint.IC, sem Semantics) (Violation, bool) {
+	var out Violation
+	found := false
+	c := newICContext(ic)
+	joinBody(d, ic.Body, func(subst term.Subst, support []relational.Fact) bool {
+		if v, bad := violationAt(c, d, sem, subst, support); bad {
+			out, found = v, true
+			return false
+		}
+		return true
+	})
+	return out, found
+}
+
+// FirstViolationNNC returns a deterministic first fact violating the NOT
+// NULL-constraint, if any, without materializing the full violation list.
+func FirstViolationNNC(d *relational.Instance, n *constraint.NNC) (relational.Fact, bool) {
+	var out relational.Fact
+	found := false
+	d.Scan(n.Pred, n.Arity, []relational.Binding{{Pos: n.Pos, Val: value.Null()}}, func(tuple relational.Tuple) bool {
+		out, found = relational.Fact{Pred: n.Pred, Args: tuple}, true
+		return false
+	})
+	return out, found
 }
 
 // Report collects every violation of a constraint set.

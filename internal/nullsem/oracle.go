@@ -77,14 +77,13 @@ func ProjectConstraint(ic *constraint.IC) ProjectedConstraint {
 // ProjectInstance materializes D^A(ψ) with arity-tagged predicate names.
 func ProjectInstance(d *relational.Instance, pc ProjectedConstraint) *relational.Instance {
 	out := relational.NewInstance()
-	for _, f := range d.Facts() {
+	d.ForEach(func(f relational.Fact) bool {
 		sig := constraint.PredSig{Name: f.Pred, Arity: len(f.Args)}
-		pos, ok := pc.Positions[sig]
-		if !ok {
-			continue
+		if pos, ok := pc.Positions[sig]; ok {
+			out.Insert(relational.Fact{Pred: projName(sig), Args: f.Args.Project(pos)})
 		}
-		out.Insert(relational.Fact{Pred: projName(sig), Args: f.Args.Project(pos)})
-	}
+		return true
+	})
 	return out
 }
 
@@ -120,11 +119,17 @@ func SatisfiesICOracle(d *relational.Instance, ic *constraint.IC) bool {
 // for repeated existential variables.
 func oracleConsequent(dA *relational.Instance, pc ProjectedConstraint, subst term.Subst) bool {
 	for _, a := range pc.Head {
-		for _, tuple := range dA.Relation(a.Pred, a.Arity()) {
+		found := false
+		dA.Scan(a.Pred, a.Arity(), relational.AtomBindings(a, subst), func(tuple relational.Tuple) bool {
 			local := subst.Clone()
 			if _, ok := matchAtom(tuple, a, local); ok {
-				return true
+				found = true
+				return false
 			}
+			return true
+		})
+		if found {
+			return true
 		}
 	}
 	return false

@@ -84,6 +84,7 @@ func evalConjWith(d *relational.Instance, c Conj, head []string, opts Options, y
 			posAtoms = append(posAtoms, l.Atom)
 		}
 	}
+	posAtoms = orderBySelectivity(d, posAtoms)
 	subst := term.Subst{}
 	var rec func(i int)
 	rec = func(i int) {
@@ -107,18 +108,44 @@ func evalConjWith(d *relational.Instance, c Conj, head []string, opts Options, y
 			return
 		}
 		a := posAtoms[i]
-		for _, tuple := range d.Relation(a.Pred, a.Arity()) {
+		bs, possible := bindingsSQL(a, subst)
+		if !possible {
+			return
+		}
+		d.Scan(a.Pred, a.Arity(), bs, func(tuple relational.Tuple) bool {
 			bound, ok := matchAtomSQL(tuple, a, subst)
 			if !ok {
-				continue
+				return true
 			}
 			rec(i + 1)
-			for _, v := range bound {
-				delete(subst, v)
-			}
-		}
+			undo(subst, bound)
+			return true
+		})
 	}
 	rec(0)
+}
+
+// bindingsSQL derives the index-servable columns under SQL null semantics:
+// only non-null constants and non-null bound variables are equality probes
+// (Eq3 == True3 implies interned-id equality of non-null values). A null
+// want can never match any stored value, so the whole atom is unsatisfiable
+// and possible is false.
+func bindingsSQL(a term.Atom, subst term.Subst) (bs []relational.Binding, possible bool) {
+	for i, t := range a.Args {
+		var want value.V
+		if !t.IsVar() {
+			want = t.Const
+		} else if v, ok := subst[t.Var]; ok {
+			want = v
+		} else {
+			continue
+		}
+		if want.IsNull() {
+			return nil, false
+		}
+		bs = append(bs, relational.Binding{Pos: i, Val: want})
+	}
+	return bs, true
 }
 
 // matchAtomSQL unifies with SQL null semantics: a null in the tuple can
@@ -148,10 +175,9 @@ func matchAtomSQL(tuple relational.Tuple, a term.Atom, subst term.Subst) (bound 
 }
 
 // holdsGroundSQL checks negated membership under SQL semantics: a ground
-// atom involving null never matches a stored row (NOT IN semantics with
-// nulls discarded), except for the exact-row check needed to keep negation
-// coherent: a row equal position-wise with null-as-constant is considered
-// present.
+// atom involving null never matches a stored row (every Eq3 against null is
+// unknown), and a fully non-null atom matches exactly the identical stored
+// row — an O(1) membership probe.
 func holdsGroundSQL(d *relational.Instance, a term.Atom, subst term.Subst) bool {
 	args := make(relational.Tuple, len(a.Args))
 	for i, t := range a.Args {
@@ -159,19 +185,10 @@ func holdsGroundSQL(d *relational.Instance, a term.Atom, subst term.Subst) bool 
 		if !ok {
 			return false
 		}
+		if v.IsNull() {
+			return false
+		}
 		args[i] = v
 	}
-	for _, row := range d.Relation(a.Pred, a.Arity()) {
-		match := true
-		for i := range row {
-			if row[i].Eq3(args[i]) != value.True3 {
-				match = false
-				break
-			}
-		}
-		if match {
-			return true
-		}
-	}
-	return false
+	return d.Has(relational.Fact{Pred: a.Pred, Args: args})
 }

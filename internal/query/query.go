@@ -164,8 +164,47 @@ func EvalBool(d *relational.Instance, q *Q) (bool, error) {
 	return len(ts) > 0, nil
 }
 
-// evalConj joins the positive literals, then filters by negated literals
-// and builtins, yielding each head projection.
+// orderBySelectivity reorders the positive atoms of a join greedily: at each
+// step it picks the remaining atom with the most columns bound by the atoms
+// already placed (constants count as bound), breaking ties toward the
+// smaller relation and then toward the original order. The answer set is
+// order-independent; only the enumeration cost changes.
+func orderBySelectivity(d *relational.Instance, atoms []term.Atom) []term.Atom {
+	if len(atoms) < 2 {
+		return atoms
+	}
+	remaining := append([]term.Atom(nil), atoms...)
+	bound := map[string]bool{}
+	out := make([]term.Atom, 0, len(atoms))
+	for len(remaining) > 0 {
+		best, bestBound, bestSize := -1, -1, 0
+		for i, a := range remaining {
+			nb := 0
+			for _, t := range a.Args {
+				if !t.IsVar() || bound[t.Var] {
+					nb++
+				}
+			}
+			size := d.RelationSize(a.Pred, a.Arity())
+			if best == -1 || nb > bestBound || (nb == bestBound && size < bestSize) {
+				best, bestBound, bestSize = i, nb, size
+			}
+		}
+		a := remaining[best]
+		out = append(out, a)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+	}
+	return out
+}
+
+// evalConj joins the positive literals — reordered by selectivity and
+// resolved through per-relation hash indexes on the bound columns — then
+// filters by negated literals and builtins, yielding each head projection.
 func evalConj(d *relational.Instance, c Conj, head []string, yield func(relational.Tuple)) {
 	var posAtoms []term.Atom
 	for _, l := range c.Lits {
@@ -173,6 +212,7 @@ func evalConj(d *relational.Instance, c Conj, head []string, yield func(relation
 			posAtoms = append(posAtoms, l.Atom)
 		}
 	}
+	posAtoms = orderBySelectivity(d, posAtoms)
 	subst := term.Subst{}
 	var rec func(i int)
 	rec = func(i int) {
@@ -196,16 +236,15 @@ func evalConj(d *relational.Instance, c Conj, head []string, yield func(relation
 			return
 		}
 		a := posAtoms[i]
-		for _, tuple := range d.Relation(a.Pred, a.Arity()) {
+		d.Scan(a.Pred, a.Arity(), relational.AtomBindings(a, subst), func(tuple relational.Tuple) bool {
 			bound, ok := matchAtom(tuple, a, subst)
 			if !ok {
-				continue
+				return true
 			}
 			rec(i + 1)
-			for _, v := range bound {
-				delete(subst, v)
-			}
-		}
+			undo(subst, bound)
+			return true
+		})
 	}
 	rec(0)
 }

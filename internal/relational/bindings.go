@@ -1,0 +1,24 @@
+package relational
+
+import "repro/internal/term"
+
+// AtomBindings collects the columns of atom a that are fixed under the
+// current substitution — constants and already-bound variables — as Scan
+// bindings, so the storage engine serves the atom from a hash index on
+// exactly those columns. Repeated unbound variables within the atom are not
+// expressible as bindings; callers enforce them when matching the yielded
+// tuples. This is the shared binding derivation for the "null as ordinary
+// constant" comparison mode (Definition 4); evaluation modes with other
+// comparison semantics (SQL three-valued logic, match semantics) derive
+// their own, stricter binding sets.
+func AtomBindings(a term.Atom, subst term.Subst) []Binding {
+	var bs []Binding
+	for i, t := range a.Args {
+		if !t.IsVar() {
+			bs = append(bs, Binding{Pos: i, Val: t.Const})
+		} else if v, ok := subst[t.Var]; ok {
+			bs = append(bs, Binding{Pos: i, Val: v})
+		}
+	}
+	return bs
+}

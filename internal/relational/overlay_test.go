@@ -1,0 +1,393 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// This file property-tests the storage engine introduced with the indexed,
+// interned instance representation: overlay (copy-on-write) views must be
+// observationally identical to deep copies, and indexed scans must agree
+// with naive filtered iteration on randomized instances and binding sets.
+
+func randFact(rng *rand.Rand) Fact {
+	preds := []string{"p", "q", "r"}
+	pred := preds[rng.Intn(len(preds))]
+	arity := 1 + rng.Intn(3)
+	args := make(Tuple, arity)
+	for i := range args {
+		switch rng.Intn(4) {
+		case 0:
+			args[i] = value.Null()
+		case 1:
+			args[i] = value.Int(int64(rng.Intn(4)))
+		default:
+			args[i] = value.Str(fmt.Sprintf("c%d", rng.Intn(4)))
+		}
+	}
+	return Fact{Pred: pred, Args: args}
+}
+
+func randInstance(rng *rand.Rand, n int) *Instance {
+	d := NewInstance()
+	for i := 0; i < n; i++ {
+		d.Insert(randFact(rng))
+	}
+	return d
+}
+
+// refInstance is an independent reference implementation: a plain map from
+// rendered fact strings (String is injective enough for the small random
+// domain plus the pred/arity tag we add).
+type refInstance map[string]Fact
+
+func refKey(f Fact) string { return fmt.Sprintf("%s/%d%s", f.Pred, len(f.Args), f.Args.String()) }
+
+func (r refInstance) insert(f Fact) bool {
+	k := refKey(f)
+	if _, ok := r[k]; ok {
+		return false
+	}
+	r[k] = Fact{Pred: f.Pred, Args: f.Args.Clone()}
+	return true
+}
+
+func (r refInstance) delete(f Fact) bool {
+	k := refKey(f)
+	if _, ok := r[k]; !ok {
+		return false
+	}
+	delete(r, k)
+	return true
+}
+
+func sameAsRef(t *testing.T, d *Instance, ref refInstance, label string) {
+	t.Helper()
+	if d.Len() != len(ref) {
+		t.Fatalf("%s: Len = %d, ref = %d", label, d.Len(), len(ref))
+	}
+	seen := map[string]bool{}
+	d.ForEach(func(f Fact) bool {
+		k := refKey(f)
+		if _, ok := ref[k]; !ok {
+			t.Fatalf("%s: instance has %v, ref does not", label, f)
+		}
+		if seen[k] {
+			t.Fatalf("%s: ForEach visited %v twice", label, f)
+		}
+		seen[k] = true
+		return true
+	})
+	for _, f := range ref {
+		if !d.Has(f) {
+			t.Fatalf("%s: ref has %v, instance does not", label, f)
+		}
+	}
+}
+
+// TestOverlayMatchesCloneSemantics drives random insert/delete workloads
+// through chains of clones and checks every view against an independent
+// reference at every step, including Diff round-trips against the original.
+func TestOverlayMatchesCloneSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		base := randInstance(rng, 2+rng.Intn(12))
+		baseRef := refInstance{}
+		base.ForEach(func(f Fact) bool { baseRef.insert(f); return true })
+
+		// Fork a chain of overlays, mutating each.
+		views := []*Instance{base}
+		refs := []refInstance{baseRef}
+		for v := 0; v < 3; v++ {
+			src := rng.Intn(len(views))
+			d := views[src].Clone()
+			ref := refInstance{}
+			for k, f := range refs[src] {
+				ref[k] = f
+			}
+			for op := 0; op < 5+rng.Intn(10); op++ {
+				f := randFact(rng)
+				if rng.Intn(2) == 0 {
+					if got, want := d.Insert(f), ref.insert(f); got != want {
+						t.Fatalf("Insert(%v) = %v, ref = %v", f, got, want)
+					}
+				} else {
+					if got, want := d.Delete(f), ref.delete(f); got != want {
+						t.Fatalf("Delete(%v) = %v, ref = %v", f, got, want)
+					}
+				}
+			}
+			views = append(views, d)
+			refs = append(refs, ref)
+		}
+		for i, d := range views {
+			sameAsRef(t, d, refs[i], fmt.Sprintf("trial %d view %d", trial, i))
+		}
+
+		// Diff between any two views must round-trip: applying Δ(a, b)
+		// to a clone of a yields b.
+		for i := range views {
+			for j := range views {
+				dl := Diff(views[i], views[j])
+				applied := views[i].Clone()
+				for _, f := range dl.Removed {
+					if !applied.Delete(f) {
+						t.Fatalf("Diff removed %v not present in source", f)
+					}
+				}
+				for _, f := range dl.Added {
+					if !applied.Insert(f) {
+						t.Fatalf("Diff added %v already present", f)
+					}
+				}
+				if !applied.Equal(views[j]) {
+					t.Fatalf("Diff round-trip failed: %v + %v != %v", views[i], dl, views[j])
+				}
+				if (dl.Size() == 0) != views[i].Equal(views[j]) {
+					t.Fatalf("empty Δ iff equal violated")
+				}
+				if views[i].Equal(views[j]) != (views[i].Key() == views[j].Key()) {
+					t.Fatalf("Key/Equal disagree")
+				}
+				if views[i].Equal(views[j]) && views[i].Fingerprint() != views[j].Fingerprint() {
+					t.Fatalf("equal instances with different fingerprints")
+				}
+			}
+		}
+	}
+}
+
+// TestScanMatchesNaiveFilter cross-checks indexed scans against filtering
+// the materialized fact list, over random instances, overlays, and binding
+// subsets.
+func TestScanMatchesNaiveFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := []value.V{value.Null(), value.Int(0), value.Int(1), value.Str("c0"), value.Str("c1"), value.Str("c2")}
+	for trial := 0; trial < 120; trial++ {
+		d := randInstance(rng, 3+rng.Intn(20))
+		if rng.Intn(2) == 0 { // exercise the overlay path too
+			d = d.Clone()
+			for op := 0; op < rng.Intn(8); op++ {
+				if rng.Intn(2) == 0 {
+					d.Insert(randFact(rng))
+				} else {
+					d.Delete(randFact(rng))
+				}
+			}
+		}
+		pred := []string{"p", "q", "r"}[rng.Intn(3)]
+		arity := 1 + rng.Intn(3)
+		var bindings []Binding
+		for pos := 0; pos < arity; pos++ {
+			if rng.Intn(2) == 0 {
+				bindings = append(bindings, Binding{Pos: pos, Val: vals[rng.Intn(len(vals))]})
+			}
+		}
+
+		got := map[string]int{}
+		d.Scan(pred, arity, bindings, func(tp Tuple) bool {
+			got[tp.Key()]++
+			return true
+		})
+		want := map[string]int{}
+		for _, f := range d.Facts() {
+			if f.Pred != pred || len(f.Args) != arity {
+				continue
+			}
+			if matchBindings(f.Args, bindings) {
+				want[f.Args.Key()]++
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Scan found %d tuples, naive filter %d (pred=%s/%d bindings=%v in %v)",
+				trial, len(got), len(want), pred, arity, bindings, d)
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("trial %d: tuple multiplicity mismatch", trial)
+			}
+		}
+		// A second scan over the same bindings uses the cached index.
+		again := 0
+		d.Scan(pred, arity, bindings, func(Tuple) bool { again++; return true })
+		if again != len(want) {
+			t.Fatalf("trial %d: cached-index rescan returned %d, want %d", trial, again, len(want))
+		}
+	}
+}
+
+// TestRelationSizeAndRelKeys checks the O(1) size accounting and live
+// relation enumeration across deletions, compaction, and overlays.
+func TestRelationSizeAndRelKeys(t *testing.T) {
+	d := NewInstance()
+	for i := 0; i < 100; i++ {
+		d.Insert(F("p", value.Int(int64(i))))
+	}
+	for i := 0; i < 90; i++ { // force compaction (tombstones dominate)
+		d.Delete(F("p", value.Int(int64(i))))
+	}
+	if got := d.RelationSize("p", 1); got != 10 {
+		t.Fatalf("RelationSize = %d, want 10", got)
+	}
+	if got := len(d.Relation("p", 1)); got != 10 {
+		t.Fatalf("Relation rows = %d, want 10", got)
+	}
+	o := d.Clone()
+	o.Insert(F("p", value.Int(1000)))
+	o.Delete(F("p", value.Int(95)))
+	o.Insert(F("znew", value.Str("x")))
+	if got := o.RelationSize("p", 1); got != 10 {
+		t.Fatalf("overlay RelationSize = %d, want 10", got)
+	}
+	if got, want := fmt.Sprint(o.RelKeys()), "[{p 1} {znew 1}]"; got != want {
+		t.Fatalf("RelKeys = %v, want %v", got, want)
+	}
+	if got, want := fmt.Sprint(o.Preds()), "[p znew]"; got != want {
+		t.Fatalf("Preds = %v, want %v", got, want)
+	}
+	// The base view is unaffected.
+	if d.Has(F("p", value.Int(1000))) || !d.Has(F("p", value.Int(95))) {
+		t.Fatal("overlay mutation leaked into base")
+	}
+}
+
+// TestOverlayReAddAfterDelete is the regression test for the stale addOrder
+// slot: deleting an overlay addition and re-adding the same fact must not
+// duplicate it in iteration, keys, or sizes.
+func TestOverlayReAddAfterDelete(t *testing.T) {
+	base := NewInstance(F("r", value.Str("base")))
+	c := base.Clone()
+	f := F("r", value.Str("x"))
+	for round := 0; round < 3; round++ { // add→delete→re-add, repeatedly
+		if !c.Insert(f) {
+			t.Fatalf("round %d: Insert = false", round)
+		}
+		if c.Insert(f) {
+			t.Fatalf("round %d: duplicate Insert = true", round)
+		}
+		if c.Len() != 2 {
+			t.Fatalf("round %d: Len = %d, want 2", round, c.Len())
+		}
+		if fs := c.Facts(); len(fs) != 2 {
+			t.Fatalf("round %d: Facts = %v", round, fs)
+		}
+		count := 0
+		c.ForEach(func(Fact) bool { count++; return true })
+		if count != 2 {
+			t.Fatalf("round %d: ForEach visited %d facts, want 2", round, count)
+		}
+		if n := c.RelationSize("r", 1); n != 2 {
+			t.Fatalf("round %d: RelationSize = %d, want 2", round, n)
+		}
+		want := NewInstance(F("r", value.Str("base")), f)
+		if !c.Equal(want) || c.Key() != want.Key() || c.Compare(want) != 0 {
+			t.Fatalf("round %d: content diverged: %v", round, c)
+		}
+		if round < 2 {
+			if !c.Delete(f) {
+				t.Fatalf("round %d: Delete = false", round)
+			}
+			if c.Len() != 1 {
+				t.Fatalf("round %d: Len after delete = %d", round, c.Len())
+			}
+		}
+	}
+}
+
+// TestNoOpWritesKeepFastPath checks that inserting an existing base fact or
+// deleting an absent one does not allocate overlay deltas (which would
+// permanently disable the relation's cached sorted view).
+func TestNoOpWritesKeepFastPath(t *testing.T) {
+	base := NewInstance(F("r", value.Str("a")), F("s", value.Str("b")))
+	c := base.Clone()
+	if c.Insert(F("r", value.Str("a"))) {
+		t.Fatal("duplicate insert reported true")
+	}
+	if c.Delete(F("r", value.Str("zzz"))) || c.Delete(F("nosuch", value.Str("x"))) {
+		t.Fatal("no-op delete reported true")
+	}
+	if len(c.deltas) != 0 {
+		t.Fatalf("no-op writes allocated deltas: %v", c.dorder)
+	}
+}
+
+// TestOverlayFlattening drives an overlay far past its base so it folds back
+// into a privately owned engine, and checks that neither the view's contents
+// nor its siblings change across the representation switch.
+func TestOverlayFlattening(t *testing.T) {
+	base := NewInstance()
+	for i := 0; i < 50; i++ {
+		base.Insert(F("p", value.Int(int64(i))))
+	}
+	a := base.Clone()
+	b := base.Clone()
+	for i := 0; i < 600; i++ { // far beyond the flatten threshold
+		a.Insert(F("q", value.Int(int64(i))))
+	}
+	for i := 0; i < 25; i++ {
+		a.Delete(F("p", value.Int(int64(i))))
+	}
+	if a.Len() != 50+600-25 {
+		t.Fatalf("a.Len = %d", a.Len())
+	}
+	if a.overlay() {
+		t.Fatalf("expected a to have flattened back to owner mode (deltaN=%d)", a.deltaN)
+	}
+	for i := 0; i < 600; i++ {
+		if !a.Has(F("q", value.Int(int64(i)))) {
+			t.Fatalf("flattened view lost q(%d)", i)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		if a.Has(F("p", value.Int(int64(i)))) {
+			t.Fatalf("flattened view resurrected p(%d)", i)
+		}
+	}
+	// Siblings and base still see the original contents.
+	if b.Len() != 50 || base.Len() != 50 {
+		t.Fatalf("sibling/base affected by flattening: %d/%d", b.Len(), base.Len())
+	}
+	// A flattened view is writable and Diff against its old siblings still
+	// works through the generic path.
+	a.Insert(F("znew", value.Str("x")))
+	dl := Diff(base, a)
+	if got := dl.Size(); got != 601+25 {
+		t.Fatalf("Diff size = %d, want %d (601 added, 25 removed)", got, 601+25)
+	}
+}
+
+// TestFactsCachedSorted checks that Facts keeps its sorted contract and that
+// the cache is invalidated by mutations on both owner and overlay paths.
+func TestFactsCachedSorted(t *testing.T) {
+	d := NewInstance(F("b", value.Int(2)), F("a", value.Int(9)), F("a", value.Int(1)))
+	check := func(d *Instance, wantLen int) {
+		fs := d.Facts()
+		if len(fs) != wantLen {
+			t.Fatalf("Facts len = %d, want %d", len(fs), wantLen)
+		}
+		for i := 1; i < len(fs); i++ {
+			if fs[i-1].Compare(fs[i]) >= 0 {
+				t.Fatalf("Facts not strictly sorted: %v", fs)
+			}
+		}
+	}
+	check(d, 3)
+	check(d, 3) // cached path
+	d.Insert(F("c", value.Str("x")))
+	check(d, 4)
+	o := d.Clone()
+	o.Delete(F("a", value.Int(1)))
+	check(o, 3)
+	o.Insert(F("a", value.Int(0)))
+	check(o, 4)
+	// Mutating the returned slice must not corrupt the cache.
+	fs := o.Facts()
+	fs[0] = Fact{Pred: "corrupt"}
+	check(o, 4)
+	if o.Facts()[0].Pred == "corrupt" {
+		t.Fatal("Facts cache aliased to caller slice")
+	}
+}

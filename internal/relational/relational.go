@@ -17,16 +17,12 @@ import (
 // Tuple is a finite sequence of constants from U.
 type Tuple []value.V
 
-// Key returns an injective encoding of the tuple for use in set membership.
+// Key returns an injective encoding of the tuple for use in set membership:
+// the interned id of each constant, 4 bytes per position. The encoding is
+// compact and allocation-cheap but not human-readable; use String for
+// display.
 func (t Tuple) Key() string {
-	var b strings.Builder
-	for i, v := range t {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(v.Key())
-	}
-	return b.String()
+	return string(appendTupleKey(make([]byte, 0, 4*len(t)), t))
 }
 
 func (t Tuple) String() string {
@@ -113,8 +109,16 @@ func (f Fact) String() string {
 	return f.Pred + f.Args.String()
 }
 
-// Key returns an injective encoding of the fact.
-func (f Fact) Key() string { return f.Pred + "/" + fmt.Sprint(len(f.Args)) + ":" + f.Args.Key() }
+// Key returns an injective encoding of the fact: interned predicate id,
+// arity, then the argument ids, 4 bytes each. Keys are self-delimiting, so
+// concatenations of fact keys (Instance.Key) remain injective.
+func (f Fact) Key() string {
+	b := make([]byte, 0, 8+4*len(f.Args))
+	b = appendU32(b, predID(f.Pred))
+	b = appendU32(b, uint32(len(f.Args)))
+	b = appendTupleKey(b, f.Args)
+	return string(b)
+}
 
 // Equal reports whether two facts are identical.
 func (f Fact) Equal(g Fact) bool { return f.Pred == g.Pred && f.Args.Equal(g.Args) }
@@ -216,179 +220,6 @@ func (s *Schema) Relations() []Relation {
 	return out
 }
 
-// Instance is a finite database instance: a set of ground atoms.
-// The zero value is not usable; call NewInstance.
-type Instance struct {
-	facts map[string]Fact // key -> fact
-}
-
-// NewInstance returns an empty instance, optionally populated with facts.
-func NewInstance(facts ...Fact) *Instance {
-	d := &Instance{facts: make(map[string]Fact, len(facts))}
-	for _, f := range facts {
-		d.Insert(f)
-	}
-	return d
-}
-
-// Insert adds a fact (set semantics: duplicates are absorbed). It reports
-// whether the fact was new.
-func (d *Instance) Insert(f Fact) bool {
-	k := f.Key()
-	if _, ok := d.facts[k]; ok {
-		return false
-	}
-	d.facts[k] = Fact{Pred: f.Pred, Args: f.Args.Clone()}
-	return true
-}
-
-// Delete removes a fact, reporting whether it was present.
-func (d *Instance) Delete(f Fact) bool {
-	k := f.Key()
-	if _, ok := d.facts[k]; !ok {
-		return false
-	}
-	delete(d.facts, k)
-	return true
-}
-
-// Has reports membership.
-func (d *Instance) Has(f Fact) bool {
-	_, ok := d.facts[f.Key()]
-	return ok
-}
-
-// Len returns the number of facts.
-func (d *Instance) Len() int { return len(d.facts) }
-
-// Facts returns all facts sorted deterministically.
-func (d *Instance) Facts() []Fact {
-	out := make([]Fact, 0, len(d.facts))
-	for _, f := range d.facts {
-		out = append(out, f)
-	}
-	return SortFacts(out)
-}
-
-// Relation returns the sorted tuples of the given predicate with the given
-// arity.
-func (d *Instance) Relation(pred string, arity int) []Tuple {
-	var out []Tuple
-	for _, f := range d.facts {
-		if f.Pred == pred && len(f.Args) == arity {
-			out = append(out, f.Args)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out
-}
-
-// Preds returns the sorted predicate names occurring in the instance.
-func (d *Instance) Preds() []string {
-	seen := map[string]bool{}
-	for _, f := range d.facts {
-		seen[f.Pred] = true
-	}
-	out := make([]string, 0, len(seen))
-	for p := range seen {
-		out = append(out, p)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Clone returns an independent copy of the instance.
-func (d *Instance) Clone() *Instance {
-	c := &Instance{facts: make(map[string]Fact, len(d.facts))}
-	for k, f := range d.facts {
-		c.facts[k] = f
-	}
-	return c
-}
-
-// Equal reports set equality of instances.
-func (d *Instance) Equal(e *Instance) bool {
-	if len(d.facts) != len(e.facts) {
-		return false
-	}
-	for k := range d.facts {
-		if _, ok := e.facts[k]; !ok {
-			return false
-		}
-	}
-	return true
-}
-
-// Key returns a canonical encoding of the whole instance (used to memoize
-// repair search states).
-func (d *Instance) Key() string {
-	keys := make([]string, 0, len(d.facts))
-	for k := range d.facts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return strings.Join(keys, ";")
-}
-
-// String renders the instance as a sorted set of facts.
-func (d *Instance) String() string {
-	fs := d.Facts()
-	parts := make([]string, len(fs))
-	for i, f := range fs {
-		parts[i] = f.String()
-	}
-	return "{" + strings.Join(parts, ", ") + "}"
-}
-
-// ActiveDomain returns adom(D): the set of constants occurring in the
-// instance, sorted, excluding null (null is accounted for separately in
-// Proposition 1: adom(D) ∪ const(IC) ∪ {null}).
-func (d *Instance) ActiveDomain() []value.V {
-	seen := map[string]value.V{}
-	for _, f := range d.facts {
-		for _, v := range f.Args {
-			if !v.IsNull() {
-				seen[v.Key()] = v
-			}
-		}
-	}
-	out := make([]value.V, 0, len(seen))
-	for _, v := range seen {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out
-}
-
-// Project computes D^A of Definition 3: every fact of a predicate named in
-// positions is projected onto the given 0-based attribute positions (sorted
-// ascending); predicates absent from positions are dropped. Projected
-// predicates keep their names (their arity changes, which keeps them distinct
-// in this package's Fact keys).
-func (d *Instance) Project(positions map[string][]int) *Instance {
-	out := NewInstance()
-	for _, f := range d.facts {
-		pos, ok := positions[f.Pred]
-		if !ok || !fits(pos, len(f.Args)) {
-			continue
-		}
-		out.Insert(Fact{Pred: f.Pred, Args: f.Args.Project(pos)})
-	}
-	return out
-}
-
-// fits reports whether every position is valid for the given arity (facts
-// of a same-named predicate with a smaller arity are skipped rather than
-// panicking).
-func fits(pos []int, arity int) bool {
-	for _, p := range pos {
-		if p < 0 || p >= arity {
-			return false
-		}
-	}
-	return true
-}
-
 // Delta is the symmetric difference Δ(D, D′) split into its two halves:
 // Removed = D \ D′ and Added = D′ \ D, each sorted.
 type Delta struct {
@@ -414,24 +245,6 @@ func (dl Delta) String() string {
 		parts[i] = f.String()
 	}
 	return "{" + strings.Join(parts, ", ") + "}"
-}
-
-// Diff computes Δ(d, e).
-func Diff(d, e *Instance) Delta {
-	var dl Delta
-	for k, f := range d.facts {
-		if _, ok := e.facts[k]; !ok {
-			dl.Removed = append(dl.Removed, f)
-		}
-	}
-	for k, f := range e.facts {
-		if _, ok := d.facts[k]; !ok {
-			dl.Added = append(dl.Added, f)
-		}
-	}
-	SortFacts(dl.Removed)
-	SortFacts(dl.Added)
-	return dl
 }
 
 // FormatTable renders one relation as an aligned text table in the style of

@@ -75,18 +75,23 @@ func LessD(d, d1, d2 *relational.Instance) bool {
 // and tests; the repair machinery uses LeqD.
 func LeqDLiteral(d, d1, d2 *relational.Instance) bool {
 	dl1, dl2 := relational.Diff(d, d1), relational.Diff(d, d2)
-	delta1 := factSet(dl1.Facts())
-	delta2 := dl2.Facts()
-	delta2Set := factSet(delta2)
+	delta1 := deltaSet(dl1)
+	delta2 := append(append([]relational.Fact(nil), dl2.Removed...), dl2.Added...)
+	delta2Set := deltaSet(dl2)
 
-	for _, f := range dl1.Facts() {
+	check := func(f relational.Fact) bool {
 		if !f.Args.HasNull() {
-			if !delta2Set[f.Key()] {
-				return false
-			}
-			continue
+			return delta2Set[f.Key()]
 		}
-		if !hasPatternMatch(f, delta2, delta1) {
+		return hasPatternMatch(f, delta2, delta1)
+	}
+	for _, f := range dl1.Removed {
+		if !check(f) {
+			return false
+		}
+	}
+	for _, f := range dl1.Added {
+		if !check(f) {
 			return false
 		}
 	}
@@ -126,12 +131,30 @@ func factSet(fs []relational.Fact) map[string]bool {
 	return m
 }
 
+// deltaSet is the key set of both halves of a symmetric difference, built
+// without materializing (and sorting) a merged fact slice.
+func deltaSet(dl relational.Delta) map[string]bool {
+	m := make(map[string]bool, dl.Size())
+	for _, f := range dl.Removed {
+		m[f.Key()] = true
+	}
+	for _, f := range dl.Added {
+		m[f.Key()] = true
+	}
+	return m
+}
+
 // SubsetDelta is the classic order of the paper's [2]: Δ(D,D1) ⊆ Δ(D,D2)
 // as plain sets of atoms.
 func SubsetDelta(d, d1, d2 *relational.Instance) bool {
 	dl1, dl2 := relational.Diff(d, d1), relational.Diff(d, d2)
-	set2 := factSet(dl2.Facts())
-	for _, f := range dl1.Facts() {
+	set2 := deltaSet(dl2)
+	for _, f := range dl1.Removed {
+		if !set2[f.Key()] {
+			return false
+		}
+	}
+	for _, f := range dl1.Added {
 		if !set2[f.Key()] {
 			return false
 		}

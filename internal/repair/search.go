@@ -51,8 +51,8 @@ var ErrStateLimit = fmt.Errorf("repair: state limit exceeded")
 
 // Result is the outcome of a repair enumeration.
 type Result struct {
-	// Repairs are the minimal consistent instances, deterministically
-	// ordered by instance key.
+	// Repairs are the minimal consistent instances, in content-canonical
+	// order (Instance.Compare — stable across runs, unlike Key order).
 	Repairs []*relational.Instance
 	// Deltas are the symmetric differences Δ(D, repair), aligned with
 	// Repairs.
@@ -154,24 +154,25 @@ func run(d *relational.Instance, set *constraint.Set, opts Options, adomICs map[
 		insertDomain = dedupValues(insertDomain)
 	}
 
-	visited := map[string]bool{}
-	leaves := map[string]*relational.Instance{}
+	visited := newInstanceSet()
+	var leaves []*relational.Instance
 	var res Result
 
 	var rec func(cur *relational.Instance) error
 	rec = func(cur *relational.Instance) error {
-		key := cur.Key()
-		if visited[key] {
+		if visited.contains(cur) {
 			return nil
 		}
-		if len(visited) >= maxStates {
+		if visited.size >= maxStates {
 			return ErrStateLimit
 		}
-		visited[key] = true
+		visited.insert(cur)
 
 		viol, nncViol, ok := firstViolation(cur, set, sem)
 		if !ok {
-			leaves[key] = cur
+			// The visited guard above ensures each state is processed
+			// once, so leaves are distinct by construction.
+			leaves = append(leaves, cur)
 			return nil
 		}
 		for _, next := range fixes(cur, set, viol, nncViol, opts.Mode, insertDomain, adomICs) {
@@ -184,18 +185,11 @@ func run(d *relational.Instance, set *constraint.Set, opts Options, adomICs map[
 	if err := rec(d); err != nil {
 		return Result{}, err
 	}
-	res.StatesExplored = len(visited)
+	res.StatesExplored = visited.size
 	res.Leaves = len(leaves)
 
-	keys := make([]string, 0, len(leaves))
-	for k := range leaves {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	candidates := make([]*relational.Instance, 0, len(keys))
-	for _, k := range keys {
-		candidates = append(candidates, leaves[k])
-	}
+	candidates := append([]*relational.Instance(nil), leaves...)
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Compare(candidates[j]) < 0 })
 	ord := Ordering(LeqD)
 	if opts.Mode == Classic {
 		ord = SubsetDelta
@@ -208,19 +202,45 @@ func run(d *relational.Instance, set *constraint.Set, opts Options, adomICs map[
 	return res, nil
 }
 
+// instanceSet memoizes search states by their incremental fingerprint, with
+// full Equal confirmation inside a bucket, so state deduplication never
+// serializes a whole instance.
+type instanceSet struct {
+	buckets map[uint64][]*relational.Instance
+	size    int
+}
+
+func newInstanceSet() *instanceSet {
+	return &instanceSet{buckets: map[uint64][]*relational.Instance{}}
+}
+
+func (s *instanceSet) contains(d *relational.Instance) bool {
+	for _, o := range s.buckets[d.Fingerprint()] {
+		if o.Equal(d) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *instanceSet) insert(d *relational.Instance) {
+	fp := d.Fingerprint()
+	s.buckets[fp] = append(s.buckets[fp], d)
+	s.size++
+}
+
 // firstViolation returns a deterministic first violation of the set, if
-// any: either an IC violation or an NNC violation.
+// any: either an IC violation or an NNC violation. The probes stop at the
+// first falsifying assignment instead of materializing every violation.
 func firstViolation(d *relational.Instance, set *constraint.Set, sem nullsem.Semantics) (*nullsem.Violation, *nullsem.NNCViolation, bool) {
 	for _, ic := range set.ICs {
-		vs := nullsem.CheckIC(d, ic, sem)
-		if len(vs) > 0 {
-			return &vs[0], nil, true
+		if v, ok := nullsem.FirstViolationIC(d, ic, sem); ok {
+			return &v, nil, true
 		}
 	}
 	for _, n := range set.NNCs {
-		fs := nullsem.CheckNNC(d, n)
-		if len(fs) > 0 {
-			return nil, &nullsem.NNCViolation{NNC: n, Fact: fs[0]}, true
+		if f, ok := nullsem.FirstViolationNNC(d, n); ok {
+			return nil, &nullsem.NNCViolation{NNC: n, Fact: f}, true
 		}
 	}
 	return nil, nil, false

@@ -144,9 +144,9 @@ func BuildWith(d *relational.Instance, set *constraint.Set, opts BuildOptions) (
 		for _, sig := range set.Preds() {
 			tr.annotated[sig.Name] = true
 		}
-		for _, f := range d.Facts() {
-			if !tr.annotated[f.Pred] {
-				tr.passthrough[f.Pred] = true
+		for _, rk := range d.RelKeys() {
+			if !tr.annotated[rk.Pred] {
+				tr.passthrough[rk.Pred] = true
 			}
 		}
 	}
@@ -226,8 +226,8 @@ func (tr *Translation) allPreds(d *relational.Instance) []constraint.PredSig {
 	for _, sig := range tr.Set.Preds() {
 		add(sig)
 	}
-	for _, f := range d.Facts() {
-		add(constraint.PredSig{Name: f.Pred, Arity: len(f.Args)})
+	for _, rk := range d.RelKeys() {
+		add(constraint.PredSig{Name: rk.Pred, Arity: rk.Arity})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
@@ -372,8 +372,8 @@ func (tr *Translation) Interpret(gp *ground.Program, m stable.Model) *relational
 }
 
 // StableRepairs grounds the program, enumerates its stable models, and
-// returns the distinct database instances they induce, sorted by key, along
-// with the models themselves.
+// returns the distinct database instances they induce, in content-canonical
+// order, along with the models themselves.
 func (tr *Translation) StableRepairs(opts stable.Options) ([]*relational.Instance, []stable.Model, error) {
 	gp, err := ground.Ground(tr.Program)
 	if err != nil {
@@ -388,15 +388,11 @@ func (tr *Translation) StableRepairs(opts stable.Options) ([]*relational.Instanc
 		inst := tr.Interpret(gp, m)
 		seen[inst.Key()] = inst
 	}
-	keys := make([]string, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
+	out := make([]*relational.Instance, 0, len(seen))
+	for _, inst := range seen {
+		out = append(out, inst)
 	}
-	sort.Strings(keys)
-	out := make([]*relational.Instance, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, seen[k])
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out, models, nil
 }
 

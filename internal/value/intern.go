@@ -1,0 +1,66 @@
+package value
+
+import "sync"
+
+// This file implements the process-wide value interner backing the indexed
+// storage engine in internal/relational. Every distinct constant of the
+// domain U is assigned a dense uint32 id; the distinguished constant null is
+// always id 0. Ids are stable for the lifetime of the process, so equality
+// of constants (Eq, i.e. null treated as an ordinary constant) coincides
+// with equality of ids, and tuple encodings built from ids are injective.
+//
+// The interner is deliberately global: instances, overlays and repair-search
+// states all share one id space, which is what makes cross-instance
+// operations (Diff, Equal, index lookups on overlay bases) comparisons of
+// small integers instead of string rebuilds.
+
+// NullID is the interned id of the null constant.
+const NullID uint32 = 0
+
+var interner = struct {
+	mu   sync.RWMutex
+	ids  map[V]uint32
+	vals []V
+}{
+	ids:  map[V]uint32{{}: NullID},
+	vals: []V{{}},
+}
+
+// ID returns the dense process-wide id of v, interning it on first use.
+// Ids respect Eq: v.Eq(w) iff v.ID() == w.ID(). The null constant always
+// has id NullID.
+func (v V) ID() uint32 {
+	interner.mu.RLock()
+	id, ok := interner.ids[v]
+	interner.mu.RUnlock()
+	if ok {
+		return id
+	}
+	interner.mu.Lock()
+	defer interner.mu.Unlock()
+	if id, ok := interner.ids[v]; ok {
+		return id
+	}
+	id = uint32(len(interner.vals))
+	interner.ids[v] = id
+	interner.vals = append(interner.vals, v)
+	return id
+}
+
+// FromID returns the constant interned under id, if any.
+func FromID(id uint32) (V, bool) {
+	interner.mu.RLock()
+	defer interner.mu.RUnlock()
+	if int(id) >= len(interner.vals) {
+		return V{}, false
+	}
+	return interner.vals[id], true
+}
+
+// InternedCount reports how many distinct constants have been interned,
+// including null.
+func InternedCount() int {
+	interner.mu.RLock()
+	defer interner.mu.RUnlock()
+	return len(interner.vals)
+}
