@@ -460,7 +460,47 @@ func BenchmarkRepairScaling(b *testing.B) {
 				}
 			}
 		})
+		b.Run(fmt.Sprintf("bulk=%d/workers=4", bulk), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := repair.Repairs(d, set, repair.Options{Workers: 4})
+				if err != nil || len(res.Repairs) != 8 {
+					b.Fatalf("repairs=%d err=%v", len(res.Repairs), err)
+				}
+			}
+		})
 	}
+}
+
+// --- streaming CQA: boolean short-circuit vs full enumeration --------------------------------------
+
+// BenchmarkBooleanShortCircuit measures the tentpole's early termination: a
+// refuted boolean certain answer stops the repair search at the first
+// confirmed-minimal counterexample, while the certain yes pays for the full
+// enumeration.
+func BenchmarkBooleanShortCircuit(b *testing.B) {
+	d, set := courseStudentDB(6)
+	refuted := parser.MustQuery(`q :- course(34, c18).`)
+	certain := parser.MustQuery(`q :- student(21, "Ann").`)
+	opts := core.NewOptions()
+	b.Run("refuted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ans, err := core.ConsistentAnswers(d, set, refuted, opts)
+			if err != nil || ans.Boolean || !ans.ShortCircuited {
+				b.Fatalf("ans=%+v err=%v", ans, err)
+			}
+		}
+	})
+	b.Run("certain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ans, err := core.ConsistentAnswers(d, set, certain, opts)
+			if err != nil || !ans.Boolean || ans.ShortCircuited {
+				b.Fatalf("ans=%+v err=%v", ans, err)
+			}
+		}
+	})
 }
 
 // --- storage engine: constraint-check cost vs unrelated data ---------------------------------------

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	cqa -db db.facts -ic constraints.ic check
-//	cqa -db db.facts -ic constraints.ic repairs [-classic] [-engine program]
-//	cqa -db db.facts -ic constraints.ic answers -query query.q [-engine program]
+//	cqa -db db.facts -ic constraints.ic repairs [-classic] [-engine search|program] [-workers n]
+//	cqa -db db.facts -ic constraints.ic answers -query query.q [-engine search|program|cautious] [-workers n]
 //	cqa -db db.facts -ic constraints.ic semantics
 //
 // Input files use the syntax of internal/parser (upper-case identifiers are
@@ -45,8 +45,9 @@ func run(args []string) error {
 	dbArg := fs.String("db", "", "database instance (file path or inline facts)")
 	icArg := fs.String("ic", "", "integrity constraints (file path or inline)")
 	queryArg := fs.String("query", "", "query (file path or inline), for the answers command")
-	engine := fs.String("engine", "search", "repair engine: search | program | cautious")
-	classic := fs.Bool("classic", false, "use the classic [2] repair semantics (repairs command)")
+	engine := fs.String("engine", "search", "repair engine: search | program | cautious (answers only)")
+	classic := fs.Bool("classic", false, "use the classic [2] repair semantics (repairs command, search engine)")
+	workers := fs.Int("workers", 1, "parallel workers for the search engine (>= 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +56,26 @@ func run(args []string) error {
 	}
 	cmd := fs.Arg(0)
 
+	switch *engine {
+	case "search", "program", "cautious":
+	default:
+		return fmt.Errorf("unknown -engine %q: want search, program, or cautious", *engine)
+	}
+	if *engine != "search" && cmd != "repairs" && cmd != "answers" {
+		return fmt.Errorf("-engine only applies to the repairs and answers commands")
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
+	}
+	if *workers > 1 && *engine != "search" {
+		return fmt.Errorf("-workers requires the search engine (got -engine %s)", *engine)
+	}
+	if *workers > 1 && cmd != "repairs" && cmd != "answers" {
+		return fmt.Errorf("-workers only applies to the repairs and answers commands")
+	}
+	if *classic && cmd != "repairs" {
+		return fmt.Errorf("-classic only applies to the repairs command")
+	}
 	if *dbArg == "" || *icArg == "" {
 		return fmt.Errorf("-db and -ic are required")
 	}
@@ -71,7 +92,7 @@ func run(args []string) error {
 	case "check":
 		return cmdCheck(d, set)
 	case "repairs":
-		return cmdRepairs(d, set, *engine, *classic)
+		return cmdRepairs(d, set, *engine, *classic, *workers)
 	case "answers":
 		if *queryArg == "" {
 			return fmt.Errorf("-query is required for the answers command")
@@ -80,7 +101,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("loading -query: %w", err)
 		}
-		return cmdAnswers(d, set, q, *engine)
+		return cmdAnswers(d, set, q, *engine, *workers)
 	case "semantics":
 		return cmdSemantics(d, set)
 	default:
@@ -141,10 +162,13 @@ func cmdCheck(d *relational.Instance, set *constraint.Set) error {
 	return nil
 }
 
-func cmdRepairs(d *relational.Instance, set *constraint.Set, engine string, classic bool) error {
-	if engine == "program" {
-		variant := repairprog.VariantCorrected
-		tr, err := repairprog.Build(d, set, variant)
+func cmdRepairs(d *relational.Instance, set *constraint.Set, engine string, classic bool, workers int) error {
+	switch engine {
+	case "program":
+		if classic {
+			return fmt.Errorf("-classic requires -engine search (the program engine implements only the null-based semantics)")
+		}
+		tr, err := repairprog.Build(d, set, repairprog.VariantCorrected)
 		if err != nil {
 			return err
 		}
@@ -157,30 +181,37 @@ func cmdRepairs(d *relational.Instance, set *constraint.Set, engine string, clas
 			fmt.Printf("repair %d: %s\n         Δ = %s\n", i+1, r, relational.Diff(d, r))
 		}
 		return nil
+	case "search":
+		opts := repair.Options{Workers: workers}
+		if classic {
+			opts.Mode = repair.Classic
+		}
+		res, err := repair.RepairsD(d, set, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d repairs (%s mode, %d states explored):\n",
+			len(res.Repairs), opts.Mode, res.StatesExplored)
+		for i, r := range res.Repairs {
+			fmt.Printf("repair %d: %s\n         Δ = %s\n", i+1, r, res.Deltas[i])
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown -engine %q for the repairs command: want search or program (cautious never materializes repairs)", engine)
 	}
-	opts := repair.Options{}
-	if classic {
-		opts.Mode = repair.Classic
-	}
-	res, err := repair.RepairsD(d, set, opts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%d repairs (%s mode, %d states explored):\n",
-		len(res.Repairs), opts.Mode, res.StatesExplored)
-	for i, r := range res.Repairs {
-		fmt.Printf("repair %d: %s\n         Δ = %s\n", i+1, r, res.Deltas[i])
-	}
-	return nil
 }
 
-func cmdAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, engine string) error {
+func cmdAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, engine string, workers int) error {
 	opts := core.NewOptions()
 	switch engine {
+	case "search":
+		opts.Repair.Workers = workers
 	case "program":
 		opts.Engine = core.EngineProgram
 	case "cautious":
 		opts.Engine = core.EngineProgramCautious
+	default:
+		return fmt.Errorf("unknown -engine %q: want search, program, or cautious", engine)
 	}
 	ans, err := core.ConsistentAnswers(d, set, q, opts)
 	if err != nil {

@@ -160,3 +160,69 @@ func TestErrorPaths(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineValidation(t *testing.T) {
+	db, ic, q := writeFixtures(t)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the expected error
+	}{
+		{"repairs rejects typo'd engine", // used to silently fall back to search
+			[]string{"-db", db, "-ic", ic, "-engine", "serach", "repairs"}, "unknown -engine"},
+		{"repairs rejects cautious", // cautious never materializes repairs
+			[]string{"-db", db, "-ic", ic, "-engine", "cautious", "repairs"}, "unknown -engine"},
+		{"repairs rejects classic with program", // -classic used to be silently ignored
+			[]string{"-db", db, "-ic", ic, "-classic", "-engine", "program", "repairs"}, "-classic requires -engine search"},
+		{"answers rejects typo'd engine", // used to silently fall back to search
+			[]string{"-db", db, "-ic", ic, "-query", q, "-engine", "progam", "answers"}, "unknown -engine"},
+		{"classic outside repairs",
+			[]string{"-db", db, "-ic", ic, "-query", q, "-classic", "answers"}, "-classic only applies"},
+		{"workers must be positive",
+			[]string{"-db", db, "-ic", ic, "-workers", "0", "repairs"}, "-workers must be >= 1"},
+		{"workers with program engine", // would otherwise run single-threaded with no diagnostic
+			[]string{"-db", db, "-ic", ic, "-engine", "program", "-workers", "4", "repairs"}, "-workers requires the search engine"},
+		{"workers outside repairs/answers",
+			[]string{"-db", db, "-ic", ic, "-workers", "4", "check"}, "-workers only applies"},
+		{"typo'd engine on check", // used to be silently ignored
+			[]string{"-db", db, "-ic", ic, "-engine", "serach", "check"}, "unknown -engine"},
+		{"engine outside repairs/answers",
+			[]string{"-db", db, "-ic", ic, "-engine", "program", "semantics"}, "-engine only applies"},
+	}
+	for _, tc := range cases {
+		_, err := capture(t, func() error { return run(tc.args) })
+		if err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error", tc.name, tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWorkersDeterministic pins the tentpole guarantee at the CLI level: the
+// parallel search prints byte-identical repair listings and answers. The
+// fixture keeps even the states-explored line deterministic (at most one
+// insertable atom per state, so expansion is content-determined; see the
+// Options.Workers contract), and the answers query is non-boolean, so no
+// scheduling-dependent short-circuit diagnostics are printed.
+func TestWorkersDeterministic(t *testing.T) {
+	db, ic, q := writeFixtures(t)
+	for _, cmd := range [][]string{
+		{"-db", db, "-ic", ic, "repairs"},
+		{"-db", db, "-ic", ic, "-query", q, "answers"},
+	} {
+		seq, err := capture(t, func() error { return run(cmd) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := capture(t, func() error { return run(append([]string{"-workers", "4"}, cmd...)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != par {
+			t.Errorf("workers=4 output differs from sequential for %v:\n--- seq ---\n%s--- par ---\n%s", cmd, seq, par)
+		}
+	}
+}

@@ -88,8 +88,28 @@ type Answer struct {
 	Tuples []relational.Tuple
 	// Boolean is the certain answer of a boolean query.
 	Boolean bool
-	// NumRepairs is the number of repairs inspected.
+	// NumRepairs is the number of repairs inspected. After a short-circuit
+	// it is 1: the confirmed-minimal counterexample is the only candidate
+	// established as a repair when the search stops.
 	NumRepairs int
+	// StatesExplored counts the search states visited when the search
+	// engine produced the answer (0 for the program engines). After a
+	// short-circuit with Workers <= 1 it is strictly below the
+	// full-enumeration count; parallel cancellation is best-effort, so
+	// in-flight workers may have admitted further states by the time the
+	// stop propagates.
+	StatesExplored int
+	// ShortCircuited reports that the search stopped at the first
+	// confirmed-minimal counterexample instead of enumerating Rep(D, IC)
+	// exhaustively. Only boolean queries on the search engine short-
+	// circuit, and only when the certain answer is no.
+	//
+	// Boolean and Tuples are identical for every Repair.Workers value;
+	// NumRepairs, StatesExplored and ShortCircuited are diagnostics that
+	// are deterministic for Workers <= 1 but can vary with scheduling for
+	// larger worker counts (leaf arrival order decides which falsifying
+	// candidates spend the certificate budget).
+	ShortCircuited bool
 }
 
 // IsConsistent reports D |=_N IC.
@@ -117,19 +137,147 @@ func RepairsOf(d *relational.Instance, set *constraint.Set, opts Options) ([]*re
 }
 
 // ConsistentAnswers computes the consistent answers to q on d wrt set.
+//
+// With the search engine the answer is computed incrementally on the repair
+// stream (see searchAnswers): boolean certain answers short-circuit the
+// whole enumeration at the first confirmed-minimal counterexample.
 func ConsistentAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
 	if err := q.Validate(); err != nil {
 		return Answer{}, err
 	}
-	if opts.Engine == EngineProgramCautious {
+	switch opts.Engine {
+	case EngineProgramCautious:
 		return cautiousAnswers(d, set, q, opts)
+	case EngineProgram:
+		return materializedAnswers(d, set, q, opts)
+	default:
+		return searchAnswers(d, set, q, opts)
 	}
+}
+
+// errEmptyRepairSet guards the Proposition 1 invariant.
+var errEmptyRepairSet = fmt.Errorf("core: empty repair set (Proposition 1 guarantees at least one repair; this indicates an engine limitation on this input)")
+
+// maxConfirmAttempts bounds how many falsifying leaves a boolean search
+// answer will try to certify with ConfirmMinimal before falling back to
+// plain full enumeration.
+const maxConfirmAttempts = 8
+
+// searchAnswers implements EngineSearch on the streaming repair search:
+// leaves feed the online ≤_D antichain and the certain answers are the
+// incremental intersection over the candidates that survive the stream.
+//
+// Boolean queries are evaluated eagerly, one evaluation per candidate that
+// enters the surviving set (evaluations of displaced candidates are dropped
+// with them): the moment a falsifying leaf carries a ConfirmMinimal
+// certificate, it is a repair no matter what the rest of the search would
+// find, so the certain answer is already no and the whole search is
+// cancelled. Non-boolean queries can never short-circuit (their NumRepairs
+// is part of the cross-engine contract), so they evaluate only the final
+// survivors — never a displaced candidate.
+func searchAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
+	if !q.IsBoolean() {
+		repairs, stats, err := streamRepairs(d, set, opts)
+		if err != nil {
+			return Answer{}, err
+		}
+		ans := Answer{NumRepairs: len(repairs), StatesExplored: stats.StatesExplored}
+		if ans.Tuples, err = certainTuples(repairs, q); err != nil {
+			return Answer{}, err
+		}
+		return ans, nil
+	}
+
+	ac := repair.NewAntichain(d, opts.Repair.Mode)
+	holdsBy := map[*relational.Instance]bool{}
+	var evalErr error
+	short := false
+	// A failed certificate costs up to 2^ConfirmLimit consistency checks
+	// (the falsifying leaf is minimal so far, but its dominator arrives
+	// later), so stop attempting after a few misses: the stream still
+	// completes and the final answer is unchanged.
+	confirmBudget := maxConfirmAttempts
+	stats, err := repair.Enumerate(d, set, opts.Repair, func(leaf *relational.Instance) bool {
+		minimal, displaced := ac.Add(leaf)
+		for _, m := range displaced {
+			delete(holdsBy, m)
+		}
+		if !minimal {
+			return true
+		}
+		holds, err := query.EvalBool(leaf, q)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		holdsBy[leaf] = holds
+		if !holds && confirmBudget > 0 {
+			confirmBudget--
+			if repair.ConfirmMinimal(d, leaf, set, opts.Repair) {
+				short = true
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return Answer{}, err
+	}
+	if evalErr != nil {
+		return Answer{}, evalErr
+	}
+	ans := Answer{StatesExplored: stats.StatesExplored}
+	if short {
+		ans.ShortCircuited = true
+		// Exactly one repair — the confirmed counterexample — has been
+		// established; report that, deterministically across worker
+		// counts (the surviving-candidate count at the cancellation
+		// point is scheduling-dependent for Workers > 1).
+		ans.NumRepairs = 1
+		return ans, nil
+	}
+	if stats.Leaves == 0 {
+		return Answer{}, errEmptyRepairSet
+	}
+	repairs, _ := ac.Results()
+	ans.NumRepairs = len(repairs)
+	ans.Boolean = true
+	for _, r := range repairs {
+		if !holdsBy[r] {
+			ans.Boolean = false
+			break
+		}
+	}
+	return ans, nil
+}
+
+// streamRepairs materializes the repair set through the streaming search and
+// online antichain, returning the survivors in canonical order.
+func streamRepairs(d *relational.Instance, set *constraint.Set, opts Options) ([]*relational.Instance, repair.Stats, error) {
+	ac := repair.NewAntichain(d, opts.Repair.Mode)
+	stats, err := repair.Enumerate(d, set, opts.Repair, func(leaf *relational.Instance) bool {
+		ac.Add(leaf)
+		return true
+	})
+	if err != nil {
+		return nil, repair.Stats{}, err
+	}
+	if stats.Leaves == 0 {
+		return nil, repair.Stats{}, errEmptyRepairSet
+	}
+	repairs, _ := ac.Results()
+	return repairs, stats, nil
+}
+
+// materializedAnswers implements EngineProgram: materialize the repair set
+// from the stable models, then intersect per-repair evaluations.
+func materializedAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
 	repairs, err := RepairsOf(d, set, opts)
 	if err != nil {
 		return Answer{}, err
 	}
 	if len(repairs) == 0 {
-		return Answer{}, fmt.Errorf("core: empty repair set (Proposition 1 guarantees at least one repair; this indicates an engine limitation on this input)")
+		return Answer{}, errEmptyRepairSet
 	}
 	ans := Answer{NumRepairs: len(repairs)}
 	if q.IsBoolean() {
@@ -146,12 +294,20 @@ func ConsistentAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, 
 		}
 		return ans, nil
 	}
+	if ans.Tuples, err = certainTuples(repairs, q); err != nil {
+		return Answer{}, err
+	}
+	return ans, nil
+}
 
+// certainTuples intersects the answers of q across the repairs, breaking off
+// as soon as the intersection empties.
+func certainTuples(repairs []*relational.Instance, q *query.Q) ([]relational.Tuple, error) {
 	certain := map[string]relational.Tuple{}
 	for i, r := range repairs {
 		tuples, err := query.Eval(r, q)
 		if err != nil {
-			return Answer{}, err
+			return nil, err
 		}
 		if i == 0 {
 			for _, t := range tuples {
@@ -172,11 +328,20 @@ func ConsistentAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, 
 			break
 		}
 	}
-	for _, t := range certain {
-		ans.Tuples = append(ans.Tuples, t)
+	return sortedTuples(certain), nil
+}
+
+// sortedTuples flattens a keyed tuple set into Compare order.
+func sortedTuples(m map[string]relational.Tuple) []relational.Tuple {
+	if len(m) == 0 {
+		return nil
 	}
-	sort.Slice(ans.Tuples, func(i, j int) bool { return ans.Tuples[i].Compare(ans.Tuples[j]) < 0 })
-	return ans, nil
+	out := make([]relational.Tuple, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
 }
 
 // cautiousAnswers implements EngineProgramCautious: cautious reasoning over
@@ -234,20 +399,27 @@ func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, op
 		_, ans.Boolean = certain[relational.Tuple{}.Key()]
 		return ans, nil
 	}
-	for _, t := range certain {
-		ans.Tuples = append(ans.Tuples, t)
-	}
-	sort.Slice(ans.Tuples, func(i, j int) bool { return ans.Tuples[i].Compare(ans.Tuples[j]) < 0 })
+	ans.Tuples = sortedTuples(certain)
 	return ans, nil
 }
 
 // PossibleAnswers returns the tuples answering q in at least one repair
 // (brave semantics) — the complement perspective the CQA literature uses
-// when discussing the Π₂ᵖ upper bound.
+// when discussing the Π₂ᵖ upper bound. With the search engine the repair
+// set comes from the streaming search and online antichain, and only the
+// surviving candidates are ever evaluated.
 func PossibleAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) ([]relational.Tuple, error) {
-	repairs, err := RepairsOf(d, set, opts)
-	if err != nil {
-		return nil, err
+	var repairs []*relational.Instance
+	if opts.Engine != EngineSearch {
+		var err error
+		if repairs, err = RepairsOf(d, set, opts); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if repairs, _, err = streamRepairs(d, set, opts); err != nil {
+			return nil, err
+		}
 	}
 	seen := map[string]relational.Tuple{}
 	for _, r := range repairs {
@@ -259,10 +431,5 @@ func PossibleAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, op
 			seen[t.Key()] = t
 		}
 	}
-	out := make([]relational.Tuple, 0, len(seen))
-	for _, t := range seen {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out, nil
+	return sortedTuples(seen), nil
 }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/relational"
+	"repro/internal/repair"
+	"repro/internal/value"
+)
+
+// violatingCourses builds the Example 15 shape with extra dangling courses,
+// so the repair space is 2^(extra+1) and a short-circuit is observable.
+func violatingCourses(extra int) (*relational.Instance, string) {
+	d := parser.MustInstance(`
+		course(21, c15).
+		course(34, c18).
+		student(21, "Ann").
+		student(45, "Paul").
+	`)
+	for i := 0; i < extra; i++ {
+		d.Insert(relational.F("course", value.Int(int64(100+i)), value.Str(fmt.Sprintf("cx%d", i))))
+	}
+	return d, `course(Id, Code) -> student(Id, Name).`
+}
+
+// TestBooleanShortCircuit is the regression test for the tentpole's early
+// termination: a boolean certain answer that is refuted by one repair must
+// stop the enumeration at the first confirmed-minimal counterexample,
+// witnessed by a states-explored counter strictly below the full-enumeration
+// count.
+func TestBooleanShortCircuit(t *testing.T) {
+	d, setSrc := violatingCourses(3)
+	set := parser.MustConstraints(setSrc)
+	full, err := repair.Repairs(d, set, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	no := parser.MustQuery(`q :- course(34, c18).`)
+	ans, err := ConsistentAnswers(d, set, no, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Boolean {
+		t.Fatal("course(34, c18) must not be certain (one repair deletes it)")
+	}
+	if !ans.ShortCircuited {
+		t.Error("refuted boolean answer did not short-circuit")
+	}
+	if ans.StatesExplored >= full.StatesExplored {
+		t.Errorf("short-circuit explored %d states, full enumeration %d — no early termination",
+			ans.StatesExplored, full.StatesExplored)
+	}
+
+	// A certain yes still requires the full enumeration.
+	yes := parser.MustQuery(`q :- course(21, c15).`)
+	ans, err = ConsistentAnswers(d, set, yes, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Boolean || ans.ShortCircuited {
+		t.Errorf("certain yes answered %+v, want Boolean=true without short-circuit", ans)
+	}
+	if ans.StatesExplored != full.StatesExplored || ans.NumRepairs != len(full.Repairs) {
+		t.Errorf("certain yes explored %d states / %d repairs, want %d / %d",
+			ans.StatesExplored, ans.NumRepairs, full.StatesExplored, len(full.Repairs))
+	}
+}
+
+// TestAnswersParallelMatchesSequential asserts the streamed consistent and
+// possible answers are identical for workers=1 and workers=4 across query
+// shapes (run under -race in CI, this also exercises concurrent query
+// evaluation against the shared frozen base).
+func TestAnswersParallelMatchesSequential(t *testing.T) {
+	scenarios := []struct {
+		db, ic  string
+		queries []string
+	}{
+		{
+			db: `r(a, b). r(a, c). s(e, f). s(null, a).`,
+			ic: `
+				r(X, Y), r(X, Z) -> Y = Z.
+				s(U, V) -> r(V, W).
+				r(X, Y), isnull(X) -> false.
+			`,
+			queries: []string{`q(X) :- r(X, Y).`, `q(U) :- s(U, V), r(V, W).`, `q :- r(a, b).`, `q :- r(a, z).`},
+		},
+		{
+			db: `
+				course(21, c15). course(34, c18). course(77, c09).
+				student(21, "Ann"). student(45, "Paul").
+			`,
+			ic:      `course(Id, Code) -> student(Id, Name).`,
+			queries: []string{`q(Id) :- student(Id, Name).`, `q(Id, Code) :- course(Id, Code).`, `q :- course(34, c18).`},
+		},
+	}
+	for si, sc := range scenarios {
+		d := parser.MustInstance(sc.db)
+		set := parser.MustConstraints(sc.ic)
+		for _, qsrc := range sc.queries {
+			q := parser.MustQuery(qsrc)
+			seqOpts := NewOptions()
+			parOpts := NewOptions()
+			parOpts.Repair.Workers = 4
+			seq, err := ConsistentAnswers(d, set, q, seqOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := ConsistentAnswers(d, set, q, parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sameAnswer(seq, par, q); err != nil {
+				t.Errorf("scenario %d %q: workers=4 disagrees: %v\nseq: %+v\npar: %+v", si, qsrc, err, seq, par)
+			}
+			seqPoss, err := PossibleAnswers(d, set, q, seqOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parPoss, err := PossibleAnswers(d, set, q, parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seqPoss) != len(parPoss) {
+				t.Fatalf("scenario %d %q: possible answers differ: %v vs %v", si, qsrc, seqPoss, parPoss)
+			}
+			for i := range seqPoss {
+				if !seqPoss[i].Equal(parPoss[i]) {
+					t.Errorf("scenario %d %q: possible answer %d differs: %v vs %v", si, qsrc, i, seqPoss[i], parPoss[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShortCircuitAgreesWithProgramEngine guards the soundness of the
+// certificate: whenever the search engine short-circuits a boolean query,
+// the program engine (full stable-model pipeline) must agree the certain
+// answer is no.
+func TestShortCircuitAgreesWithProgramEngine(t *testing.T) {
+	d, setSrc := violatingCourses(2)
+	set := parser.MustConstraints(setSrc)
+	for _, qsrc := range []string{
+		`q :- course(34, c18).`,
+		`q :- course(100, cx0).`,
+		`q :- course(101, cx1).`,
+		`q :- student(34, null).`,
+	} {
+		q := parser.MustQuery(qsrc)
+		search, err := ConsistentAnswers(d, set, q, NewOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		progOpts := NewOptions()
+		progOpts.Engine = EngineProgram
+		prog, err := ConsistentAnswers(d, set, q, progOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if search.Boolean != prog.Boolean {
+			t.Errorf("%q: search says %v (short-circuit=%v), program says %v",
+				qsrc, search.Boolean, search.ShortCircuited, prog.Boolean)
+		}
+	}
+}

@@ -18,9 +18,13 @@ import (
 // computed from the deltas alone. An overlay whose edits come to dominate
 // its base is flattened back into a privately owned engine.
 //
-// An Instance is not safe for concurrent use, even read-only: logically
-// read-only operations lazily build and cache indexes and sorted views.
-// Guard shared instances with external synchronization.
+// A single Instance view is not safe for concurrent use, even read-only:
+// logically read-only operations lazily build and cache per-view state
+// (sorted fact caches). Distinct views of one frozen engine, however, may be
+// read concurrently from many goroutines — the shared engine's lazy index
+// and sorted-view builds are internally synchronized once frozen (see
+// Freeze) — which is what the parallel repair search relies on: each worker
+// owns its private overlay states while all of them probe the same base.
 type Instance struct {
 	eng *engine
 
@@ -422,6 +426,21 @@ func (d *Instance) Preds() []string {
 	return out
 }
 
+// Freeze seals the instance's physical engine for shared, concurrent read
+// access without creating a copy: the engine is frozen exactly as a first
+// Clone would freeze it, and this view is demoted to an overlay, so later
+// writes land in private deltas while any number of goroutines may read
+// views of the shared base race-free. Freezing an instance that is already
+// an overlay is a no-op (its engine is frozen by construction).
+func (d *Instance) Freeze() {
+	if d.overlay() {
+		return
+	}
+	d.eng.freeze()
+	d.deltas = map[RelKey]*delta{}
+	d.size, d.fp = d.eng.size, d.eng.fp
+}
+
 // Clone returns an independent copy of the instance in O(|Δ|): the physical
 // base is shared (and frozen) and only the overlay deltas are copied.
 func (d *Instance) Clone() *Instance {
@@ -429,9 +448,7 @@ func (d *Instance) Clone() *Instance {
 		// First clone: freeze the engine and demote the owner to an
 		// overlay view so both copies write to private deltas from now
 		// on.
-		d.eng.frozen = true
-		d.deltas = map[RelKey]*delta{}
-		d.size, d.fp = d.eng.size, d.eng.fp
+		d.Freeze()
 	}
 	c := &Instance{
 		eng:    d.eng,

@@ -123,6 +123,12 @@ func (f Fact) Key() string {
 // Equal reports whether two facts are identical.
 func (f Fact) Equal(g Fact) bool { return f.Pred == g.Pred && f.Args.Equal(g.Args) }
 
+// Hash returns the 64-bit identity hash of the fact (the per-fact term of
+// Instance.Fingerprint). Equal facts hash equally; distinct facts collide
+// only with FNV-level probability, so hot-path dedup maps can bucket by this
+// hash and confirm with Equal instead of materializing string keys.
+func (f Fact) Hash() uint64 { return factHash(f) }
+
 // Compare orders facts by predicate, then tuple, for deterministic output.
 func (f Fact) Compare(g Fact) int {
 	if f.Pred != g.Pred {

@@ -118,6 +118,13 @@ func matchBindings(t Tuple, bindings []Binding) bool {
 // row, and the store compacts itself when tombstones dominate. Secondary
 // structures — the sorted view and the per-bound-column-subset hash indexes —
 // are built lazily and dropped on any write.
+//
+// Concurrency: an unfrozen store is confined to one goroutine (the owner
+// instance). Once the engine freezes (overlay views exist), rows/keys/pos
+// become immutable and any number of goroutines may scan concurrently; the
+// only remaining writes are the lazy builds of sorted and idx, which are
+// double-checked under mu. Scan bookkeeping (scanning / maybeCompact) is
+// skipped entirely on frozen stores — nothing can be tombstoned anymore.
 type relStore struct {
 	rows []Tuple        // insertion order; nil = tombstone
 	keys []string       // tuple key per row, parallel to rows
@@ -126,6 +133,9 @@ type relStore struct {
 
 	scanning int // active scans; compaction is deferred while nonzero
 
+	frozen bool // rows/keys/pos immutable; lazy builds go through mu
+
+	mu     sync.RWMutex                // guards sorted/idx once frozen
 	sorted []Tuple                     // lazy: rows in Tuple.Compare order
 	idx    map[uint32]map[string][]int // lazy: position mask -> bound ids -> rows
 }
@@ -216,19 +226,39 @@ func (s *relStore) maybeCompact() {
 }
 
 // sortedTuples returns (and caches) the live rows in Tuple.Compare order.
-// Callers must not mutate the result; Instance.Relation copies.
+// Callers must not mutate the result; Instance.Relation copies. On a frozen
+// store the lazy build is double-checked under mu so concurrent readers
+// share one cached view.
 func (s *relStore) sortedTuples() []Tuple {
-	if s.sorted == nil {
-		out := make([]Tuple, 0, s.live())
-		for _, t := range s.rows {
-			if t != nil {
-				out = append(out, t)
-			}
+	if s.frozen {
+		s.mu.RLock()
+		out := s.sorted
+		s.mu.RUnlock()
+		if out != nil {
+			return out
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-		s.sorted = out
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.sorted == nil {
+			s.sorted = s.buildSorted()
+		}
+		return s.sorted
+	}
+	if s.sorted == nil {
+		s.sorted = s.buildSorted()
 	}
 	return s.sorted
+}
+
+func (s *relStore) buildSorted() []Tuple {
+	out := make([]Tuple, 0, s.live())
+	for _, t := range s.rows {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
 }
 
 // maskAndPositions derives the index identity of a binding set. ok is false
@@ -248,14 +278,41 @@ func maskAndPositions(bindings []Binding, arity int) (mask uint32, positions []i
 
 // index returns the hash index on the given bound-column subset, building it
 // on first use. The index maps the encoded ids of the bound columns (in
-// ascending position order) to row positions.
+// ascending position order) to row positions. On a frozen store the build is
+// double-checked under mu: concurrent scanners either observe the published
+// (immutable) index or serialize on building it exactly once.
 func (s *relStore) index(mask uint32, positions []int) map[string][]int {
+	if s.frozen {
+		s.mu.RLock()
+		m, ok := s.idx[mask]
+		s.mu.RUnlock()
+		if ok {
+			return m
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if m, ok := s.idx[mask]; ok {
+			return m
+		}
+		m = s.buildIndex(positions)
+		if s.idx == nil {
+			s.idx = map[uint32]map[string][]int{}
+		}
+		s.idx[mask] = m
+		return m
+	}
 	if s.idx == nil {
 		s.idx = map[uint32]map[string][]int{}
 	}
 	if m, ok := s.idx[mask]; ok {
 		return m
 	}
+	m := s.buildIndex(positions)
+	s.idx[mask] = m
+	return m
+}
+
+func (s *relStore) buildIndex(positions []int) map[string][]int {
 	m := make(map[string][]int, len(s.rows))
 	var buf []byte
 	for i, t := range s.rows {
@@ -268,7 +325,6 @@ func (s *relStore) index(mask uint32, positions []int) map[string][]int {
 		}
 		m[string(buf)] = append(m[string(buf)], i)
 	}
-	s.idx[mask] = m
 	return m
 }
 
@@ -280,11 +336,16 @@ func (s *relStore) index(mask uint32, positions []int) map[string][]int {
 // the scan started are not visited, deletes are skipped by the liveness
 // check, and compaction is deferred until the scan unwinds.
 func (s *relStore) scan(bindings []Binding, yield func(row int) bool) bool {
-	s.scanning++
-	defer func() {
-		s.scanning--
-		s.maybeCompact()
-	}()
+	if !s.frozen {
+		// Deletion bookkeeping only matters while the store can still be
+		// written; frozen stores are immutable, and skipping the counter
+		// keeps concurrent scans write-free.
+		s.scanning++
+		defer func() {
+			s.scanning--
+			s.maybeCompact()
+		}()
+	}
 	if len(bindings) == 0 {
 		for i, t := range s.rows {
 			if t != nil && !yield(i) {
@@ -340,7 +401,10 @@ func cap32(bindings []Binding) int {
 
 // engine is the physical store shared by an owner Instance and the overlay
 // views cloned from it. Once any overlay exists the engine is frozen and
-// becomes immutable, so its caches and indexes stay valid for every view.
+// becomes immutable, so its caches and indexes stay valid for every view —
+// including views probed concurrently from multiple goroutines (the parallel
+// repair search): all remaining writes are lazy cache builds, serialized per
+// store by relStore.mu and per engine by mu.
 type engine struct {
 	stores map[RelKey]*relStore
 	order  []RelKey // first-insertion order of relations
@@ -348,7 +412,20 @@ type engine struct {
 	fp     uint64
 	frozen bool
 
-	facts []Fact // lazy: all live facts, sorted
+	mu    sync.Mutex // guards the lazy facts build once frozen
+	facts []Fact     // lazy: all live facts, sorted
+}
+
+// freeze makes the engine immutable: writes panic, and every store switches
+// to its race-free concurrent-read mode.
+func (e *engine) freeze() {
+	if e.frozen {
+		return
+	}
+	e.frozen = true
+	for _, s := range e.stores {
+		s.frozen = true
+	}
 }
 
 func newEngine() *engine {
@@ -402,6 +479,10 @@ func (e *engine) has(rk RelKey, key string) bool {
 // sortedFacts returns (and caches) every live fact in Fact.Compare order.
 // Callers must not mutate the result.
 func (e *engine) sortedFacts() []Fact {
+	if e.frozen {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}
 	if e.facts == nil {
 		out := make([]Fact, 0, e.size)
 		for rk, s := range e.stores {
@@ -424,6 +505,19 @@ func (e *engine) sortedFacts() []Fact {
 func (e *engine) forEach(yield func(Fact) bool) bool {
 	for _, rk := range e.order {
 		s := e.stores[rk]
+		if s.frozen {
+			// Immutable: iterate without deletion bookkeeping, so
+			// concurrent iterations stay write-free.
+			for i := 0; i < len(s.rows); i++ {
+				if s.rows[i] == nil {
+					continue
+				}
+				if !yield(Fact{Pred: rk.Pred, Args: s.rows[i]}) {
+					return false
+				}
+			}
+			continue
+		}
 		s.scanning++
 		for i := 0; i < len(s.rows); i++ {
 			if s.rows[i] == nil {

@@ -12,7 +12,12 @@
 package repair
 
 import (
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/nullsem"
 	"repro/internal/relational"
+	"repro/internal/value"
 )
 
 // LeqD implements the intended reading of Definition 6: D1 ≤_D D2 iff
@@ -37,7 +42,14 @@ import (
 //
 // See LeqDLiteral for the verbatim text; DESIGN.md records the deviation.
 func LeqD(d, d1, d2 *relational.Instance) bool {
-	dl1, dl2 := relational.Diff(d, d1), relational.Diff(d, d2)
+	return LeqDDeltas(relational.Diff(d, d1), relational.Diff(d, d2))
+}
+
+// LeqDDeltas is LeqD on precomputed symmetric differences dl1 = Δ(D, D1)
+// and dl2 = Δ(D, D2). Streaming consumers (the Antichain) compute each
+// candidate's delta once and compare deltas directly instead of re-diffing
+// per pair.
+func LeqDDeltas(dl1, dl2 relational.Delta) bool {
 	removed2 := factSet(dl2.Removed)
 	added1 := factSet(dl1.Added)
 	added2 := factSet(dl2.Added)
@@ -147,7 +159,11 @@ func deltaSet(dl relational.Delta) map[string]bool {
 // SubsetDelta is the classic order of the paper's [2]: Δ(D,D1) ⊆ Δ(D,D2)
 // as plain sets of atoms.
 func SubsetDelta(d, d1, d2 *relational.Instance) bool {
-	dl1, dl2 := relational.Diff(d, d1), relational.Diff(d, d2)
+	return SubsetDeltas(relational.Diff(d, d1), relational.Diff(d, d2))
+}
+
+// SubsetDeltas is SubsetDelta on precomputed symmetric differences.
+func SubsetDeltas(dl1, dl2 relational.Delta) bool {
 	set2 := deltaSet(dl2)
 	for _, f := range dl1.Removed {
 		if !set2[f.Key()] {
@@ -165,6 +181,207 @@ func SubsetDelta(d, d1, d2 *relational.Instance) bool {
 // Ordering compares two candidate repaired instances relative to the
 // original d.
 type Ordering func(d, d1, d2 *relational.Instance) bool
+
+// deltaOrder returns the mode's ≤ comparison on precomputed deltas.
+func deltaOrder(mode Mode) func(dl1, dl2 relational.Delta) bool {
+	if mode == Classic {
+		return SubsetDeltas
+	}
+	return LeqDDeltas
+}
+
+// Antichain is the online form of MinimalUnder: it consumes a stream of
+// distinct consistent leaves and maintains, at every point, the subset that
+// is minimal among the leaves seen so far under the mode's order. Dominated
+// leaves are remembered (a non-minimal leaf can still dominate a later one —
+// MinimalUnder compares against every candidate, not only the minimal ones,
+// and ≤_D transitivity is a tested property, not an assumption), so the
+// final minimal set is exactly MinimalUnder over the whole stream, no matter
+// in which order a parallel search delivered it. Each leaf's Δ(D, leaf) is
+// computed once on entry and cached for every later comparison and for
+// Result.Deltas.
+//
+// Antichain is not safe for concurrent use; the streaming search calls Add
+// from the single collector goroutine.
+type Antichain struct {
+	d            *relational.Instance
+	leq          func(dl1, dl2 relational.Delta) bool
+	entries      []acEntry
+	minimalCount int
+}
+
+type acEntry struct {
+	inst      *relational.Instance
+	delta     relational.Delta
+	dominated bool
+}
+
+// NewAntichain returns an empty antichain filtering under the given mode's
+// order (≤_D for NullBased, ⊆-Δ for Classic) relative to the original d.
+func NewAntichain(d *relational.Instance, mode Mode) *Antichain {
+	return &Antichain{d: d, leq: deltaOrder(mode)}
+}
+
+// Add feeds one leaf into the filter. It reports whether the leaf is
+// minimal among the leaves seen so far (it may still be displaced by a later
+// leaf), plus the previously-minimal leaves this one strictly dominates —
+// streaming consumers drop per-candidate state (cached query answers) for
+// displaced leaves. Leaves must be distinct; the search guarantees that.
+func (a *Antichain) Add(leaf *relational.Instance) (minimal bool, displaced []*relational.Instance) {
+	dl := relational.Diff(a.d, leaf)
+	dominated := false
+	for i := range a.entries {
+		o := &a.entries[i]
+		oBelow := a.leq(o.delta, dl)
+		cBelow := a.leq(dl, o.delta)
+		if oBelow && !cBelow {
+			dominated = true
+		}
+		if cBelow && !oBelow && !o.dominated {
+			o.dominated = true
+			a.minimalCount--
+			displaced = append(displaced, o.inst)
+		}
+	}
+	a.entries = append(a.entries, acEntry{inst: leaf, delta: dl, dominated: dominated})
+	if !dominated {
+		a.minimalCount++
+	}
+	return !dominated, displaced
+}
+
+// MinimalCount returns the current number of surviving candidates.
+func (a *Antichain) MinimalCount() int { return a.minimalCount }
+
+// Results returns the surviving candidates in content-canonical order
+// (Instance.Compare) with their cached deltas aligned — exactly
+// Result.Repairs/Result.Deltas of a completed enumeration, independent of
+// the order leaves arrived in.
+func (a *Antichain) Results() ([]*relational.Instance, []relational.Delta) {
+	idx := make([]int, 0, a.minimalCount)
+	for i := range a.entries {
+		if !a.entries[i].dominated {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		return a.entries[idx[x]].inst.Compare(a.entries[idx[y]].inst) < 0
+	})
+	if len(idx) == 0 {
+		return nil, nil
+	}
+	repairs := make([]*relational.Instance, len(idx))
+	deltas := make([]relational.Delta, len(idx))
+	for i, j := range idx {
+		repairs[i] = a.entries[j].inst
+		deltas[i] = a.entries[j].delta
+	}
+	return repairs, deltas
+}
+
+// ConfirmLimit bounds the dominator pool ConfirmMinimal is willing to
+// enumerate: at most 2^ConfirmLimit candidate instances are checked.
+const ConfirmLimit = 12
+
+// ConfirmMinimal reports whether cand — a consistent leaf of the search on
+// (d, set) — is provably minimal, i.e. certainly a member of Rep(D, IC)
+// even though the enumeration has not finished. The certificate enumerates
+// every instance whose delta could strictly precede Δ(d, cand) under the
+// mode's order — subsets of cand's removals and additions, extended under
+// ≤_D with the null-generalizations of the additions (condition (b) of
+// Definition 6 lets an inserted atom with nulls be matched by a more
+// specific insertion, so a dominator may generalize one of cand's atoms) —
+// and checks that none of them is consistent. Any future leaf strictly below
+// cand would be exactly such a consistent instance, so a true result lets
+// streaming consumers short-circuit: a boolean certain answer is refuted the
+// moment one confirmed-minimal counterexample exists.
+//
+// A false result promises nothing: the pool may exceed ConfirmLimit, or a
+// consistent dominator may exist that the search never reaches. Callers fall
+// back to full enumeration in that case, so the final answer is unchanged
+// either way.
+func ConfirmMinimal(d, cand *relational.Instance, set *constraint.Set, opts Options) bool {
+	dl := relational.Diff(d, cand)
+	sem := nullsem.NullAware
+	if opts.Mode == Classic {
+		sem = nullsem.ClassicFO
+	}
+	leq := deltaOrder(opts.Mode)
+
+	type edit struct {
+		f      relational.Fact
+		insert bool
+	}
+	pool := make([]edit, 0, len(dl.Removed)+len(dl.Added))
+	for _, f := range dl.Removed {
+		pool = append(pool, edit{f: f})
+	}
+	adds := dl.Added
+	if opts.Mode == NullBased {
+		var ok bool
+		if adds, ok = nullGeneralizations(dl.Added); !ok {
+			return false
+		}
+	}
+	for _, f := range adds {
+		pool = append(pool, edit{f: f, insert: true})
+	}
+	if len(pool) > ConfirmLimit {
+		return false
+	}
+	for mask := 0; mask < 1<<len(pool); mask++ {
+		d2 := d.Clone()
+		for b, e := range pool {
+			if mask&(1<<b) == 0 {
+				continue
+			}
+			if e.insert {
+				d2.Insert(e.f)
+			} else {
+				d2.Delete(e.f)
+			}
+		}
+		dl2 := relational.Diff(d, d2)
+		if !leq(dl2, dl) || leq(dl, dl2) {
+			continue // not strictly below cand
+		}
+		if nullsem.Satisfies(d2, set, sem) {
+			return false // a consistent strict dominator exists
+		}
+	}
+	return true
+}
+
+// nullGeneralizations returns the added atoms together with every variant
+// obtained by replacing a subset of positions with null, deduplicated. ok is
+// false when the expansion would exceed ConfirmLimit (the caller then skips
+// the certificate rather than enumerate an oversized pool).
+func nullGeneralizations(added []relational.Fact) ([]relational.Fact, bool) {
+	var out []relational.Fact
+	seen := newFactDedup(len(added))
+	for _, g := range added {
+		if len(g.Args) > ConfirmLimit {
+			return nil, false
+		}
+		for mask := 0; mask < 1<<len(g.Args); mask++ {
+			args := g.Args.Clone()
+			for p := range args {
+				if mask&(1<<p) != 0 {
+					args[p] = value.Null()
+				}
+			}
+			f := relational.Fact{Pred: g.Pred, Args: args}
+			if !seen.add(f) {
+				continue
+			}
+			out = append(out, f)
+			if len(out) > ConfirmLimit {
+				return nil, false
+			}
+		}
+	}
+	return out, true
+}
 
 // MinimalUnder returns the candidates that are minimal under the given
 // (reflexive) ordering: c is kept iff no other candidate is strictly below

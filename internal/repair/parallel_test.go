@@ -1,0 +1,275 @@
+package repair
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/nullsem"
+	"repro/internal/relational"
+	"repro/internal/term"
+	"repro/internal/value"
+)
+
+// TestParallelMatchesSequential is the tentpole differential test: for
+// randomized instances and constraint sets, the parallel search (workers=4)
+// must produce byte-identical Repairs and Deltas — content and order — to
+// the sequential search, along with the same states-explored and leaf
+// counts. Run under -race this also exercises the concurrent probes of the
+// shared frozen base.
+func TestParallelMatchesSequential(t *testing.T) {
+	universe := atomUniverse()
+	sets := bruteSets()
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		d := relational.NewInstance()
+		for _, f := range universe {
+			if rng.Intn(2) == 0 {
+				d.Insert(f)
+			}
+		}
+		set := sets[trial%len(sets)]
+		for _, mode := range []Mode{NullBased, Classic} {
+			seq, err := Repairs(d, set, Options{Mode: mode, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Repairs(d, set, Options{Mode: mode, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// StatesExplored/Leaves are deliberately NOT asserted equal
+			// here: when one content is reachable through different
+			// insertion orders, the parallel race picks which overlay
+			// representative enters the memo, and its iteration order can
+			// steer firstViolation to a different (equally valid)
+			// violation. The repair set is schedule-independent anyway —
+			// every leaf set the search can produce is a consistent
+			// superset of Rep(D, IC), and the antichain filters any such
+			// superset to exactly Rep.
+			if len(seq.Repairs) != len(par.Repairs) {
+				t.Fatalf("trial %d mode %v: %d vs %d repairs", trial, mode, len(seq.Repairs), len(par.Repairs))
+			}
+			for i := range seq.Repairs {
+				if seq.Repairs[i].Key() != par.Repairs[i].Key() {
+					t.Fatalf("trial %d mode %v: repair %d differs: %v vs %v",
+						trial, mode, i, seq.Repairs[i], par.Repairs[i])
+				}
+				if !sameDelta(seq.Deltas[i], par.Deltas[i]) {
+					t.Fatalf("trial %d mode %v: delta %d differs: %v vs %v",
+						trial, mode, i, seq.Deltas[i], par.Deltas[i])
+				}
+			}
+		}
+	}
+}
+
+func sameDelta(a, b relational.Delta) bool {
+	if len(a.Removed) != len(b.Removed) || len(a.Added) != len(b.Added) {
+		return false
+	}
+	for i := range a.Removed {
+		if !a.Removed[i].Equal(b.Removed[i]) {
+			return false
+		}
+	}
+	for i := range a.Added {
+		if !a.Added[i].Equal(b.Added[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelChainedFixes runs the worker pool on a deeper workload — bulk
+// FD violations whose fixes chain — under every worker count, pinning the
+// result against the sequential baseline.
+func TestParallelChainedFixes(t *testing.T) {
+	d := relational.NewInstance()
+	for i := 0; i < 4; i++ {
+		k := value.Str(fmt.Sprintf("k%d", i))
+		d.Insert(relational.F("r", k, value.Str("b")))
+		d.Insert(relational.F("r", k, value.Str("c")))
+	}
+	for i := 0; i < 32; i++ {
+		d.Insert(relational.F("r", value.Str(fmt.Sprintf("u%d", i)), value.Str("v")))
+	}
+	fd := constraint.MustSet(constraint.FD("r", 2, []int{0}, []int{1}), nil)
+	seq, err := Repairs(d, fd, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Repairs) != 16 {
+		t.Fatalf("sequential repairs = %d, want 16", len(seq.Repairs))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := Repairs(d, fd, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exact StatesExplored equality is safe to assert on this
+		// workload: FD fixes are deletions only, and deletion-only states
+		// iterate in base order regardless of the path that produced
+		// them, so expansion is content-determined.
+		if par.StatesExplored != seq.StatesExplored || len(par.Repairs) != len(seq.Repairs) {
+			t.Fatalf("workers=%d: %d states / %d repairs, want %d / %d",
+				workers, par.StatesExplored, len(par.Repairs), seq.StatesExplored, len(seq.Repairs))
+		}
+		for i := range seq.Repairs {
+			if seq.Repairs[i].Key() != par.Repairs[i].Key() {
+				t.Fatalf("workers=%d: repair %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// example17RIC is the referential constraint of Example 17:
+// P(x,y) → ∃z R(x,z).
+func example17RIC() *constraint.Set {
+	return constraint.MustSet([]*constraint.IC{{
+		Name: "ric",
+		Body: []term.Atom{atom("P", v("x"), v("y"))},
+		Head: []term.Atom{atom("R", v("x"), v("z"))},
+	}}, nil)
+}
+
+// TestEnumerateStreams checks the streaming contract: leaves arrive one at a
+// time, feeding them to an Antichain reproduces Repairs exactly, and
+// cancelling mid-stream stops the sequential search before it admits
+// further states.
+func TestEnumerateStreams(t *testing.T) {
+	d, set := example18()
+	full := mustRepairs(t, d, set, Options{})
+
+	ac := NewAntichain(d, NullBased)
+	var leaves int
+	stats, err := Enumerate(d, set, Options{}, func(leaf *relational.Instance) bool {
+		if !nullsem.Satisfies(leaf, set, nullsem.NullAware) {
+			t.Fatalf("streamed leaf %v is not consistent", leaf)
+		}
+		leaves++
+		ac.Add(leaf)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves != full.Leaves || stats.Leaves != full.Leaves || stats.StatesExplored != full.StatesExplored {
+		t.Fatalf("stream stats %+v with %d yields, want %d leaves / %d states",
+			stats, leaves, full.Leaves, full.StatesExplored)
+	}
+	repairs, deltas := ac.Results()
+	if len(repairs) != len(full.Repairs) || len(deltas) != len(repairs) {
+		t.Fatalf("antichain kept %d repairs, want %d", len(repairs), len(full.Repairs))
+	}
+	for i := range repairs {
+		if repairs[i].Key() != full.Repairs[i].Key() {
+			t.Fatalf("antichain repair %d differs from Repairs", i)
+		}
+	}
+
+	// Cancelling after the first leaf stops a sequential search cold.
+	stats, err = Enumerate(d, set, Options{}, func(*relational.Instance) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Leaves != 1 {
+		t.Fatalf("cancelled stream yielded %d leaves, want 1", stats.Leaves)
+	}
+	if stats.StatesExplored >= full.StatesExplored {
+		t.Fatalf("cancelled stream explored %d states, full search %d — no short-circuit",
+			stats.StatesExplored, full.StatesExplored)
+	}
+}
+
+// TestAntichainMatchesMinimalUnder cross-checks the online filter against
+// the batch MinimalUnder on random candidate streams in random arrival
+// orders.
+func TestAntichainMatchesMinimalUnder(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		d := randomSmallInstance(rng)
+		var candidates []*relational.Instance
+		seen := map[string]bool{}
+		for k := 0; k < 1+rng.Intn(7); k++ {
+			c := randomSmallInstance(rng)
+			if seen[c.Key()] {
+				continue // the search never emits duplicate leaves
+			}
+			seen[c.Key()] = true
+			candidates = append(candidates, c)
+		}
+		want := MinimalUnder(d, candidates, LeqD)
+		wantKeys := map[string]bool{}
+		for _, w := range want {
+			wantKeys[w.Key()] = true
+		}
+		ac := NewAntichain(d, NullBased)
+		for _, i := range rng.Perm(len(candidates)) {
+			ac.Add(candidates[i])
+		}
+		got, _ := ac.Results()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: antichain kept %d, MinimalUnder %d\nD=%v\ncands=%v",
+				trial, len(got), len(want), d, candidates)
+		}
+		for _, g := range got {
+			if !wantKeys[g.Key()] {
+				t.Fatalf("trial %d: antichain kept %v, not minimal per MinimalUnder", trial, g)
+			}
+		}
+		if ac.MinimalCount() != len(want) {
+			t.Fatalf("trial %d: MinimalCount %d, want %d", trial, ac.MinimalCount(), len(want))
+		}
+	}
+}
+
+// TestConfirmMinimal pins the certificate on Example 17: both true repairs
+// are confirmed, while the consistent-but-dominated D3 is not (its
+// null-generalized pool contains the dominating R(b,null) insertion).
+func TestConfirmMinimal(t *testing.T) {
+	d := inst(fact("P", s("a"), n()), fact("P", s("b"), s("c")), fact("R", s("a"), s("b")))
+	set := example17RIC()
+	res := mustRepairs(t, d, set, Options{})
+	if len(res.Repairs) != 2 {
+		t.Fatalf("repairs = %d, want 2", len(res.Repairs))
+	}
+	for _, r := range res.Repairs {
+		if !ConfirmMinimal(d, r, set, Options{}) {
+			t.Errorf("true repair %v not confirmed minimal", r)
+		}
+	}
+	d3 := d.Clone()
+	d3.Insert(fact("R", s("b"), s("d")))
+	if ConfirmMinimal(d, d3, set, Options{}) {
+		t.Error("dominated D3 must not be confirmed minimal")
+	}
+}
+
+// TestIsRepairParallel re-runs the Example 17 membership checks through the
+// short-circuiting IsRepair under both worker counts.
+func TestIsRepairParallel(t *testing.T) {
+	d := inst(fact("P", s("a"), n()), fact("P", s("b"), s("c")), fact("R", s("a"), s("b")))
+	set := example17RIC()
+	d1 := d.Clone()
+	d1.Insert(fact("R", s("b"), n()))
+	d3 := d.Clone()
+	d3.Insert(fact("R", s("b"), s("d")))
+	inconsistent := inst(fact("P", s("b"), s("c")))
+	for _, workers := range []int{1, 4} {
+		opts := Options{Workers: workers}
+		for _, tc := range []struct {
+			cand *relational.Instance
+			want bool
+		}{{d1, true}, {d3, false}, {inconsistent, false}} {
+			got, err := IsRepair(d, set, tc.cand, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("workers=%d: IsRepair(%v) = %v, want %v", workers, tc.cand, got, tc.want)
+			}
+		}
+	}
+}

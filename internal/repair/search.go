@@ -2,7 +2,8 @@ package repair
 
 import (
 	"fmt"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/constraint"
 	"repro/internal/nullsem"
@@ -41,6 +42,20 @@ type Options struct {
 	// before giving up (0 means DefaultMaxStates). Exceeding it returns
 	// ErrStateLimit.
 	MaxStates int
+	// Workers sets the number of goroutines expanding search states.
+	// 0 and 1 both mean a single worker. Result.Repairs and Result.Deltas
+	// (content and order) are identical for every worker count: any leaf
+	// set the search can produce is a consistent superset of Rep(D, IC),
+	// and the minimality filter reduces every such superset to exactly
+	// Rep. StatesExplored/Leaves are diagnostics: deterministic for
+	// Workers <= 1, but with more workers the race for the memo can pick
+	// a different overlay representative of an equal-content state, whose
+	// iteration order may steer the violation probe — and with it the
+	// explored fringe — differently. Likewise, when a consumer cancels
+	// the stream while a MaxStates limit is in flight, the race resolves
+	// by schedule: a cancellation that wins reports the partial stats,
+	// where another schedule might hit ErrStateLimit first.
+	Workers int
 }
 
 // DefaultMaxStates bounds the search space when Options.MaxStates is 0.
@@ -64,6 +79,16 @@ type Result struct {
 	Leaves int
 }
 
+// Stats summarizes a streaming enumeration.
+type Stats struct {
+	// StatesExplored counts distinct instances admitted by the search
+	// (equal to Result.StatesExplored when the enumeration ran to
+	// completion).
+	StatesExplored int
+	// Leaves counts the consistent leaves delivered to yield.
+	Leaves int
+}
+
 // Repairs computes Rep(D, IC) under the selected mode. For NullBased it
 // requires a non-conflicting set (Section 4's standing assumption); use
 // RepairsD for conflicting sets.
@@ -72,6 +97,25 @@ func Repairs(d *relational.Instance, set *constraint.Set, opts Options) (Result,
 		return Result{}, fmt.Errorf("repair: conflicting IC set (%v); use RepairsD", set.Conflicts()[0])
 	}
 	return run(d, set, opts, nil)
+}
+
+// Enumerate runs the violation-driven search and streams every distinct
+// consistent leaf — a pre-minimality repair candidate — to yield as it is
+// found, instead of materializing the full set first. yield is always
+// invoked from the calling goroutine, one leaf at a time, in a deterministic
+// order for Workers <= 1 (arrival order is scheduling-dependent for larger
+// worker counts, but the leaf *set* is not); returning false cancels the
+// remaining search, and Enumerate returns the stats accumulated so far with
+// a nil error. Feed the leaves to an Antichain to recover Rep(D, IC), or
+// short-circuit on a ConfirmMinimal certificate without waiting for the
+// enumeration to finish.
+//
+// Like Repairs, Enumerate requires a non-conflicting set in NullBased mode.
+func Enumerate(d *relational.Instance, set *constraint.Set, opts Options, yield func(*relational.Instance) bool) (Stats, error) {
+	if opts.Mode == NullBased && !set.NonConflicting() {
+		return Stats{}, fmt.Errorf("repair: conflicting IC set (%v); use RepairsD", set.Conflicts()[0])
+	}
+	return enumerate(d, set, opts, nil, yield)
 }
 
 // RepairsD computes the deletion-preferring class Rep_d(D, IC) defined at
@@ -100,17 +144,19 @@ func RepairsD(d *relational.Instance, set *constraint.Set, opts Options) (Result
 	var res Result
 	res.StatesExplored = full.StatesExplored + prime.StatesExplored
 	res.Leaves = full.Leaves
-	for _, cand := range full.Repairs {
+	for i, cand := range full.Repairs {
 		dominated := false
-		for _, dp := range prime.Repairs {
-			if LessD(d, dp, cand) {
+		for j := range prime.Repairs {
+			// Both enumerations cached their deltas; compare those
+			// instead of re-diffing per pair (LessD would).
+			if LeqDDeltas(prime.Deltas[j], full.Deltas[i]) && !LeqDDeltas(full.Deltas[i], prime.Deltas[j]) {
 				dominated = true
 				break
 			}
 		}
 		if !dominated {
 			res.Repairs = append(res.Repairs, cand)
-			res.Deltas = append(res.Deltas, relational.Diff(d, cand))
+			res.Deltas = append(res.Deltas, full.Deltas[i])
 		}
 	}
 	return res, nil
@@ -130,13 +176,45 @@ func dropConflictingNNCs(set *constraint.Set) *constraint.Set {
 	return constraint.MustSet(set.ICs, keep)
 }
 
-// run performs the violation-driven search. adomICs, when non-nil, names
-// the ICs whose existential positions must range over the active domain in
-// addition to null (used by RepairsD for conflicting RICs).
+// run materializes a full enumeration through the online antichain filter.
 func run(d *relational.Instance, set *constraint.Set, opts Options, adomICs map[string]bool) (Result, error) {
+	ac := NewAntichain(d, opts.Mode)
+	stats, err := enumerate(d, set, opts, adomICs, func(leaf *relational.Instance) bool {
+		ac.Add(leaf)
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	res.StatesExplored = stats.StatesExplored
+	res.Leaves = stats.Leaves
+	res.Repairs, res.Deltas = ac.Results()
+	return res, nil
+}
+
+// enumerate performs the violation-driven search as an explicit work-list
+// drained by opts.Workers goroutines. adomICs, when non-nil, names the ICs
+// whose existential positions must range over the active domain in addition
+// to null (used by RepairsD for conflicting RICs).
+//
+// Every distinct state is admitted exactly once through a sharded,
+// mutex-striped fingerprint memo; admission is content-determined, which is
+// what makes the final repair set independent of worker count and
+// scheduling (see Options.Workers for the exact contract — the explored
+// fringe itself can vary when equal-content states are reachable through
+// different insertion orders). Leaves are delivered to the collector (the
+// calling goroutine) over a channel; workers block on a full channel rather
+// than dropping results, and the collector keeps draining after
+// cancellation so workers always unwind.
+func enumerate(d *relational.Instance, set *constraint.Set, opts Options, adomICs map[string]bool, yield func(*relational.Instance) bool) (Stats, error) {
 	maxStates := opts.MaxStates
 	if maxStates == 0 {
 		maxStates = DefaultMaxStates
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
 	}
 	sem := nullsem.NullAware
 	insertDomain := []value.V{value.Null()}
@@ -154,79 +232,289 @@ func run(d *relational.Instance, set *constraint.Set, opts Options, adomICs map[
 		insertDomain = dedupValues(insertDomain)
 	}
 
-	visited := newInstanceSet()
-	var leaves []*relational.Instance
-	var res Result
+	// Seal the root: every state of the search is an overlay view of this
+	// one frozen engine, which is what makes concurrent probes of the
+	// shared base race-free and Diff/Equal between states O(|Δ|).
+	d.Freeze()
 
-	var rec func(cur *relational.Instance) error
-	rec = func(cur *relational.Instance) error {
-		if visited.contains(cur) {
-			return nil
-		}
-		if visited.size >= maxStates {
-			return ErrStateLimit
-		}
-		visited.insert(cur)
+	s := &searcher{
+		set:          set,
+		sem:          sem,
+		mode:         opts.Mode,
+		insertDomain: insertDomain,
+		adomICs:      adomICs,
+		memo:         newStateMemo(),
+		maxStates:    int64(maxStates),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if s.admit(d) {
+		s.stack = append(s.stack, d)
+	}
+	if workers == 1 {
+		return s.runSequential(yield)
+	}
+	return s.runParallel(workers, yield)
+}
 
-		viol, nncViol, ok := firstViolation(cur, set, sem)
+// runSequential drains the work-list on the calling goroutine: no worker
+// goroutines, no channel. Beyond avoiding scheduling overhead on the default
+// path, this makes cancellation exact — after yield returns false not a
+// single further state is admitted — which is what the short-circuit
+// regression tests pin StatesExplored against.
+func (s *searcher) runSequential(yield func(*relational.Instance) bool) (Stats, error) {
+	var stats Stats
+	for !s.stopped.Load() {
+		s.mu.Lock()
+		n := len(s.stack)
+		if n == 0 {
+			s.mu.Unlock()
+			break
+		}
+		cur := s.stack[n-1]
+		s.stack = s.stack[:n-1]
+		s.mu.Unlock()
+		s.expand(cur, func(leaf *relational.Instance) bool {
+			stats.Leaves++
+			return yield(leaf)
+		})
+	}
+	stats.StatesExplored = int(s.visited.Load())
+	if err := s.err(); err != nil {
+		return Stats{}, err
+	}
+	return stats, nil
+}
+
+// runParallel spawns the worker pool and collects leaves on the calling
+// goroutine. Cancellation is best-effort: in-flight workers finish their
+// current expansion, so a short-circuiting consumer may see a few more
+// states admitted than the sequential search would have — never different
+// results, since full enumerations explore the identical state set.
+func (s *searcher) runParallel(workers int, yield func(*relational.Instance) bool) (Stats, error) {
+	s.leaves = make(chan *relational.Instance, leafBuffer)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.work()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(s.leaves)
+	}()
+
+	var stats Stats
+	cancelled := false
+	for leaf := range s.leaves {
+		if cancelled {
+			continue // drain so blocked workers can unwind
+		}
+		stats.Leaves++
+		if !yield(leaf) {
+			cancelled = true
+			s.stop(nil)
+		}
+	}
+	stats.StatesExplored = int(s.visited.Load())
+	// A deliberate consumer cancellation outranks a concurrent state-limit
+	// failure: the leaves already delivered are valid regardless of how
+	// much of the space remained (a ConfirmMinimal certificate in
+	// particular does not depend on enumeration completeness), and the
+	// sequential driver would likewise have returned success had the
+	// cancelling leaf arrived before the limit.
+	if err := s.err(); err != nil && !cancelled {
+		return Stats{}, err
+	}
+	return stats, nil
+}
+
+// leafBuffer decouples workers from the collector without letting leaves
+// pile up unboundedly.
+const leafBuffer = 64
+
+// searcher is the shared state of one streaming enumeration: the work-list,
+// the visited memo, and the leaf channel to the collector.
+type searcher struct {
+	set          *constraint.Set
+	sem          nullsem.Semantics
+	mode         Mode
+	insertDomain []value.V
+	adomICs      map[string]bool
+
+	memo      *stateMemo
+	visited   atomic.Int64
+	maxStates int64
+	stopped   atomic.Bool
+
+	leaves chan *relational.Instance
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stack   []*relational.Instance
+	active  int // workers currently expanding a state
+	failure error
+}
+
+// work is one worker's loop: pop a state, expand it, repeat until the
+// work-list drains (stack empty with no expansion in flight) or the search
+// stops.
+func (s *searcher) work() {
+	for {
+		cur, ok := s.pop()
 		if !ok {
-			// The visited guard above ensures each state is processed
-			// once, so leaves are distinct by construction.
-			leaves = append(leaves, cur)
-			return nil
+			return
 		}
-		for _, next := range fixes(cur, set, viol, nncViol, opts.Mode, insertDomain, adomICs) {
-			if err := rec(next); err != nil {
-				return err
-			}
-		}
-		return nil
+		s.expand(cur, s.sendLeaf)
+		s.release()
 	}
-	if err := rec(d); err != nil {
-		return Result{}, err
-	}
-	res.StatesExplored = visited.size
-	res.Leaves = len(leaves)
-
-	candidates := append([]*relational.Instance(nil), leaves...)
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Compare(candidates[j]) < 0 })
-	ord := Ordering(LeqD)
-	if opts.Mode == Classic {
-		ord = SubsetDelta
-	}
-	res.Repairs = MinimalUnder(d, candidates, ord)
-	res.Deltas = make([]relational.Delta, len(res.Repairs))
-	for i, r := range res.Repairs {
-		res.Deltas[i] = relational.Diff(d, r)
-	}
-	return res, nil
 }
 
-// instanceSet memoizes search states by their incremental fingerprint, with
-// full Equal confirmation inside a bucket, so state deduplication never
-// serializes a whole instance.
-type instanceSet struct {
+// sendLeaf is the parallel emit: publish to the collector and keep going.
+func (s *searcher) sendLeaf(leaf *relational.Instance) bool {
+	s.leaves <- leaf
+	return true
+}
+
+func (s *searcher) pop() (*relational.Instance, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped.Load() {
+			return nil, false
+		}
+		if n := len(s.stack); n > 0 {
+			cur := s.stack[n-1]
+			s.stack = s.stack[:n-1]
+			s.active++
+			return cur, true
+		}
+		if s.active == 0 {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *searcher) release() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 && len(s.stack) == 0 {
+		s.cond.Broadcast() // work-list drained: wake waiters so they exit
+	}
+	s.mu.Unlock()
+}
+
+func (s *searcher) push(next *relational.Instance) {
+	s.mu.Lock()
+	s.stack = append(s.stack, next)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// stop halts the search, recording err (if any) as its failure. The leaf
+// channel is left to the workers/closer; the collector drains it.
+func (s *searcher) stop(err error) {
+	s.mu.Lock()
+	if err != nil && s.failure == nil {
+		s.failure = err
+	}
+	s.stopped.Store(true)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *searcher) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failure
+}
+
+// admit registers a candidate state: false if it was already visited or the
+// state limit is hit, true if the caller should push it. Admitted states are
+// sealed for shared reads first, so every instance reachable from the memo
+// or the work-list is safe to probe from any goroutine.
+func (s *searcher) admit(next *relational.Instance) bool {
+	next.Freeze()
+	if !s.memo.tryVisit(next) {
+		return false
+	}
+	if s.visited.Add(1) > s.maxStates {
+		s.stop(ErrStateLimit)
+		return false
+	}
+	return true
+}
+
+// expand processes one state — the single definition of the search's
+// transition relation, shared by the sequential and parallel drivers: emit
+// it as a leaf if consistent (emit returning false stops the search),
+// otherwise admit and push its paper-sanctioned successor states.
+func (s *searcher) expand(cur *relational.Instance, emit func(*relational.Instance) bool) {
+	if s.stopped.Load() {
+		return
+	}
+	viol, nncViol, ok := firstViolation(cur, s.set, s.sem)
+	if !ok {
+		// Each state is admitted once, so leaves are distinct by
+		// construction.
+		if !emit(cur) {
+			s.stopped.Store(true)
+		}
+		return
+	}
+	for _, next := range fixes(cur, viol, nncViol, s.mode, s.insertDomain, s.adomICs) {
+		if s.stopped.Load() {
+			return
+		}
+		if s.admit(next) {
+			s.push(next)
+		}
+	}
+}
+
+// memoShards stripes the visited-state memo; fingerprints spread uniformly,
+// so contention concentrates only under adversarial hash collisions.
+const memoShards = 64
+
+// stateMemo is the visited-state set of a streaming search: fingerprint
+// buckets with full Equal confirmation (as in the sequential memo), sharded
+// and mutex-striped so concurrent workers rarely touch the same lock. Shards
+// are padded to cache-line size to avoid false sharing between stripes.
+type stateMemo struct {
+	shards [memoShards]memoShard
+}
+
+type memoShard struct {
+	mu      sync.Mutex
 	buckets map[uint64][]*relational.Instance
-	size    int
+	_       [64 - 16]byte
 }
 
-func newInstanceSet() *instanceSet {
-	return &instanceSet{buckets: map[uint64][]*relational.Instance{}}
+func newStateMemo() *stateMemo {
+	m := &stateMemo{}
+	for i := range m.shards {
+		m.shards[i].buckets = map[uint64][]*relational.Instance{}
+	}
+	return m
 }
 
-func (s *instanceSet) contains(d *relational.Instance) bool {
-	for _, o := range s.buckets[d.Fingerprint()] {
+// tryVisit reports whether d is a new state, inserting it if so. The
+// outcome is content-determined (fingerprint bucket plus Equal), so the
+// visited set is independent of which worker gets here first.
+func (m *stateMemo) tryVisit(d *relational.Instance) bool {
+	fp := d.Fingerprint()
+	sh := &m.shards[fp%memoShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, o := range sh.buckets[fp] {
 		if o.Equal(d) {
-			return true
+			return false
 		}
 	}
-	return false
-}
-
-func (s *instanceSet) insert(d *relational.Instance) {
-	fp := d.Fingerprint()
-	s.buckets[fp] = append(s.buckets[fp], d)
-	s.size++
+	sh.buckets[fp] = append(sh.buckets[fp], d)
+	return true
 }
 
 // firstViolation returns a deterministic first violation of the set, if
@@ -250,7 +538,7 @@ func firstViolation(d *relational.Instance, set *constraint.Set, sem nullsem.Sem
 // delete one antecedent support atom, or insert one instantiated consequent
 // atom (existential positions drawn from insertDomain — {null} in the
 // paper's semantics).
-func fixes(cur *relational.Instance, set *constraint.Set, viol *nullsem.Violation, nncViol *nullsem.NNCViolation, mode Mode, insertDomain []value.V, adomICs map[string]bool) []*relational.Instance {
+func fixes(cur *relational.Instance, viol *nullsem.Violation, nncViol *nullsem.NNCViolation, mode Mode, insertDomain []value.V, adomICs map[string]bool) []*relational.Instance {
 	var out []*relational.Instance
 	if nncViol != nil {
 		next := cur.Clone()
@@ -258,12 +546,11 @@ func fixes(cur *relational.Instance, set *constraint.Set, viol *nullsem.Violatio
 		return []*relational.Instance{next}
 	}
 
-	seen := map[string]bool{}
+	seen := newFactDedup(len(viol.Support))
 	for _, f := range viol.Support {
-		if seen[f.Key()] {
+		if !seen.add(f) {
 			continue
 		}
-		seen[f.Key()] = true
 		next := cur.Clone()
 		next.Delete(f)
 		out = append(out, next)
@@ -281,8 +568,29 @@ func fixes(cur *relational.Instance, set *constraint.Set, viol *nullsem.Violatio
 			out = append(out, next)
 		}
 	}
-	_ = set
 	return out
+}
+
+// factDedup is a small dedup set keyed by the interned fact hash with Equal
+// confirmation — no string keys on the hot path.
+type factDedup struct {
+	m map[uint64][]relational.Fact
+}
+
+func newFactDedup(capacity int) factDedup {
+	return factDedup{m: make(map[uint64][]relational.Fact, capacity)}
+}
+
+// add inserts f, reporting whether it was new.
+func (s factDedup) add(f relational.Fact) bool {
+	h := f.Hash()
+	for _, g := range s.m[h] {
+		if g.Equal(f) {
+			return false
+		}
+	}
+	s.m[h] = append(s.m[h], f)
+	return true
 }
 
 // instantiations grounds a head atom under the antecedent substitution,
@@ -328,31 +636,56 @@ func instantiations(head term.Atom, subst term.Subst, domain []value.V) []relati
 	return out
 }
 
+// dedupValues collapses duplicate constants by interned id (ids are
+// injective over values, so no confirmation pass is needed).
 func dedupValues(vs []value.V) []value.V {
-	seen := map[string]bool{}
+	seen := make(map[uint32]bool, len(vs))
 	out := vs[:0]
 	for _, v := range vs {
-		if !seen[v.Key()] {
-			seen[v.Key()] = true
+		if !seen[v.ID()] {
+			seen[v.ID()] = true
 			out = append(out, v)
 		}
 	}
 	return out
 }
 
-// IsRepair reports whether cand belongs to Rep(D, IC) under the options, by
-// membership in the enumerated repair set (the search is complete over the
-// finite Proposition 1 domain).
+// IsRepair reports whether cand belongs to Rep(D, IC) under the options:
+// cand must be reached as a consistent leaf and no leaf may strictly precede
+// it (the search is complete over the finite Proposition 1 domain). The
+// check rides the streaming API and short-circuits: it answers false the
+// moment any leaf strictly dominates cand, and true the moment cand itself
+// is emitted with a ConfirmMinimal certificate — without waiting for the
+// rest of the enumeration.
 func IsRepair(d *relational.Instance, set *constraint.Set, cand *relational.Instance, opts Options) (bool, error) {
-	res, err := Repairs(d, set, opts)
+	sem := nullsem.NullAware
+	if opts.Mode == Classic {
+		sem = nullsem.ClassicFO
+	}
+	if !nullsem.Satisfies(cand, set, sem) {
+		return false, nil
+	}
+	leq := deltaOrder(opts.Mode)
+	candDelta := relational.Diff(d, cand)
+	found, confirmed, dominated := false, false, false
+	_, err := Enumerate(d, set, opts, func(leaf *relational.Instance) bool {
+		if leaf.Equal(cand) {
+			found = true
+			if ConfirmMinimal(d, cand, set, opts) {
+				confirmed = true
+				return false
+			}
+			return true
+		}
+		dl := relational.Diff(d, leaf)
+		if leq(dl, candDelta) && !leq(candDelta, dl) {
+			dominated = true
+			return false
+		}
+		return true
+	})
 	if err != nil {
 		return false, err
 	}
-	key := cand.Key()
-	for _, r := range res.Repairs {
-		if r.Key() == key {
-			return true, nil
-		}
-	}
-	return false, nil
+	return confirmed || (found && !dominated), nil
 }
