@@ -503,6 +503,51 @@ func BenchmarkBooleanShortCircuit(b *testing.B) {
 	})
 }
 
+// --- program engine: stable-model repairs at scale -------------------------------------------------
+
+// stableRepairDB embeds n key violations in a bulk of consistent rows — the
+// scalingRepairDB shape pointed at the program engine. The repair program has
+// one independent key-violation cluster per violating key, so the stable
+// model count is 2^n while the grounding scales with the bulk.
+func stableRepairDB(n, bulk int) (*relational.Instance, *constraint.Set) {
+	d := relational.NewInstance()
+	for i := 0; i < n; i++ {
+		k := value.Str(fmt.Sprintf("k%d", i))
+		d.Insert(relational.F("r", k, value.Str("b")))
+		d.Insert(relational.F("r", k, value.Str("c")))
+	}
+	for i := 0; i < bulk; i++ {
+		d.Insert(relational.F("r", value.Str(fmt.Sprintf("u%d", i)), value.Str(fmt.Sprintf("v%d", i))))
+	}
+	return d, parser.MustConstraints(`r(X, Y), r(X, Z) -> Y = Z.`)
+}
+
+// BenchmarkStableRepairs is the program-engine mirror of
+// BenchmarkRepairScaling: repairs computed as the stable models of Π(D, IC),
+// over 2^n-model workloads. This is the benchmark the stable-engine
+// trajectory is tracked by in EXPERIMENTS.md.
+func BenchmarkStableRepairs(b *testing.B) {
+	for _, n := range []int{3, 5} {
+		d, set := stableRepairDB(n, 16)
+		tr, err := repairprog.BuildWith(d, set, repairprog.BuildOptions{
+			Variant:            repairprog.VariantCorrected,
+			PruneUnconstrained: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("violations=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				insts, _, err := tr.StableRepairs(stable.Options{})
+				if err != nil || len(insts) != 1<<n {
+					b.Fatalf("repairs=%d err=%v", len(insts), err)
+				}
+			}
+		})
+	}
+}
+
 // --- storage engine: constraint-check cost vs unrelated data ---------------------------------------
 
 // BenchmarkUnrelatedScaling checks that |=_N satisfaction over a fixed

@@ -10,6 +10,10 @@
 //	cqa -db db.facts -ic constraints.ic answers -query query.q [-engine search|program|cautious] [-workers n]
 //	cqa -db db.facts -ic constraints.ic semantics
 //
+// -workers parallelizes the chosen engine: the search engine's state
+// expansion pool, or the program engines' per-component stable-model
+// solvers. Output is byte-identical for every worker count.
+//
 // Input files use the syntax of internal/parser (upper-case identifiers are
 // variables; null is the null constant). The -db and -ic flags also accept
 // inline text when the argument contains a newline or parenthesis.
@@ -47,7 +51,7 @@ func run(args []string) error {
 	queryArg := fs.String("query", "", "query (file path or inline), for the answers command")
 	engine := fs.String("engine", "search", "repair engine: search | program | cautious (answers only)")
 	classic := fs.Bool("classic", false, "use the classic [2] repair semantics (repairs command, search engine)")
-	workers := fs.Int("workers", 1, "parallel workers for the search engine (>= 1)")
+	workers := fs.Int("workers", 1, "parallel workers for the selected engine (>= 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,9 +70,6 @@ func run(args []string) error {
 	}
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
-	}
-	if *workers > 1 && *engine != "search" {
-		return fmt.Errorf("-workers requires the search engine (got -engine %s)", *engine)
 	}
 	if *workers > 1 && cmd != "repairs" && cmd != "answers" {
 		return fmt.Errorf("-workers only applies to the repairs and answers commands")
@@ -172,7 +173,7 @@ func cmdRepairs(d *relational.Instance, set *constraint.Set, engine string, clas
 		if err != nil {
 			return err
 		}
-		insts, models, err := tr.StableRepairs(stable.Options{})
+		insts, models, err := tr.StableRepairs(stable.Options{Workers: workers})
 		if err != nil {
 			return err
 		}
@@ -208,8 +209,10 @@ func cmdAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, engine 
 		opts.Repair.Workers = workers
 	case "program":
 		opts.Engine = core.EngineProgram
+		opts.Stable.Workers = workers
 	case "cautious":
 		opts.Engine = core.EngineProgramCautious
+		opts.Stable.Workers = workers
 	default:
 		return fmt.Errorf("unknown -engine %q: want search, program, or cautious", engine)
 	}

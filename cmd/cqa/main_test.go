@@ -180,8 +180,6 @@ func TestEngineValidation(t *testing.T) {
 			[]string{"-db", db, "-ic", ic, "-query", q, "-classic", "answers"}, "-classic only applies"},
 		{"workers must be positive",
 			[]string{"-db", db, "-ic", ic, "-workers", "0", "repairs"}, "-workers must be >= 1"},
-		{"workers with program engine", // would otherwise run single-threaded with no diagnostic
-			[]string{"-db", db, "-ic", ic, "-engine", "program", "-workers", "4", "repairs"}, "-workers requires the search engine"},
 		{"workers outside repairs/answers",
 			[]string{"-db", db, "-ic", ic, "-workers", "4", "check"}, "-workers only applies"},
 		{"typo'd engine on check", // used to be silently ignored
@@ -201,17 +199,22 @@ func TestEngineValidation(t *testing.T) {
 	}
 }
 
-// TestWorkersDeterministic pins the tentpole guarantee at the CLI level: the
-// parallel search prints byte-identical repair listings and answers. The
-// fixture keeps even the states-explored line deterministic (at most one
+// TestWorkersDeterministic pins the tentpole guarantee at the CLI level:
+// both the parallel search and the parallel stable-model engine print
+// byte-identical repair listings and answers. The fixture keeps even the
+// search engine's states-explored line deterministic (at most one
 // insertable atom per state, so expansion is content-determined; see the
-// Options.Workers contract), and the answers query is non-boolean, so no
-// scheduling-dependent short-circuit diagnostics are printed.
+// repair.Options.Workers contract), and the answers query is non-boolean,
+// so no scheduling-dependent short-circuit diagnostics are printed. The
+// program engines' model stream is deterministic outright.
 func TestWorkersDeterministic(t *testing.T) {
 	db, ic, q := writeFixtures(t)
 	for _, cmd := range [][]string{
 		{"-db", db, "-ic", ic, "repairs"},
 		{"-db", db, "-ic", ic, "-query", q, "answers"},
+		{"-db", db, "-ic", ic, "-engine", "program", "repairs"},
+		{"-db", db, "-ic", ic, "-engine", "program", "-query", q, "answers"},
+		{"-db", db, "-ic", ic, "-engine", "cautious", "-query", q, "answers"},
 	} {
 		seq, err := capture(t, func() error { return run(cmd) })
 		if err != nil {

@@ -13,42 +13,61 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	id := flag.String("id", "", "run only the experiment with this ID")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+	failures, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return // usage already printed
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(failures)
+}
+
+// run executes the command against the given streams and returns the number
+// of failed experiments; err reports usage problems (unknown flags or IDs).
+func run(args []string, stdout, stderr io.Writer) (failures int, err error) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	id := fs.String("id", "", "run only the experiment with this ID")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-5s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0, nil
 	}
 	if *id != "" {
 		e, ok := experiments.ByID(*id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown ID %q (use -list)\n", *id)
-			os.Exit(2)
+			return 0, fmt.Errorf("unknown ID %q (use -list)", *id)
 		}
-		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
-		fmt.Printf("paper: %s\n", e.PaperClaim)
-		if err := e.Run(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
-			os.Exit(1)
+		fmt.Fprintf(stdout, "=== %s: %s\n", e.ID, e.Title)
+		fmt.Fprintf(stdout, "paper: %s\n", e.PaperClaim)
+		if err := e.Run(stdout); err != nil {
+			fmt.Fprintf(stderr, "FAIL: %v\n", err)
+			return 1, nil
 		}
-		fmt.Println("ok")
-		return
+		fmt.Fprintln(stdout, "ok")
+		return 0, nil
 	}
-	failures := experiments.RunAll(os.Stdout)
+	failures = experiments.RunAll(stdout)
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "%d experiments failed\n", failures)
+		fmt.Fprintf(stderr, "%d experiments failed\n", failures)
 	}
-	os.Exit(failures)
+	return failures, nil
 }

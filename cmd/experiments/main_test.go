@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCapture drives run with captured streams.
+func runCapture(t *testing.T, args ...string) (stdout, stderr string, failures int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	failures, err := run(args, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String(), errBuf.String(), failures
+}
+
+// TestListGolden pins the -list output: one "ID  Title" line per registered
+// experiment, covering the full E/C registry of EXPERIMENTS.md.
+func TestListGolden(t *testing.T) {
+	out, _, failures := runCapture(t, "-list")
+	if failures != 0 {
+		t.Fatalf("-list reported %d failures", failures)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 25 {
+		t.Fatalf("-list printed %d experiments, want the full registry:\n%s", len(lines), out)
+	}
+	for _, want := range []string{
+		"C1    Decidability under RIC-cycles: repair enumeration terminates (Theorem 2)",
+		"C3    Theorem 4 agreement rate: search engine vs stable-model engine",
+		"E23   Example 23: stable models of Π(D,IC) are the repairs (Theorem 4)",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("-list output missing line %q:\n%s", want, out)
+		}
+	}
+	for i, line := range lines {
+		if len(line) < 7 || (line[0] != 'E' && line[0] != 'C') || !strings.Contains(line, " ") {
+			t.Errorf("line %d is not an ID-title pair: %q", i, line)
+		}
+	}
+}
+
+// TestRunOneExperimentGolden runs a single experiment end-to-end and checks
+// the full output shape (header, paper claim, artifact, trailing ok).
+func TestRunOneExperimentGolden(t *testing.T) {
+	out, _, failures := runCapture(t, "-id", "E02")
+	if failures != 0 {
+		t.Fatalf("E02 reported %d failures:\n%s", failures, out)
+	}
+	want := "=== E02: Example 2: dependency graph G(IC) for {S→Q, Q→R, Q→∃T}\n" +
+		"paper: vertices S,Q,R,T; edges S→Q (ic1), Q→R (ic2), Q→T (ic3)\n" +
+		"G(IC):\n" +
+		"vertices: q, r, s, t\n" +
+		"q -> r [ic2]\n" +
+		"q -> t [ic3]\n" +
+		"s -> q [ic1]\n" +
+		"ok\n"
+	if out != want {
+		t.Errorf("E02 output mismatch:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+func TestUnknownExperimentID(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if _, err := run([]string{"-id", "E999"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown -id accepted")
+	} else if !strings.Contains(err.Error(), "E999") {
+		t.Errorf("error %q does not name the unknown ID", err)
+	}
+}
+
+// TestFailedExperimentCounts checks the failure-count contract with a
+// passing experiment (0) without running the full registry.
+func TestFailedExperimentCounts(t *testing.T) {
+	_, stderr, failures := runCapture(t, "-id", "C3")
+	if failures != 0 {
+		t.Fatalf("C3 failed:\n%s", stderr)
+	}
+}

@@ -99,15 +99,22 @@ type Answer struct {
 	// in-flight workers may have admitted further states by the time the
 	// stop propagates.
 	StatesExplored int
-	// ShortCircuited reports that the search stopped at the first
-	// confirmed-minimal counterexample instead of enumerating Rep(D, IC)
-	// exhaustively. Only boolean queries on the search engine short-
-	// circuit, and only when the certain answer is no.
+	// ShortCircuited reports that the engine stopped at the first
+	// counterexample instead of enumerating exhaustively. Only boolean
+	// queries short-circuit, and only when the certain answer is no: the
+	// search engine stops at the first confirmed-minimal falsifying leaf,
+	// and the program engines stop at the first stable model whose induced
+	// repair (EngineProgram) or answer-atom set (EngineProgramCautious)
+	// falsifies the query — a stable model is a repair outright
+	// (Theorem 4), so no certificate is needed. After a program-engine
+	// short-circuit NumRepairs counts the distinct repairs seen up to and
+	// including the counterexample.
 	//
-	// Boolean and Tuples are identical for every Repair.Workers value;
-	// NumRepairs, StatesExplored and ShortCircuited are diagnostics that
-	// are deterministic for Workers <= 1 but can vary with scheduling for
-	// larger worker counts (leaf arrival order decides which falsifying
+	// Boolean and Tuples are identical for every Repair.Workers and
+	// Stable.Workers value; NumRepairs, StatesExplored and ShortCircuited
+	// are diagnostics that are deterministic for the program engines and
+	// for search Workers <= 1, but can vary with scheduling for larger
+	// search worker counts (leaf arrival order decides which falsifying
 	// candidates spend the certificate budget).
 	ShortCircuited bool
 }
@@ -269,35 +276,63 @@ func streamRepairs(d *relational.Instance, set *constraint.Set, opts Options) ([
 	return repairs, stats, nil
 }
 
-// materializedAnswers implements EngineProgram: materialize the repair set
-// from the stable models, then intersect per-repair evaluations.
+// materializedAnswers implements EngineProgram on the stable-model stream:
+// each distinct induced repair is evaluated as its first model arrives. A
+// boolean query short-circuits at the first falsifying repair — every
+// stable model of Π(D, IC) induces a repair (Theorem 4), so the certain
+// answer is already no and the rest of the enumeration is cancelled.
+// Non-boolean queries enumerate fully (their NumRepairs is part of the
+// cross-engine differential contract) and intersect per-repair evaluations.
 func materializedAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
-	repairs, err := RepairsOf(d, set, opts)
-	if err != nil {
-		return Answer{}, err
-	}
-	if len(repairs) == 0 {
-		return Answer{}, errEmptyRepairSet
-	}
-	ans := Answer{NumRepairs: len(repairs)}
-	if q.IsBoolean() {
-		ans.Boolean = true
-		for _, r := range repairs {
-			holds, err := query.EvalBool(r, q)
-			if err != nil {
-				return Answer{}, err
-			}
-			if !holds {
-				ans.Boolean = false
-				break
-			}
+	if !q.IsBoolean() {
+		repairs, err := RepairsOf(d, set, opts)
+		if err != nil {
+			return Answer{}, err
+		}
+		if len(repairs) == 0 {
+			return Answer{}, errEmptyRepairSet
+		}
+		ans := Answer{NumRepairs: len(repairs)}
+		if ans.Tuples, err = certainTuples(repairs, q); err != nil {
+			return Answer{}, err
 		}
 		return ans, nil
 	}
-	if ans.Tuples, err = certainTuples(repairs, q); err != nil {
+	tr, err := repairprog.Build(d, set, opts.Variant)
+	if err != nil {
 		return Answer{}, err
 	}
-	return ans, nil
+	seen := map[string]bool{}
+	var evalErr error
+	holds := true
+	short := false
+	if err := tr.StreamRepairs(opts.Stable, func(inst *relational.Instance, _ stable.Model) bool {
+		key := inst.Key()
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		ok, err := query.EvalBool(inst, q)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if !ok {
+			holds = false
+			short = true
+			return false
+		}
+		return true
+	}); err != nil {
+		return Answer{}, err
+	}
+	if evalErr != nil {
+		return Answer{}, evalErr
+	}
+	if len(seen) == 0 {
+		return Answer{}, errEmptyRepairSet
+	}
+	return Answer{NumRepairs: len(seen), Boolean: holds, ShortCircuited: short}, nil
 }
 
 // certainTuples intersects the answers of q across the repairs, breaking off
@@ -345,7 +380,13 @@ func sortedTuples(m map[string]relational.Tuple) []relational.Tuple {
 }
 
 // cautiousAnswers implements EngineProgramCautious: cautious reasoning over
-// the stable models of Π(D, IC) ∪ Π(q).
+// the stable models of Π(D, IC) ∪ Π(q), computed on the model stream. The
+// certain answers are the running intersection of each model's answer
+// atoms; a boolean query short-circuits the moment a model lacks the answer
+// atom — that model witnesses a repair falsifying the query, so the certain
+// answer is already no and the enumeration is cancelled. Non-boolean
+// queries enumerate fully: NumRepairs (the distinct induced repairs) is
+// part of the cross-engine differential contract.
 func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
 	tr, err := repairprog.BuildWith(d, set, repairprog.BuildOptions{
 		Variant:            opts.Variant,
@@ -362,22 +403,15 @@ func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, op
 	if err != nil {
 		return Answer{}, err
 	}
-	models, err := stable.Models(gp, opts.Stable)
-	if err != nil {
-		return Answer{}, err
-	}
-	if len(models) == 0 {
-		return Answer{}, fmt.Errorf("core: the repair program has no stable model")
-	}
 
+	boolean := q.IsBoolean()
+	emptyKey := relational.Tuple{}.Key()
 	repairKeys := map[string]bool{}
-	for _, m := range models {
-		repairKeys[tr.Interpret(gp, m).Key()] = true
-	}
-	ans := Answer{NumRepairs: len(repairKeys)}
-
 	certain := map[string]relational.Tuple{}
-	for i, m := range models {
+	first := true
+	short := false
+	if err := stable.Enumerate(gp, opts.Stable, func(m stable.Model) bool {
+		repairKeys[tr.Interpret(gp, m).Key()] = true
 		here := map[string]relational.Tuple{}
 		for _, id := range m {
 			f := gp.Atoms[id]
@@ -385,18 +419,33 @@ func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, op
 				here[f.Args.Key()] = f.Args
 			}
 		}
-		if i == 0 {
+		if first {
+			first = false
 			certain = here
-			continue
-		}
-		for k := range certain {
-			if _, ok := here[k]; !ok {
-				delete(certain, k)
+		} else {
+			for k := range certain {
+				if _, ok := here[k]; !ok {
+					delete(certain, k)
+				}
 			}
 		}
+		if boolean {
+			if _, ok := certain[emptyKey]; !ok {
+				short = true
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return Answer{}, err
 	}
-	if q.IsBoolean() {
-		_, ans.Boolean = certain[relational.Tuple{}.Key()]
+	if first {
+		return Answer{}, fmt.Errorf("core: the repair program has no stable model")
+	}
+
+	ans := Answer{NumRepairs: len(repairKeys), ShortCircuited: short}
+	if boolean {
+		_, ans.Boolean = certain[emptyKey]
 		return ans, nil
 	}
 	ans.Tuples = sortedTuples(certain)
@@ -407,19 +456,17 @@ func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, op
 // (brave semantics) — the complement perspective the CQA literature uses
 // when discussing the Π₂ᵖ upper bound. With the search engine the repair
 // set comes from the streaming search and online antichain, and only the
-// surviving candidates are ever evaluated.
+// surviving candidates are ever evaluated. The program engines ride the
+// stable-model stream, evaluating each distinct induced repair as its first
+// model arrives; a boolean query cancels the enumeration at the first
+// repair satisfying it (its possible answer can only be yes from then on).
 func PossibleAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) ([]relational.Tuple, error) {
-	var repairs []*relational.Instance
 	if opts.Engine != EngineSearch {
-		var err error
-		if repairs, err = RepairsOf(d, set, opts); err != nil {
-			return nil, err
-		}
-	} else {
-		var err error
-		if repairs, _, err = streamRepairs(d, set, opts); err != nil {
-			return nil, err
-		}
+		return possibleProgramAnswers(d, set, q, opts)
+	}
+	repairs, _, err := streamRepairs(d, set, opts)
+	if err != nil {
+		return nil, err
 	}
 	seen := map[string]relational.Tuple{}
 	for _, r := range repairs {
@@ -430,6 +477,41 @@ func PossibleAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, op
 		for _, t := range tuples {
 			seen[t.Key()] = t
 		}
+	}
+	return sortedTuples(seen), nil
+}
+
+// possibleProgramAnswers unions per-repair answers over the stable-model
+// stream of Π(D, IC).
+func possibleProgramAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) ([]relational.Tuple, error) {
+	tr, err := repairprog.Build(d, set, opts.Variant)
+	if err != nil {
+		return nil, err
+	}
+	boolean := q.IsBoolean()
+	seenRepair := map[string]bool{}
+	seen := map[string]relational.Tuple{}
+	var evalErr error
+	if err := tr.StreamRepairs(opts.Stable, func(inst *relational.Instance, _ stable.Model) bool {
+		key := inst.Key()
+		if seenRepair[key] {
+			return true
+		}
+		seenRepair[key] = true
+		tuples, err := query.Eval(inst, q)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		for _, t := range tuples {
+			seen[t.Key()] = t
+		}
+		return !(boolean && len(seen) > 0)
+	}); err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
 	}
 	return sortedTuples(seen), nil
 }

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/repair"
+	"repro/internal/value"
+)
+
+// TestProgramEngineStreamDifferential is the tentpole invariant for the
+// stable-model engine: on randomized workloads, the program engines'
+// streaming answers — cautious (ConsistentAnswers) and brave
+// (PossibleAnswers), with the boolean short-circuit in play and with it
+// sidestepped by full materialization — agree with the direct search
+// engine, and the program-engine repair sets are byte-identical to the
+// search-engine repair sets at every stable worker count.
+func TestProgramEngineStreamDifferential(t *testing.T) {
+	sets := []*constraint.Set{
+		parser.MustConstraints(`course(Id, Code) -> student(Id, Name).`),
+		parser.MustConstraints(`
+			r(X, Y), r(X, Z) -> Y = Z.
+			s(U, V) -> r(V, W).
+		`),
+		parser.MustConstraints(`
+			p(X) -> q(X) | t(X).
+			q(X), t(X) -> false.
+		`),
+	}
+	queries := [][]string{
+		{`q(Id) :- student(Id, Name).`, `q :- course(21, c15).`, `q :- student(45, "Paul").`},
+		{`q(V) :- s(U, V).`, `q(X, Y) :- r(X, Y).`, `q :- r(a, b).`},
+		{`q(X) :- p(X), not t(X).`, `q :- t(a).`, `q :- p(a).`},
+	}
+	rng := rand.New(rand.NewSource(404))
+	vals := []value.V{value.Str("a"), value.Str("b"), value.Null(), value.Int(21)}
+	pick := func() value.V { return vals[rng.Intn(len(vals))] }
+
+	gen := func(si int) *relational.Instance {
+		d := relational.NewInstance()
+		switch si {
+		case 0:
+			d.Insert(relational.F("course", value.Int(21), value.Str("c15")))
+			for k := 0; k < rng.Intn(3); k++ {
+				d.Insert(relational.F("course", pick(), pick()))
+			}
+			for k := 0; k < rng.Intn(3); k++ {
+				d.Insert(relational.F("student", pick(), pick()))
+			}
+		case 1:
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				d.Insert(relational.F("r", pick(), pick()))
+			}
+			for k := 0; k < rng.Intn(3); k++ {
+				d.Insert(relational.F("s", pick(), pick()))
+			}
+		case 2:
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				d.Insert(relational.F("p", pick()))
+			}
+			for k := 0; k < rng.Intn(2); k++ {
+				d.Insert(relational.F("q", pick()))
+			}
+			for k := 0; k < rng.Intn(2); k++ {
+				d.Insert(relational.F("t", pick()))
+			}
+		}
+		return d
+	}
+
+	workerCounts := []int{1, 4}
+	trials := 0
+	for round := 0; round < 10; round++ {
+		for si, set := range sets {
+			d := gen(si)
+			trials++
+
+			// Repairs: search baseline vs program engine per worker count,
+			// byte-identical content and order.
+			searchRes, err := repair.Repairs(d, set, repair.Options{})
+			if err != nil {
+				t.Fatalf("search repairs failed on D=%v, set %d: %v", d, si, err)
+			}
+			for _, workers := range workerCounts {
+				opts := NewOptions()
+				opts.Engine = EngineProgram
+				opts.Stable.Workers = workers
+				progRepairs, err := RepairsOf(d, set, opts)
+				if err != nil {
+					t.Fatalf("program repairs failed on D=%v, set %d, workers=%d: %v", d, si, workers, err)
+				}
+				if len(progRepairs) != len(searchRes.Repairs) {
+					t.Fatalf("repair counts differ on D=%v, set %d, workers=%d: search %d, program %d",
+						d, si, workers, len(searchRes.Repairs), len(progRepairs))
+				}
+				for i := range progRepairs {
+					if !progRepairs[i].Equal(searchRes.Repairs[i]) {
+						t.Fatalf("repair %d differs on D=%v, set %d, workers=%d:\nsearch:  %v\nprogram: %v",
+							i, d, si, workers, searchRes.Repairs[i], progRepairs[i])
+					}
+				}
+			}
+
+			for _, qsrc := range queries[si] {
+				q := parser.MustQuery(qsrc)
+				base, err := ConsistentAnswers(d, set, q, NewOptions())
+				if err != nil {
+					t.Fatalf("search answers failed on D=%v, set %d, q=%q: %v", d, si, qsrc, err)
+				}
+				baseBrave, err := PossibleAnswers(d, set, q, NewOptions())
+				if err != nil {
+					t.Fatalf("search possible answers failed on D=%v, set %d, q=%q: %v", d, si, qsrc, err)
+				}
+				// The short-circuit-free reference: evaluate the query on
+				// every materialized repair.
+				refBool := true
+				if q.IsBoolean() {
+					for _, r := range searchRes.Repairs {
+						holds, err := query.EvalBool(r, q)
+						if err != nil {
+							t.Fatal(err)
+						}
+						refBool = refBool && holds
+					}
+				}
+
+				for _, engine := range []Engine{EngineProgram, EngineProgramCautious} {
+					for _, workers := range workerCounts {
+						opts := NewOptions()
+						opts.Engine = engine
+						opts.Stable.Workers = workers
+						got, err := ConsistentAnswers(d, set, q, opts)
+						if err != nil {
+							t.Fatalf("%v failed on D=%v, set %d, q=%q, workers=%d: %v", engine, d, si, qsrc, workers, err)
+						}
+						if err := sameAnswer(base, got, q); err != nil {
+							t.Fatalf("engines disagree on D=%v, set %d, q=%q, workers=%d: %v\nsearch: %+v\n%v: %+v",
+								d, si, qsrc, err, workers, base, engine, got)
+						}
+						if q.IsBoolean() {
+							if got.Boolean != refBool {
+								t.Fatalf("streaming boolean %v != materialized %v on D=%v, set %d, q=%q",
+									got.Boolean, refBool, d, si, qsrc)
+							}
+							if got.ShortCircuited && got.Boolean {
+								t.Fatalf("short-circuit with a certain yes on D=%v, set %d, q=%q", d, si, qsrc)
+							}
+						}
+						brave, err := PossibleAnswers(d, set, q, opts)
+						if err != nil {
+							t.Fatalf("%v possible answers failed on D=%v, set %d, q=%q: %v", engine, d, si, qsrc, err)
+						}
+						if err := sameTuples(baseBrave, brave); err != nil {
+							t.Fatalf("possible answers disagree (%v, workers=%d) on D=%v, set %d, q=%q: %v\nsearch: %v\nprogram: %v",
+								engine, workers, d, si, qsrc, err, baseBrave, brave)
+						}
+					}
+				}
+			}
+		}
+	}
+	if trials < 30 {
+		t.Fatalf("only %d differential trials executed", trials)
+	}
+}
+
+func sameTuples(a, b []relational.Tuple) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("tuple counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return fmt.Errorf("tuple %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// TestProgramBooleanShortCircuit mirrors the PR 2 search-engine regression
+// for the program engines: a refuted boolean query stops the stable-model
+// stream before all repairs are seen, a certain yes pays for the full
+// enumeration.
+func TestProgramBooleanShortCircuit(t *testing.T) {
+	d, setSrc := violatingCourses(5)
+	set := parser.MustConstraints(setSrc)
+	full, err := repair.Repairs(d, set, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Repairs) < 8 {
+		t.Fatalf("workload too small: %d repairs", len(full.Repairs))
+	}
+
+	refuted := parser.MustQuery(`q :- course(34, c18).`)
+	certain := parser.MustQuery(`q :- student(21, "Ann").`)
+	for _, engine := range []Engine{EngineProgram, EngineProgramCautious} {
+		opts := NewOptions()
+		opts.Engine = engine
+		ans, err := ConsistentAnswers(d, set, refuted, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Boolean || !ans.ShortCircuited {
+			t.Errorf("%v: refuted answer = %+v, want short-circuited no", engine, ans)
+		}
+		if ans.NumRepairs >= len(full.Repairs) {
+			t.Errorf("%v: short-circuit saw %d repairs of %d — no early cancellation",
+				engine, ans.NumRepairs, len(full.Repairs))
+		}
+		ans, err = ConsistentAnswers(d, set, certain, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ans.Boolean || ans.ShortCircuited {
+			t.Errorf("%v: certain answer = %+v, want non-short-circuited yes", engine, ans)
+		}
+		if ans.NumRepairs != len(full.Repairs) {
+			t.Errorf("%v: certain yes saw %d repairs, want all %d", engine, ans.NumRepairs, len(full.Repairs))
+		}
+	}
+}
+
+// TestStableWorkersMatchSequentialAnswers pins cmd/cqa's -workers contract
+// one level down: answers and repair listings from the program engines are
+// identical for every stable worker count, including under cancellation
+// (boolean short-circuits).
+func TestStableWorkersMatchSequentialAnswers(t *testing.T) {
+	d, setSrc := violatingCourses(4)
+	set := parser.MustConstraints(setSrc)
+	qs := []*query.Q{
+		parser.MustQuery(`q(Id) :- student(Id, Name).`),
+		parser.MustQuery(`q :- course(34, c18).`),
+		parser.MustQuery(`q :- student(21, "Ann").`),
+	}
+	for _, engine := range []Engine{EngineProgram, EngineProgramCautious} {
+		for _, q := range qs {
+			seqOpts := NewOptions()
+			seqOpts.Engine = engine
+			seq, err := ConsistentAnswers(d, set, q, seqOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				parOpts := NewOptions()
+				parOpts.Engine = engine
+				parOpts.Stable.Workers = workers
+				par, err := ConsistentAnswers(d, set, q, parOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The model stream is deterministic, so even the
+				// diagnostics must match exactly.
+				if seq.Boolean != par.Boolean || seq.NumRepairs != par.NumRepairs ||
+					seq.ShortCircuited != par.ShortCircuited || len(seq.Tuples) != len(par.Tuples) {
+					t.Fatalf("%v workers=%d diverges on %v:\nseq: %+v\npar: %+v", engine, workers, q, seq, par)
+				}
+			}
+		}
+	}
+}

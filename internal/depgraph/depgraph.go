@@ -168,6 +168,122 @@ func (g *Graph) String() string {
 	return b.String()
 }
 
+// SCC computes the strongly connected components of a directed graph over
+// dense integer vertex ids, given as an adjacency list (Tarjan's algorithm,
+// iterative). It returns the component id of every vertex; ids are dense but
+// carry no topological guarantee. Both the ground-program analyses — the
+// head-cycle-freeness test of Section 6 and the component split of the
+// stable-model engine — run on this primitive.
+func SCC(adj [][]int) []int {
+	n := len(adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var counter, nComp int
+
+	type frame struct {
+		v, ei int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{v: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}
+
+// UnionFind is a disjoint-set forest over dense integer ids, used to
+// partition ground programs into independent components.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the set representative of x, with path halving.
+func (u *UnionFind) Find(x int) int {
+	for int(u.parent[x]) != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = int(u.parent[x])
+	}
+	return x
+}
+
+// Union merges the sets of a and b by rank.
+func (u *UnionFind) Union(a, b int) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
 // Build constructs the dependency graph G(IC): one vertex per database
 // predicate appearing in IC, and an edge (P_i, P_j) iff some constraint has
 // P_i in its antecedent and P_j in its consequent. NNCs contribute their

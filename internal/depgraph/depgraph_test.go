@@ -174,6 +174,48 @@ func TestNNCVertexOnly(t *testing.T) {
 	}
 }
 
+func TestSCCInts(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 is one component; 3 -> 4 are singletons; 5 isolated.
+	adj := [][]int{{1}, {2}, {0}, {4}, nil, nil}
+	comp := SCC(adj)
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("cycle split across components: %v", comp)
+	}
+	if comp[3] == comp[4] || comp[3] == comp[0] || comp[5] == comp[0] {
+		t.Errorf("singletons merged: %v", comp)
+	}
+	ids := map[int]bool{}
+	for _, c := range comp {
+		ids[c] = true
+	}
+	if len(ids) != 4 {
+		t.Errorf("component count = %d, want 4 (%v)", len(ids), comp)
+	}
+	if len(SCC(nil)) != 0 {
+		t.Error("empty graph must have no components")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := NewUnionFind(6)
+	u.Union(0, 1)
+	u.Union(1, 2)
+	u.Union(4, 5)
+	if u.Find(0) != u.Find(2) {
+		t.Error("0 and 2 must share a set after transitive unions")
+	}
+	if u.Find(3) == u.Find(0) || u.Find(3) == u.Find(4) {
+		t.Error("3 must stay a singleton")
+	}
+	if u.Find(4) != u.Find(5) || u.Find(4) == u.Find(0) {
+		t.Error("4/5 set broken")
+	}
+	u.Union(2, 5) // merge the two big sets
+	if u.Find(0) != u.Find(4) {
+		t.Error("sets not merged")
+	}
+}
+
 func TestHasCycleSelfLoop(t *testing.T) {
 	g := NewGraph()
 	g.AddEdge("A", "A", "loop")

@@ -113,7 +113,7 @@ func runE23(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	models, err := stable.Models(gp, stable.Options{})
+	models, err := stable.Models(gp, stable.Options{Sorted: true})
 	if err != nil {
 		return err
 	}

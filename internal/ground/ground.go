@@ -31,6 +31,10 @@ type Program struct {
 	Facts []int
 	// Rules are the instantiated non-fact rules.
 	Rules []Rule
+
+	// ids indexes Atoms by fact key for O(1) AtomID lookups; nil on
+	// hand-built programs, which fall back to a linear scan.
+	ids map[string]int
 }
 
 // Rule is one ground rule over atom ids.
@@ -161,6 +165,7 @@ func Ground(p *logic.Program) (*Program, error) {
 
 	gp.Names = in.names
 	gp.Atoms = in.atoms
+	gp.ids = in.ids
 	return gp, nil
 }
 
@@ -302,6 +307,10 @@ func (p *Program) Fact(id int) relational.Fact { return p.Atoms[id] }
 
 // AtomID looks up the id of a ground fact, if interned.
 func (p *Program) AtomID(f relational.Fact) (int, bool) {
+	if p.ids != nil {
+		id, ok := p.ids[f.Key()]
+		return id, ok
+	}
 	for id, g := range p.Atoms {
 		if g.Equal(f) {
 			return id, true

@@ -371,22 +371,35 @@ func (tr *Translation) Interpret(gp *ground.Program, m stable.Model) *relational
 	return out
 }
 
-// StableRepairs grounds the program, enumerates its stable models, and
-// returns the distinct database instances they induce, in content-canonical
-// order, along with the models themselves.
-func (tr *Translation) StableRepairs(opts stable.Options) ([]*relational.Instance, []stable.Model, error) {
+// StreamRepairs grounds the program and streams each stable model with the
+// database instance D_M it induces (Definition 10), as the model arrives
+// from stable.Enumerate — the first repair candidate is observable before
+// the model enumeration completes, so boolean CQA can cancel the rest.
+// Distinct models can induce the same instance; deduplication is the
+// caller's concern. yield returning false cancels the enumeration (nil
+// error), mirroring the streaming contract of repair.Enumerate.
+func (tr *Translation) StreamRepairs(opts stable.Options, yield func(*relational.Instance, stable.Model) bool) error {
 	gp, err := ground.Ground(tr.Program)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	models, err := stable.Models(gp, opts)
-	if err != nil {
-		return nil, nil, err
-	}
+	return stable.Enumerate(gp, opts, func(m stable.Model) bool {
+		return yield(tr.Interpret(gp, m), m)
+	})
+}
+
+// StableRepairs materializes the stream: the distinct database instances
+// induced by the stable models, in content-canonical order, along with the
+// models themselves (in stream order).
+func (tr *Translation) StableRepairs(opts stable.Options) ([]*relational.Instance, []stable.Model, error) {
+	var models []stable.Model
 	seen := map[string]*relational.Instance{}
-	for _, m := range models {
-		inst := tr.Interpret(gp, m)
+	if err := tr.StreamRepairs(opts, func(inst *relational.Instance, m stable.Model) bool {
+		models = append(models, m)
 		seen[inst.Key()] = inst
+		return true
+	}); err != nil {
+		return nil, nil, err
 	}
 	out := make([]*relational.Instance, 0, len(seen))
 	for _, inst := range seen {

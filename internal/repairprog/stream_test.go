@@ -1,0 +1,72 @@
+package repairprog
+
+import (
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/stable"
+)
+
+// TestStreamRepairsMatchesMaterialized checks the streaming entry point
+// against its materialized wrapper: the streamed (instance, model) pairs
+// dedup to exactly the StableRepairs instance set, in a deterministic
+// stream order, at every worker count.
+func TestStreamRepairsMatchesMaterialized(t *testing.T) {
+	d, set := example19()
+	tr := mustBuild(t, d, set, VariantCorrected)
+	want := stableInstances(t, tr)
+
+	var sequential []string
+	for _, workers := range []int{1, 4} {
+		var streamed []string
+		seen := map[string]bool{}
+		if err := tr.StreamRepairs(stable.Options{Workers: workers}, func(inst *relational.Instance, m stable.Model) bool {
+			if len(m) == 0 {
+				t.Fatal("empty stable model streamed")
+			}
+			key := inst.Key()
+			streamed = append(streamed, key)
+			seen[key] = true
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != len(want) {
+			t.Fatalf("workers=%d: %d distinct streamed repairs, want %d", workers, len(seen), len(want))
+		}
+		for _, w := range want {
+			if !seen[w.Key()] {
+				t.Errorf("workers=%d: repair %v never streamed", workers, w)
+			}
+		}
+		// The stream — content and order — must not depend on workers.
+		if workers == 1 {
+			sequential = streamed
+		} else if len(streamed) != len(sequential) {
+			t.Fatalf("workers=%d: stream length %d differs from sequential %d", workers, len(streamed), len(sequential))
+		} else {
+			for i := range streamed {
+				if streamed[i] != sequential[i] {
+					t.Fatalf("workers=%d: stream diverges at %d", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamRepairsCancel checks that yield returning false stops the
+// stream without an error — the hook core's boolean short-circuit rides on.
+func TestStreamRepairsCancel(t *testing.T) {
+	d, set := example19()
+	tr := mustBuild(t, d, set, VariantCorrected)
+	calls := 0
+	if err := tr.StreamRepairs(stable.Options{}, func(_ *relational.Instance, _ stable.Model) bool {
+		calls++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("yield ran %d times after immediate cancellation", calls)
+	}
+}

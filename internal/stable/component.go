@@ -1,0 +1,130 @@
+package stable
+
+import (
+	"slices"
+	"sort"
+
+	"repro/internal/depgraph"
+	"repro/internal/ground"
+)
+
+// This file splits a ground program into independent components. Two atoms
+// are dependent when they co-occur in a rule (head, positive or negative
+// body); the transitive closure of that relation partitions the atoms, and
+// no rule spans two parts. Stable models therefore factorize: every stable
+// model of the program is the union of one stable model per component plus
+// the core facts, and every such union is stable (the Gelfond–Lifschitz
+// reduct and its minimality check both factorize over disjoint atom sets).
+// The engine exploits this by enumerating components separately — turning
+// one 2^(a+b)-model search into two of 2^a and 2^b — and combining the
+// per-component models lazily.
+
+// component is one independent fragment of a ground program, re-indexed to
+// dense local atom ids (local id = index into atoms).
+type component struct {
+	atoms []int // global atom ids, ascending
+	rules []ground.Rule
+	facts []int // local ids
+}
+
+// decompose partitions the program. coreFacts are fact atoms no rule
+// mentions (true in every stable model); atoms mentioned by neither a rule
+// nor a fact are false in every model and appear nowhere. inconsistent
+// reports an atom-free ground rule — an unconditionally violated denial —
+// which makes the program have no stable models at all.
+func decompose(p *ground.Program) (coreFacts []int, comps []*component, inconsistent bool) {
+	n := p.NumAtoms()
+	uf := depgraph.NewUnionFind(n)
+	inRule := make([]bool, n)
+	for _, r := range p.Rules {
+		first := -1
+		link := func(atoms []int) {
+			for _, a := range atoms {
+				inRule[a] = true
+				if first == -1 {
+					first = a
+				} else {
+					uf.Union(first, a)
+				}
+			}
+		}
+		link(r.Head)
+		link(r.Pos)
+		link(r.Neg)
+		if first == -1 {
+			// A ground rule with no atoms is a violated denial: the
+			// program is inconsistent regardless of everything else.
+			return nil, nil, true
+		}
+	}
+
+	isFact := make([]bool, n)
+	for _, f := range p.Facts {
+		isFact[f] = true
+		if !inRule[f] {
+			coreFacts = append(coreFacts, f)
+		}
+	}
+	sort.Ints(coreFacts)
+	// Hand-built programs may repeat a fact id; models must not.
+	coreFacts = slices.Compact(coreFacts)
+
+	// Group rule-connected atoms by their set representative, in ascending
+	// atom order so components and their atom lists are deterministic.
+	compOf := make(map[int]*component)
+	for a := 0; a < n; a++ {
+		if !inRule[a] {
+			continue
+		}
+		root := uf.Find(a)
+		c := compOf[root]
+		if c == nil {
+			c = &component{}
+			compOf[root] = c
+			comps = append(comps, c)
+		}
+		c.atoms = append(c.atoms, a)
+	}
+
+	// Local ids: position of the global id in the component's atom list.
+	local := make([]int32, n)
+	for _, c := range comps {
+		for i, a := range c.atoms {
+			local[a] = int32(i)
+		}
+	}
+	relabel := func(atoms []int) []int {
+		if len(atoms) == 0 {
+			return nil
+		}
+		out := make([]int, len(atoms))
+		for i, a := range atoms {
+			out[i] = int(local[a])
+		}
+		return out
+	}
+	for _, r := range p.Rules {
+		var owner int
+		switch {
+		case len(r.Head) > 0:
+			owner = r.Head[0]
+		case len(r.Pos) > 0:
+			owner = r.Pos[0]
+		default:
+			owner = r.Neg[0]
+		}
+		c := compOf[uf.Find(owner)]
+		c.rules = append(c.rules, ground.Rule{
+			Head: relabel(r.Head),
+			Pos:  relabel(r.Pos),
+			Neg:  relabel(r.Neg),
+		})
+	}
+	for _, f := range p.Facts {
+		if inRule[f] {
+			c := compOf[uf.Find(f)]
+			c.facts = append(c.facts, int(local[f]))
+		}
+	}
+	return coreFacts, comps, false
+}

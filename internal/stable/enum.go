@@ -1,0 +1,235 @@
+package stable
+
+import "sync/atomic"
+
+// This file turns one component into an incremental stream of its stable
+// models, on a single CDCL solver. The solver is dual-rail:
+//
+//   - variables 0..n-1 ("originals") carry the component's classical models:
+//     one clause per rule, units for facts, negative units for underivable
+//     atoms — exactly the old clausify;
+//   - variables n..2n-1 ("shadows") carry candidate submodels of the
+//     Gelfond–Lifschitz reduct: for every rule, the clause
+//     ⋁_{b∈Neg} b  ∨  ⋁_{h∈Head} h'  ∨  ⋁_{b∈Pos} ¬b'
+//     over shadow primes, plus the linking clauses h' → h. When the
+//     originals are pinned to a model M by assumptions, a rule with a
+//     negative body atom in M is satisfied outright (the reduct drops it)
+//     and the rest collapse to the reduct's clauses over shadows, with
+//     shadows confined to subsets of M by the links.
+//
+// Enumeration, minimization and the reduct-minimality check are therefore
+// three assumption patterns against one incrementally growing clause set,
+// and every learned clause carries over between phases. Temporary
+// constraints ("find a model strictly below m") are guarded by fresh
+// selector variables that are assumed during the phase and retired with a
+// unit clause afterwards.
+
+// candidateBudget is an atomic solve counter with a cap, used in two roles
+// (Options.MaxCandidates sets the cap for both): each enumerator meters its
+// own candidate solves against a private budget (the per-component work
+// bound), and modelAt charges the costs of consumed models against one
+// shared budget in demand order — so the point at which ErrCandidateLimit
+// surfaces is a pure function of the demanded stream, identical for every
+// worker count, no matter how far ahead the fill workers prefetched.
+type candidateBudget struct {
+	n   atomic.Int64
+	max int64
+}
+
+func (b *candidateBudget) take() bool { return b.n.Add(1) <= b.max }
+
+func (b *candidateBudget) takeN(k int64) bool { return b.n.Add(k) <= b.max }
+
+// enumerator streams the stable models of one component in a deterministic
+// order (the CDCL discovery order, a pure function of the component).
+type enumerator struct {
+	comp *component
+	s    *solver
+	n    int // component atoms; shadows are n..2n-1
+	bud  *candidateBudget
+	done bool
+	err  error
+
+	inM []bool // scratch: membership of the current model
+}
+
+// sh maps a local atom to its shadow variable.
+func (e *enumerator) sh(a int) int { return e.n + a }
+
+func newEnumerator(c *component, bud *candidateBudget, stop func() bool) *enumerator {
+	n := len(c.atoms)
+	e := &enumerator{comp: c, s: newSolver(2 * n), n: n, bud: bud, inM: make([]bool, n)}
+	e.s.stop = stop
+
+	inHead := make([]bool, n)
+	isFact := make([]bool, n)
+	for _, f := range c.facts {
+		isFact[f] = true
+		e.s.addClause([]int{pos(f)})
+		e.s.addClause([]int{pos(e.sh(f))})
+	}
+	for _, r := range c.rules {
+		base := make([]int, 0, len(r.Head)+len(r.Pos)+len(r.Neg))
+		shadow := make([]int, 0, len(r.Head)+len(r.Pos)+len(r.Neg))
+		for _, h := range r.Head {
+			inHead[h] = true
+			base = append(base, pos(h))
+			shadow = append(shadow, pos(e.sh(h)))
+		}
+		for _, b := range r.Pos {
+			base = append(base, neg(b))
+			shadow = append(shadow, neg(e.sh(b)))
+		}
+		for _, b := range r.Neg {
+			base = append(base, pos(b))
+			shadow = append(shadow, pos(b)) // unshifted: reduct blocking tests the model itself
+		}
+		e.s.addClause(base)
+		e.s.addClause(shadow)
+	}
+	for a := 0; a < n; a++ {
+		// h' → h: shadow models are submodels of the pinned original.
+		e.s.addClause([]int{neg(e.sh(a)), pos(a)})
+		if !inHead[a] && !isFact[a] {
+			// No rule can ever justify a: false on both rails.
+			e.s.addClause([]int{neg(a)})
+			e.s.addClause([]int{neg(e.sh(a))})
+		}
+	}
+	return e
+}
+
+// next produces the component's next stable model (global atom ids,
+// ascending), or ok=false when the stream is exhausted, cancelled, or the
+// private candidate meter ran out (then e.err is ErrCandidateLimit). cost
+// is the number of candidate solves this call performed; the caller charges
+// it to the shared budget when (and only when) the result is consumed.
+func (e *enumerator) next() (m Model, cost int64, ok bool) {
+	for !e.done {
+		if !e.bud.take() {
+			e.err = ErrCandidateLimit
+			e.done = true
+			break
+		}
+		cost++
+		if !e.s.solveWith(nil) {
+			e.done = true
+			break
+		}
+		cand := e.minimize(e.extract())
+		stable := e.isStable(cand)
+		if len(cand) == 0 {
+			// The empty model: no further distinct minimal model exists.
+			e.done = true
+		} else {
+			// Block cand and its supersets; minimal models are pairwise
+			// incomparable, so no other candidate is lost.
+			block := make([]int, len(cand))
+			for i, a := range cand {
+				block[i] = neg(a)
+			}
+			e.s.addClause(block)
+		}
+		if stable {
+			return e.globalize(cand), cost, true
+		}
+	}
+	return nil, cost, false
+}
+
+// extract reads the original-rail model off the solver.
+func (e *enumerator) extract() []int {
+	var m []int
+	for a := 0; a < e.n; a++ {
+		if e.s.assign[a] == 1 {
+			m = append(m, a)
+		}
+	}
+	return m
+}
+
+// setM populates the membership scratch for m and returns a restore hook.
+func (e *enumerator) setM(m []int) func() {
+	for _, a := range m {
+		e.inM[a] = true
+	}
+	return func() {
+		for _, a := range m {
+			e.inM[a] = false
+		}
+	}
+}
+
+// minimize descends from a classical model to a minimal classical model
+// (set inclusion over the originals). Each round adds, under a fresh
+// selector sel, the clause "at least one atom of m is false" and solves
+// with atoms outside m assumed false; UNSAT means m is minimal.
+func (e *enumerator) minimize(m []int) []int {
+	if len(m) == 0 {
+		return m
+	}
+	sel := e.s.newVar()
+	for {
+		clause := make([]int, 0, len(m)+1)
+		clause = append(clause, neg(sel))
+		for _, a := range m {
+			clause = append(clause, neg(a))
+		}
+		e.s.addClause(clause)
+
+		restore := e.setM(m)
+		assumps := make([]int, 0, e.n-len(m)+1)
+		assumps = append(assumps, pos(sel))
+		for a := 0; a < e.n; a++ {
+			if !e.inM[a] {
+				assumps = append(assumps, neg(a))
+			}
+		}
+		restore()
+		if !e.s.solveWith(assumps) {
+			break
+		}
+		m = e.extract()
+	}
+	e.s.addClause([]int{neg(sel)}) // retire the descent clauses
+	return m
+}
+
+// isStable checks whether m is a minimal model of the GL-reduct Π^m: the
+// originals are pinned to m by assumptions, and a strictness clause (under
+// a fresh selector) demands a shadow model missing at least one atom of m.
+// SAT refutes stability; UNSAT certifies it.
+func (e *enumerator) isStable(m []int) bool {
+	sel := e.s.newVar()
+	clause := make([]int, 0, len(m)+1)
+	clause = append(clause, neg(sel))
+	for _, a := range m {
+		clause = append(clause, neg(e.sh(a)))
+	}
+	e.s.addClause(clause)
+
+	restore := e.setM(m)
+	assumps := make([]int, 0, e.n+1)
+	assumps = append(assumps, pos(sel))
+	for a := 0; a < e.n; a++ {
+		if e.inM[a] {
+			assumps = append(assumps, pos(a))
+		} else {
+			assumps = append(assumps, neg(a))
+		}
+	}
+	restore()
+	sat := e.s.solveWith(assumps)
+	e.s.addClause([]int{neg(sel)})
+	return !sat
+}
+
+// globalize maps a local model onto the program's atom ids (order is
+// preserved: comp.atoms ascends, so the result ascends).
+func (e *enumerator) globalize(m []int) Model {
+	out := make(Model, len(m))
+	for i, a := range m {
+		out[i] = e.comp.atoms[a]
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package stable
 
 import (
+	"repro/internal/depgraph"
 	"repro/internal/ground"
 )
 
@@ -22,83 +23,11 @@ func DependencyGraph(p *ground.Program) [][]int {
 	return adj
 }
 
-// sccs computes strongly connected components with Tarjan's algorithm
-// (iterative). It returns the component id of every atom.
-func sccs(adj [][]int) []int {
-	n := len(adj)
-	comp := make([]int, n)
-	for i := range comp {
-		comp[i] = -1
-	}
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = -1
-	}
-	var stack []int
-	var counter, nComp int
-
-	type frame struct {
-		v, ei int
-	}
-	for start := 0; start < n; start++ {
-		if index[start] != -1 {
-			continue
-		}
-		frames := []frame{{v: start}}
-		index[start] = counter
-		low[start] = counter
-		counter++
-		stack = append(stack, start)
-		onStack[start] = true
-		for len(frames) > 0 {
-			f := &frames[len(frames)-1]
-			if f.ei < len(adj[f.v]) {
-				w := adj[f.v][f.ei]
-				f.ei++
-				if index[w] == -1 {
-					index[w] = counter
-					low[w] = counter
-					counter++
-					stack = append(stack, w)
-					onStack[w] = true
-					frames = append(frames, frame{v: w})
-				} else if onStack[w] && index[w] < low[f.v] {
-					low[f.v] = index[w]
-				}
-				continue
-			}
-			v := f.v
-			frames = frames[:len(frames)-1]
-			if len(frames) > 0 {
-				parent := frames[len(frames)-1].v
-				if low[v] < low[parent] {
-					low[parent] = low[v]
-				}
-			}
-			if low[v] == index[v] {
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp[w] = nComp
-					if w == v {
-						break
-					}
-				}
-				nComp++
-			}
-		}
-	}
-	return comp
-}
-
 // IsHCF reports whether the ground program is head-cycle-free: no rule has
 // two distinct head atoms in the same strongly connected component of the
-// positive dependency graph.
+// positive dependency graph (SCCs via depgraph.SCC).
 func IsHCF(p *ground.Program) bool {
-	comp := sccs(DependencyGraph(p))
+	comp := depgraph.SCC(DependencyGraph(p))
 	for _, r := range p.Rules {
 		for i := 0; i < len(r.Head); i++ {
 			for j := i + 1; j < len(r.Head); j++ {

@@ -1,9 +1,17 @@
 package stable
 
-// A compact DPLL SAT solver with two watched literals, used as the search
-// core for model enumeration, minimization, and the GL-reduct minimality
-// check. Literal encoding: variable v (0-based) contributes literals 2v
-// (positive) and 2v+1 (negative).
+// A conflict-driven clause-learning (CDCL) SAT solver — the search core of
+// the stable-model engine. Compared with the DPLL core it replaces, the
+// solver learns a first-UIP clause at every conflict, backjumps
+// non-chronologically, branches by VSIDS-style activity with phase saving,
+// and solves incrementally: clauses can be added between solve calls
+// (blocking clauses, minimization descents) and each call may carry
+// assumptions, so model enumeration, the minimization descent and the
+// GL-reduct minimality check all share one solver and its learned clauses.
+//
+// Literal encoding: variable v (0-based) contributes literals 2v (positive)
+// and 2v+1 (negative). All operations are deterministic: activity ties break
+// by variable id, so a fixed clause stream yields a fixed model stream.
 
 // lit constructors.
 func pos(v int) int { return 2 * v }
@@ -14,66 +22,71 @@ func litSign(l int) bool { return l&1 == 0 } // true = positive
 
 func negate(l int) int { return l ^ 1 }
 
-type solver struct {
-	nVars   int
-	clauses [][]int
-	watch   [][]int // literal -> clause indices watching it
-	assign  []int8  // -1 unassigned, 0 false, 1 true
-	trail   []int   // assigned literals in order
-	reasons []int   // trail marks per decision level
+// noReason marks decision (and assumption) variables on the trail.
+const noReason = -1
+
+type clause struct {
+	lits   []int
+	learnt bool
 }
 
-func newSolver(nVars int, clauses [][]int) *solver {
-	s := &solver{
-		nVars:   nVars,
-		watch:   make([][]int, 2*nVars),
-		assign:  make([]int8, nVars),
-		clauses: make([][]int, 0, len(clauses)),
-	}
-	for i := range s.assign {
-		s.assign[i] = -1
-	}
-	for _, c := range clauses {
-		s.addClause(c)
+type solver struct {
+	clauses []*clause
+	watches [][]int32 // literal -> indices of clauses watching it
+	assign  []int8    // -1 unassigned, 0 false, 1 true
+	level   []int32   // decision level per variable
+	reason  []int32   // antecedent clause index per variable, or noReason
+
+	trail    []int // assigned literals in order
+	trailLim []int // trail length at the start of each decision level
+	qhead    int   // propagation queue head into trail
+
+	activity []float64
+	varInc   float64
+	heap     []int // max-heap of variables ordered by activity
+	heapPos  []int // variable -> heap index, -1 when absent
+	phase    []int8
+
+	seen []bool // conflict-analysis scratch
+	ok   bool   // false once the clause set is UNSAT at level 0
+
+	// rootAssigns counts level-0 assignments since the last sweep of
+	// satisfied clauses; enumeration retires selector variables with
+	// level-0 units, so without sweeping, dead descent/strictness/learned
+	// clauses would accumulate in the watch lists forever.
+	rootAssigns int
+
+	// stop, when non-nil, is polled at every conflict and decision so a
+	// cancelled enumeration abandons an in-flight solve promptly. A solve
+	// interrupted this way reports UNSAT; callers only cancel when the
+	// result is discarded.
+	stop func() bool
+}
+
+func newSolver(nVars int) *solver {
+	s := &solver{ok: true, varInc: 1}
+	for v := 0; v < nVars; v++ {
+		s.newVar()
 	}
 	return s
 }
 
-// addClause registers a clause; empty clauses make the instance trivially
-// unsatisfiable (tracked via a sentinel).
-func (s *solver) addClause(c []int) {
-	cc := dedupLits(c)
-	if cc == nil {
-		return // tautology
-	}
-	s.clauses = append(s.clauses, cc)
-	idx := len(s.clauses) - 1
-	if len(cc) >= 1 {
-		s.watch[cc[0]] = append(s.watch[cc[0]], idx)
-	}
-	if len(cc) >= 2 {
-		s.watch[cc[1]] = append(s.watch[cc[1]], idx)
-	}
+// newVar grows the solver by one variable and returns its id. The default
+// phase is false, which biases enumeration toward small models.
+func (s *solver) newVar() int {
+	v := len(s.assign)
+	s.watches = append(s.watches, nil, nil)
+	s.assign = append(s.assign, -1)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, noReason)
+	s.activity = append(s.activity, 0)
+	s.heapPos = append(s.heapPos, -1)
+	s.phase = append(s.phase, 0)
+	s.seen = append(s.seen, false)
+	s.heapInsert(v)
+	return v
 }
 
-// dedupLits removes duplicate literals; returns nil for tautologies.
-func dedupLits(c []int) []int {
-	seen := map[int]bool{}
-	out := make([]int, 0, len(c))
-	for _, l := range c {
-		if seen[negate(l)] {
-			return nil
-		}
-		if !seen[l] {
-			seen[l] = true
-			out = append(out, l)
-		}
-	}
-	return out
-}
-
-// value of a literal under the current assignment: 1 true, 0 false, -1
-// unassigned.
 func (s *solver) litValue(l int) int8 {
 	v := s.assign[litVar(l)]
 	if v == -1 {
@@ -85,58 +98,105 @@ func (s *solver) litValue(l int) int8 {
 	return 1 - v
 }
 
-// enqueue assigns a literal true; returns false on conflict.
-func (s *solver) enqueue(l int) bool {
-	switch s.litValue(l) {
-	case 1:
-		return true
-	case 0:
+func (s *solver) decisionLevel() int { return len(s.trailLim) }
+
+// dedupLits removes duplicate literals; returns nil, false for tautologies.
+func dedupLits(c []int) ([]int, bool) {
+	seen := map[int]bool{}
+	out := make([]int, 0, len(c))
+	for _, l := range c {
+		if seen[negate(l)] {
+			return nil, false
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out, true
+}
+
+// addClause registers a clause at decision level 0 (backtracking first if
+// needed). Literals false at level 0 are dropped; a clause satisfied at
+// level 0 is discarded. Returns false if the clause set became UNSAT.
+func (s *solver) addClause(c []int) bool {
+	if !s.ok {
 		return false
 	}
-	if litSign(l) {
-		s.assign[litVar(l)] = 1
-	} else {
-		s.assign[litVar(l)] = 0
+	s.cancelUntil(0)
+	cc, keep := dedupLits(c)
+	if !keep {
+		return true // tautology
 	}
-	s.trail = append(s.trail, l)
+	lits := cc[:0]
+	for _, l := range cc {
+		switch s.litValue(l) {
+		case 1:
+			return true // already satisfied forever
+		case -1:
+			lits = append(lits, l)
+		}
+		// level-0 false literals are dropped
+	}
+	switch len(lits) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(lits[0], noReason)
+		return true
+	}
+	s.attach(&clause{lits: lits})
 	return true
 }
 
-// propagate runs unit propagation from the given trail position; returns
-// false on conflict.
-func (s *solver) propagate(from int) bool {
-	for qhead := from; qhead < len(s.trail); qhead++ {
-		l := s.trail[qhead]
-		falsified := negate(l)
-		ws := s.watch[falsified]
-		var kept []int
+func (s *solver) attach(c *clause) {
+	ci := int32(len(s.clauses))
+	s.clauses = append(s.clauses, c)
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], ci)
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], ci)
+}
+
+func (s *solver) uncheckedEnqueue(l int, reason int32) {
+	v := litVar(l)
+	if litSign(l) {
+		s.assign[v] = 1
+	} else {
+		s.assign[v] = 0
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = reason
+	s.trail = append(s.trail, l)
+	if s.decisionLevel() == 0 {
+		s.rootAssigns++
+	}
+}
+
+// propagate runs unit propagation to fixpoint; it returns the index of a
+// conflicting clause, or -1.
+func (s *solver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		falsified := negate(p)
+		ws := s.watches[falsified]
+		kept := ws[:0]
 		for wi := 0; wi < len(ws); wi++ {
 			ci := ws[wi]
-			c := s.clauses[ci]
-			// Ensure the falsified literal is at position 1.
-			if len(c) >= 2 && c[0] == falsified {
+			c := s.clauses[ci].lits
+			if c[0] == falsified {
 				c[0], c[1] = c[1], c[0]
 			}
-			if len(c) == 1 {
-				if s.litValue(c[0]) != 1 {
-					// unit clause falsified
-					kept = append(kept, ws[wi:]...)
-					s.watch[falsified] = kept
-					return false
-				}
-				kept = append(kept, ci)
-				continue
-			}
+			// Invariant: c[1] == falsified.
 			if s.litValue(c[0]) == 1 {
 				kept = append(kept, ci)
 				continue
 			}
-			// Find a new watch.
 			found := false
 			for k := 2; k < len(c); k++ {
 				if s.litValue(c[k]) != 0 {
 					c[1], c[k] = c[k], c[1]
-					s.watch[c[1]] = append(s.watch[c[1]], ci)
+					s.watches[c[1]] = append(s.watches[c[1]], ci)
 					found = true
 					break
 				}
@@ -144,105 +204,328 @@ func (s *solver) propagate(from int) bool {
 			if found {
 				continue
 			}
-			// Clause is unit (or conflicting) on c[0].
+			// Clause is unit or conflicting on c[0].
 			kept = append(kept, ci)
-			if !s.enqueue(c[0]) {
+			if s.litValue(c[0]) == 0 {
 				kept = append(kept, ws[wi+1:]...)
-				s.watch[falsified] = kept
-				return false
+				s.watches[falsified] = kept
+				s.qhead = len(s.trail)
+				return ci
 			}
+			s.uncheckedEnqueue(c[0], ci)
 		}
-		s.watch[falsified] = kept
+		s.watches[falsified] = kept
 	}
-	return true
+	return -1
 }
 
-// backtrackTo undoes assignments beyond the trail mark.
-func (s *solver) backtrackTo(mark int) {
+// analyze derives the first-UIP learned clause from a conflict. It returns
+// the clause (asserting literal first) and the backjump level.
+func (s *solver) analyze(confl int32) ([]int, int) {
+	s.varInc /= varDecay
+	learnt := []int{0} // slot for the asserting literal
+	counter := 0
+	p := -1
+	index := len(s.trail) - 1
+	cur := s.decisionLevel()
+	for {
+		c := s.clauses[confl].lits
+		for _, q := range c {
+			if q == p {
+				continue
+			}
+			v := litVar(q)
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bump(v)
+			if int(s.level[v]) >= cur {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		for !s.seen[litVar(s.trail[index])] {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		s.seen[litVar(p)] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[litVar(p)]
+	}
+	learnt[0] = negate(p)
+	for _, q := range learnt[1:] {
+		s.seen[litVar(q)] = false
+	}
+	// Backjump to the second-highest level in the clause, moving one of its
+	// literals into the watch position.
+	bt := 0
+	for i := 1; i < len(learnt); i++ {
+		if int(s.level[litVar(learnt[i])]) > bt {
+			bt = int(s.level[litVar(learnt[i])])
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+		}
+	}
+	return learnt, bt
+}
+
+const (
+	varDecay    = 0.95
+	activityCap = 1e100
+)
+
+func (s *solver) bump(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > activityCap {
+		for i := range s.activity {
+			s.activity[i] /= activityCap
+		}
+		s.varInc /= activityCap
+	}
+	if s.heapPos[v] != -1 {
+		s.heapUp(s.heapPos[v])
+	}
+}
+
+// record installs a learned clause and enqueues its asserting literal. The
+// caller has already backjumped to the clause's assertion level.
+func (s *solver) record(learnt []int) {
+	if len(learnt) == 1 {
+		s.uncheckedEnqueue(learnt[0], noReason)
+		return
+	}
+	c := &clause{lits: learnt, learnt: true}
+	ci := int32(len(s.clauses))
+	s.attach(c)
+	s.uncheckedEnqueue(learnt[0], ci)
+}
+
+// cancelUntil undoes all assignments above the given decision level, saving
+// phases and restoring branch candidates.
+func (s *solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	mark := s.trailLim[lvl]
 	for i := len(s.trail) - 1; i >= mark; i-- {
-		s.assign[litVar(s.trail[i])] = -1
+		v := litVar(s.trail[i])
+		s.phase[v] = s.assign[v]
+		s.assign[v] = -1
+		s.reason[v] = noReason
+		if s.heapPos[v] == -1 {
+			s.heapInsert(v)
+		}
 	}
 	s.trail = s.trail[:mark]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = mark
 }
 
-// initialUnits enqueues all unit clauses; returns false on conflict.
-func (s *solver) initialUnits() bool {
-	for _, c := range s.clauses {
-		if len(c) == 0 {
-			return false
+func (s *solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+// pickBranchLit pops the highest-activity unassigned variable and returns
+// its saved-phase literal, or -1 when every variable is assigned.
+func (s *solver) pickBranchLit() int {
+	for len(s.heap) > 0 {
+		v := s.heapPop()
+		if s.assign[v] == -1 {
+			if s.phase[v] == 1 {
+				return pos(v)
+			}
+			return neg(v)
 		}
-		if len(c) == 1 {
-			if !s.enqueue(c[0]) {
+	}
+	return -1
+}
+
+// solveWith searches for a model under the given assumptions. Assumption i
+// is decided at level i+1, so conflict clauses can backjump through them and
+// be re-applied. It returns false when the clause set is UNSAT under the
+// assumptions (or the stop hook fired). On true, every variable is assigned;
+// read the model from assign before the next addClause or solveWith call.
+// sweepThreshold schedules the satisfied-clause sweep: once this many
+// level-0 assignments have accumulated, the next solve call garbage-collects
+// root-satisfied clauses before searching.
+const sweepThreshold = 32
+
+func (s *solver) solveWith(assumps []int) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	if s.rootAssigns >= sweepThreshold {
+		s.sweepSatisfied()
+		s.rootAssigns = 0
+	}
+	for {
+		confl := s.propagate()
+		if confl != -1 {
+			if s.stop != nil && s.stop() {
 				return false
 			}
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return false
+			}
+			learnt, bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			s.record(learnt)
+			continue
 		}
+		// Re-apply assumptions up to the current level.
+		next := -1
+		for next == -1 && s.decisionLevel() < len(assumps) {
+			p := assumps[s.decisionLevel()]
+			switch s.litValue(p) {
+			case 1:
+				s.newDecisionLevel() // already holds: dummy level keeps the mapping
+			case 0:
+				return false // falsified by level 0 and earlier assumptions
+			default:
+				next = p
+			}
+		}
+		if next == -1 {
+			if s.stop != nil && s.stop() {
+				return false
+			}
+			next = s.pickBranchLit()
+			if next == -1 {
+				return true // every variable assigned: model found
+			}
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, noReason)
 	}
-	return true
 }
 
-// solve searches for a satisfying assignment. preferFalse biases branching
-// toward false, which tends to find small models first. It returns the
-// model as a bitset of true variables.
-func (s *solver) solve(preferFalse bool) ([]bool, bool) {
-	if !s.initialUnits() || !s.propagate(0) {
+// sweepSatisfied detaches and frees every clause satisfied at level 0 —
+// blocking clauses of supersets already excluded by units, descent and
+// strictness clauses whose selector was retired, and learned clauses
+// containing a retired selector. Must run at decision level 0; clause slots
+// are nil'ed rather than compacted so reason indices stay valid (reasons of
+// level-0 variables are never dereferenced by analyze).
+func (s *solver) sweepSatisfied() {
+	for ci, c := range s.clauses {
+		if c == nil {
+			continue
+		}
+		satisfied := false
+		for _, l := range c.lits {
+			if s.litValue(l) == 1 {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			continue
+		}
+		s.detachWatch(c.lits[0], int32(ci))
+		s.detachWatch(c.lits[1], int32(ci))
+		s.clauses[ci] = nil
+	}
+}
+
+func (s *solver) detachWatch(l int, ci int32) {
+	ws := s.watches[l]
+	for i, w := range ws {
+		if w == ci {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+// --- activity-ordered variable heap (max-heap, ties by variable id) --------
+
+func (s *solver) heapLess(a, b int) bool {
+	if s.activity[a] != s.activity[b] {
+		return s.activity[a] > s.activity[b]
+	}
+	return a < b
+}
+
+func (s *solver) heapInsert(v int) {
+	s.heapPos[v] = len(s.heap)
+	s.heap = append(s.heap, v)
+	s.heapUp(len(s.heap) - 1)
+}
+
+func (s *solver) heapPop() int {
+	v := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heapPos[s.heap[0]] = 0
+	s.heap = s.heap[:last]
+	s.heapPos[v] = -1
+	if len(s.heap) > 0 {
+		s.heapDown(0)
+	}
+	return v
+}
+
+func (s *solver) heapUp(i int) {
+	v := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(v, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		s.heapPos[s.heap[i]] = i
+		i = parent
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}
+
+func (s *solver) heapDown(i int) {
+	v := s.heap[i]
+	for {
+		child := 2*i + 1
+		if child >= len(s.heap) {
+			break
+		}
+		if child+1 < len(s.heap) && s.heapLess(s.heap[child+1], s.heap[child]) {
+			child++
+		}
+		if !s.heapLess(s.heap[child], v) {
+			break
+		}
+		s.heap[i] = s.heap[child]
+		s.heapPos[s.heap[i]] = i
+		i = child
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}
+
+// solveCNF solves a one-shot clause set: the historical package entry point,
+// kept for the direct solver tests. preferTrue flips the default phase.
+func solveCNF(nVars int, clauses [][]int, preferFalse bool) ([]bool, bool) {
+	s := newSolver(nVars)
+	if !preferFalse {
+		for v := range s.phase {
+			s.phase[v] = 1
+		}
+	}
+	for _, c := range clauses {
+		if !s.addClause(c) {
+			return nil, false
+		}
+	}
+	if !s.solveWith(nil) {
 		return nil, false
 	}
-	type frame struct {
-		v         int
-		mark      int
-		triedBoth bool
+	model := make([]bool, nVars)
+	for v := 0; v < nVars; v++ {
+		model[v] = s.assign[v] == 1
 	}
-	var stack []frame
-	for {
-		// Pick an unassigned variable.
-		v := -1
-		for i := 0; i < s.nVars; i++ {
-			if s.assign[i] == -1 {
-				v = i
-				break
-			}
-		}
-		if v == -1 {
-			model := make([]bool, s.nVars)
-			for i := range model {
-				model[i] = s.assign[i] == 1
-			}
-			return model, true
-		}
-		mark := len(s.trail)
-		l := pos(v)
-		if preferFalse {
-			l = neg(v)
-		}
-		stack = append(stack, frame{v: v, mark: mark})
-		s.enqueue(l)
-		for !s.propagate(mark) {
-			// Conflict: flip the most recent decision not yet flipped.
-			for {
-				if len(stack) == 0 {
-					return nil, false
-				}
-				f := &stack[len(stack)-1]
-				s.backtrackTo(f.mark)
-				if f.triedBoth {
-					stack = stack[:len(stack)-1]
-					continue
-				}
-				f.triedBoth = true
-				l := pos(f.v)
-				if !preferFalse {
-					l = neg(f.v)
-				}
-				mark = f.mark
-				s.enqueue(l)
-				break
-			}
-		}
-	}
-}
-
-// solveCNF is the package entry point: solve the clause set over nVars
-// variables.
-func solveCNF(nVars int, clauses [][]int, preferFalse bool) ([]bool, bool) {
-	return newSolver(nVars, clauses).solve(preferFalse)
+	return model, true
 }

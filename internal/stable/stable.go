@@ -2,28 +2,50 @@
 // disjunctive logic programs — the semantics of Gelfond & Lifschitz (1991)
 // under which Definition 9's repair programs are interpreted (Section 5).
 //
-// The engine enumerates the minimal classical models of the program with a
-// DPLL SAT core and blocking clauses (every stable model of a disjunctive
-// program is a minimal model), and keeps exactly those that are minimal
-// models of their own Gelfond–Lifschitz reduct, checked with a second SAT
-// call. It also provides the head-cycle-freeness test and the shift
-// transformation sh(Π) of Section 6 (Ben-Eliyahu & Dechter).
+// The engine splits the ground program into independent components (no rule
+// spans two components, so stable models factorize into a cross-product of
+// per-component models), enumerates each component's models on an
+// incremental CDCL solver (see sat.go and enum.go), and combines the
+// fragments lazily: Enumerate streams combined models one at a time —
+// the first model is observable long before the enumeration completes —
+// and components can be solved in parallel (Options.Workers) without
+// changing the stream. It also provides the head-cycle-freeness test and
+// the shift transformation sh(Π) of Section 6 (Ben-Eliyahu & Dechter).
 package stable
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ground"
 )
 
-// Options bounds the enumeration.
+// Options bounds and tunes the enumeration.
 type Options struct {
-	// MaxModels caps the number of stable models returned (0 = no cap).
+	// MaxModels caps the number of stable models streamed (0 = no cap).
 	MaxModels int
-	// MaxCandidates caps the number of minimal classical models examined
-	// (0 = DefaultMaxCandidates); exceeding it returns ErrCandidateLimit.
+	// MaxCandidates caps the number of candidate solver calls consumed by
+	// the demanded model stream (0 = DefaultMaxCandidates); exceeding it
+	// returns ErrCandidateLimit. The budget is charged in demand order —
+	// solves a parallel prefetch performed for models the consumer never
+	// reached are not counted — so whether and where the limit hits is a
+	// pure function of the stream, identical for every Workers value.
+	// Each component is additionally work-bounded by the same limit, so
+	// total solving never exceeds (components+1) × MaxCandidates.
 	MaxCandidates int
+	// Workers sets the number of goroutines enumerating components
+	// (<= 1 solves components lazily on the calling goroutine). The
+	// model stream — content, order, and any ErrCandidateLimit cutoff —
+	// is identical for every worker count; workers only overlap the
+	// per-component solves, prefetching at most a bounded window ahead
+	// of the stream.
+	Workers int
+	// Sorted makes Models sort its result lexicographically (the
+	// pre-streaming contract). Enumerate ignores it: the stream order is
+	// the deterministic component-odometer order documented there.
+	Sorted bool
 }
 
 // DefaultMaxCandidates bounds candidate enumeration when unset.
@@ -41,163 +63,301 @@ func (m Model) Contains(atom int) bool {
 	return i < len(m) && m[i] == atom
 }
 
-// clausify translates the ground program into CNF over its atom ids:
-// one clause per rule (¬body+ ∨ body- ∨ head), one unit per fact, and one
-// negative unit per atom that occurs in no head and is no fact (such atoms
-// can never be justified).
-func clausify(p *ground.Program) [][]int {
-	n := p.NumAtoms()
-	clauses := make([][]int, 0, len(p.Rules)+n)
-	inHead := make([]bool, n)
-	isFact := make([]bool, n)
-	for _, f := range p.Facts {
-		isFact[f] = true
-		clauses = append(clauses, []int{pos(f)})
-	}
-	for _, r := range p.Rules {
-		c := make([]int, 0, len(r.Head)+len(r.Pos)+len(r.Neg))
-		for _, h := range r.Head {
-			c = append(c, pos(h))
-			inHead[h] = true
-		}
-		for _, b := range r.Pos {
-			c = append(c, neg(b))
-		}
-		for _, b := range r.Neg {
-			c = append(c, pos(b))
-		}
-		clauses = append(clauses, c)
-	}
-	for a := 0; a < n; a++ {
-		if !inHead[a] && !isFact[a] {
-			clauses = append(clauses, []int{neg(a)})
-		}
-	}
-	return clauses
-}
-
-func modelFromBits(bits []bool) Model {
-	var m Model
-	for i, b := range bits {
-		if b {
-			m = append(m, i)
-		}
-	}
-	return m
-}
-
-// minimize descends from a classical model to a minimal classical model of
-// the clause set (w.r.t. set inclusion of true atoms).
-func minimize(nAtoms int, clauses [][]int, m Model) Model {
-	for {
-		// Ask for a model strictly below m: all atoms outside m stay
-		// false, and at least one atom of m becomes false.
-		extra := make([][]int, 0, nAtoms-len(m)+1)
-		inM := make([]bool, nAtoms)
-		for _, a := range m {
-			inM[a] = true
-		}
-		for a := 0; a < nAtoms; a++ {
-			if !inM[a] {
-				extra = append(extra, []int{neg(a)})
-			}
-		}
-		smaller := make([]int, 0, len(m))
-		for _, a := range m {
-			smaller = append(smaller, neg(a))
-		}
-		extra = append(extra, smaller)
-		bits, sat := solveCNF(nAtoms, append(append([][]int{}, clauses...), extra...), true)
-		if !sat {
-			return m
-		}
-		m = modelFromBits(bits)
-	}
-}
-
-// isStable checks whether m is a minimal model of the GL-reduct Π^m.
-func isStable(p *ground.Program, m Model) bool {
-	n := p.NumAtoms()
-	reduct := make([][]int, 0, len(p.Rules)+len(p.Facts))
-	for _, f := range p.Facts {
-		reduct = append(reduct, []int{pos(f)})
-	}
-	for _, r := range p.Rules {
-		blocked := false
-		for _, b := range r.Neg {
-			if m.Contains(b) {
-				blocked = true
-				break
-			}
-		}
-		if blocked {
-			continue
-		}
-		c := make([]int, 0, len(r.Head)+len(r.Pos))
-		for _, h := range r.Head {
-			c = append(c, pos(h))
-		}
-		for _, b := range r.Pos {
-			c = append(c, neg(b))
-		}
-		reduct = append(reduct, c)
-	}
-	// Any proper submodel of m that satisfies the reduct disproves
-	// stability.
-	for a := 0; a < n; a++ {
-		if !m.Contains(a) {
-			reduct = append(reduct, []int{neg(a)})
-		}
-	}
-	smaller := make([]int, 0, len(m))
-	for _, a := range m {
-		smaller = append(smaller, neg(a))
-	}
-	reduct = append(reduct, smaller)
-	_, sat := solveCNF(n, reduct, true)
-	return !sat
-}
-
-// Models enumerates the stable models of the ground program, sorted
-// lexicographically for determinism.
-func Models(p *ground.Program, opts Options) ([]Model, error) {
-	n := p.NumAtoms()
-	base := clausify(p)
-	blocked := make([][]int, 0, 16)
+// Enumerate streams the stable models of the ground program to yield, one
+// model at a time; yield returning false cancels the rest of the
+// enumeration (Enumerate then returns nil). The first model is delivered as
+// soon as every component has produced one — long before the full model set
+// exists.
+//
+// Ordering contract: models arrive in component-odometer order — components
+// ordered by smallest atom id, each component's models in its solver's
+// discovery order, the last component cycling fastest. The order is a pure
+// function of the program: identical for every Workers value, stable across
+// runs, but NOT lexicographic — collect via Models with Options.Sorted for
+// the lexicographic order.
+func Enumerate(p *ground.Program, opts Options, yield func(Model) bool) error {
 	maxCand := opts.MaxCandidates
 	if maxCand == 0 {
 		maxCand = DefaultMaxCandidates
 	}
-	var out []Model
-	for cand := 0; ; cand++ {
-		if cand >= maxCand {
-			return nil, ErrCandidateLimit
+	coreFacts, comps, inconsistent := decompose(p)
+	if inconsistent {
+		return nil // a violated ground denial: no stable models
+	}
+	if len(comps) == 0 {
+		// Facts only: the single stable model.
+		yield(Model(coreFacts))
+		return nil
+	}
+
+	// One shared budget, charged in demand order as models are consumed;
+	// each component also gets a private meter with the same cap as its
+	// work bound (see candidateBudget).
+	shared := &candidateBudget{max: int64(maxCand)}
+	var stopped atomic.Bool
+	stop := func() bool { return stopped.Load() }
+	srcs := make([]*modelSource, len(comps))
+	for i, c := range comps {
+		srcs[i] = newModelSource(c, int64(maxCand), shared, stop)
+	}
+	if opts.Workers > 1 {
+		// Eager mode for every source: modelAt waits on the cache instead
+		// of touching the enumerator, so exactly one worker ever drives
+		// each solver.
+		for _, ms := range srcs {
+			ms.eager = true
 		}
-		clauses := append(append([][]int{}, base...), blocked...)
-		bits, sat := solveCNF(n, clauses, true)
-		if !sat {
-			break
+		var wg sync.WaitGroup
+		defer func() {
+			// Stop and wake the fillers (they may be parked at the
+			// prefetch window), then wait for them to unwind — promptly,
+			// even on cancellation (in-flight solves abort via the stop
+			// hook).
+			stopped.Store(true)
+			for _, ms := range srcs {
+				ms.mu.Lock()
+				ms.cond.Broadcast()
+				ms.mu.Unlock()
+			}
+			wg.Wait()
+		}()
+		// One filler per component, demand-driven; the semaphore bounds
+		// concurrent solving to Workers. A filler parked at its window
+		// holds no token, so demanded components always make progress.
+		workers := opts.Workers
+		if workers > len(comps) {
+			workers = len(comps)
 		}
-		m := minimize(n, base, modelFromBits(bits))
-		if isStable(p, m) {
-			out = append(out, m)
-			if opts.MaxModels > 0 && len(out) >= opts.MaxModels {
+		sem := make(chan struct{}, workers)
+		for _, ms := range srcs {
+			wg.Add(1)
+			go func(ms *modelSource) {
+				defer wg.Done()
+				ms.fill(sem)
+			}(ms)
+		}
+	}
+
+	// Lazy cross-product odometer: idx[i] walks source i's model cache,
+	// the last component cycling fastest. Each step pulls at most one new
+	// per-component model; everything else is cached.
+	k := len(comps)
+	idx := make([]int, k)
+	parts := make([]Model, k)
+	for i := range srcs {
+		m, ok, err := srcs[i].modelAt(0)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // a component with no stable model: none overall
+		}
+		parts[i] = m
+	}
+	emitted := 0
+	for {
+		if !yield(combine(coreFacts, parts)) {
+			return nil
+		}
+		emitted++
+		if opts.MaxModels > 0 && emitted >= opts.MaxModels {
+			return nil
+		}
+		pos := k - 1
+		for pos >= 0 {
+			m, ok, err := srcs[pos].modelAt(idx[pos] + 1)
+			if err != nil {
+				return err
+			}
+			if ok {
+				idx[pos]++
+				parts[pos] = m
+				for j := pos + 1; j < k; j++ {
+					idx[j] = 0
+					parts[j], _, _ = srcs[j].modelAt(0) // cached
+				}
 				break
 			}
+			pos--
 		}
-		// Block m and all supersets; minimal models are pairwise
-		// incomparable, so no other minimal model is lost. An empty
-		// minimal model means no further (distinct) models exist.
-		if len(m) == 0 {
-			break
+		if pos < 0 {
+			return nil
 		}
-		block := make([]int, 0, len(m))
-		for _, a := range m {
-			block = append(block, neg(a))
-		}
-		blocked = append(blocked, block)
 	}
-	sort.Slice(out, func(i, j int) bool { return lessModel(out[i], out[j]) })
+}
+
+// combine merges the always-true core facts with one model fragment per
+// component into a sorted Model. Every input is already sorted, so this is
+// a k-way merge (k = components + 1, small), not a re-sort — combine runs
+// once per emitted model, on the enumeration's hot path.
+func combine(coreFacts []int, parts []Model) Model {
+	n := len(coreFacts)
+	srcs := make([][]int, 0, len(parts)+1)
+	if len(coreFacts) > 0 {
+		srcs = append(srcs, coreFacts)
+	}
+	for _, p := range parts {
+		n += len(p)
+		if len(p) > 0 {
+			srcs = append(srcs, p)
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make(Model, 0, n)
+	idx := make([]int, len(srcs))
+	for len(out) < n {
+		best := -1
+		for i, s := range srcs {
+			if idx[i] < len(s) && (best == -1 || s[idx[i]] < srcs[best][idx[best]]) {
+				best = i
+			}
+		}
+		out = append(out, srcs[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// prefetchWindow bounds how far an eager fill worker may run ahead of the
+// combiner's demand, so a cancelled or capped enumeration with Workers > 1
+// does not waste work draining whole components the consumer never asked
+// for. (Prefetched solves are metered privately and charged to the shared
+// budget only on consumption, so the window affects wasted work, never the
+// stream or its budget cutoff.)
+const prefetchWindow = 64
+
+// modelSource adapts one component enumerator to indexed access, in two
+// modes: lazy (sequential — modelAt pulls the underlying solver on the
+// calling goroutine) and eager (parallel — a worker drains the solver into
+// the cache via fill while modelAt waits). Both expose the identical model
+// sequence, and both charge production costs to the shared budget in the
+// combiner's demand order.
+type modelSource struct {
+	e      *enumerator
+	shared *candidateBudget
+	stop   func() bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	cache    []Model
+	costs    []int64 // candidate solves spent producing cache[i]
+	tailCost int64   // solves spent discovering the stream's end
+	charged  int     // cache prefix already charged to shared
+	tailDone bool    // tailCost charged
+	want     int     // highest index the combiner has requested
+	done     bool
+	err      error
+	eager    bool
+}
+
+func newModelSource(c *component, maxCand int64, shared *candidateBudget, stop func() bool) *modelSource {
+	ms := &modelSource{
+		e:      newEnumerator(c, &candidateBudget{max: maxCand}, stop),
+		shared: shared,
+		stop:   stop,
+	}
+	ms.cond = sync.NewCond(&ms.mu)
+	return ms
+}
+
+// fill eagerly drains the enumerator into the cache (parallel mode), at
+// most prefetchWindow models ahead of the combiner's demand, holding a
+// token of the shared worker semaphore only while solving. The enumerator's
+// own stop hook aborts an in-flight solve on cancellation; Enumerate's
+// cleanup broadcasts the cond so a filler parked at the window wakes up and
+// exits.
+func (ms *modelSource) fill(sem chan struct{}) {
+	for {
+		ms.mu.Lock()
+		for !ms.stop() && len(ms.cache) >= ms.want+prefetchWindow {
+			ms.cond.Wait()
+		}
+		ms.mu.Unlock()
+		if ms.stop() {
+			return
+		}
+		sem <- struct{}{}
+		m, cost, ok := ms.e.next()
+		<-sem
+		ms.mu.Lock()
+		if !ok {
+			ms.done = true
+			ms.err = ms.e.err
+			ms.tailCost = cost
+			ms.cond.Broadcast()
+			ms.mu.Unlock()
+			return
+		}
+		ms.cache = append(ms.cache, m)
+		ms.costs = append(ms.costs, cost)
+		ms.cond.Broadcast()
+		ms.mu.Unlock()
+	}
+}
+
+// modelAt returns the j-th model of the component, pulling (lazy) or
+// waiting (eager) as needed; ok=false after the stream's end. Production
+// costs are charged to the shared budget here, in demand order — the
+// combiner demands indices sequentially, so the charge sequence (and hence
+// any ErrCandidateLimit cutoff) is a pure function of the stream.
+func (ms *modelSource) modelAt(j int) (Model, bool, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ms.eager {
+		if j > ms.want {
+			ms.want = j
+			ms.cond.Broadcast() // raise the filler's prefetch window
+		}
+		for len(ms.cache) <= j && !ms.done {
+			ms.cond.Wait()
+		}
+	} else {
+		for len(ms.cache) <= j && !ms.done {
+			m, cost, ok := ms.e.next()
+			if !ok {
+				ms.done = true
+				ms.err = ms.e.err
+				ms.tailCost = cost
+				break
+			}
+			ms.cache = append(ms.cache, m)
+			ms.costs = append(ms.costs, cost)
+		}
+	}
+	for ms.charged <= j && ms.charged < len(ms.cache) {
+		if !ms.shared.takeN(ms.costs[ms.charged]) {
+			return nil, false, ErrCandidateLimit
+		}
+		ms.charged++
+	}
+	if j < len(ms.cache) {
+		return ms.cache[j], true, nil
+	}
+	if !ms.tailDone {
+		ms.tailDone = true
+		if !ms.shared.takeN(ms.tailCost) && ms.err == nil {
+			ms.err = ErrCandidateLimit
+		}
+	}
+	return nil, false, ms.err
+}
+
+// Models enumerates the stable models of the ground program into a slice.
+// With opts.Sorted they are sorted lexicographically; otherwise they keep
+// Enumerate's deterministic stream order.
+func Models(p *ground.Program, opts Options) ([]Model, error) {
+	var out []Model
+	if err := Enumerate(p, opts, func(m Model) bool {
+		out = append(out, m)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if opts.Sorted {
+		sort.Slice(out, func(i, j int) bool { return lessModel(out[i], out[j]) })
+	}
 	return out, nil
 }
 
@@ -211,13 +371,16 @@ func lessModel(a, b Model) bool {
 }
 
 // HasStableModel reports whether the program is consistent (has at least
-// one stable model).
+// one stable model). It cancels the stream at the first model.
 func HasStableModel(p *ground.Program) (bool, error) {
-	ms, err := Models(p, Options{MaxModels: 1})
-	if err != nil {
+	found := false
+	if err := Enumerate(p, Options{}, func(Model) bool {
+		found = true
+		return false
+	}); err != nil {
 		return false, err
 	}
-	return len(ms) > 0, nil
+	return found, nil
 }
 
 // Cautious returns the atoms true in every stable model (cautious/certain
