@@ -592,6 +592,164 @@ func BenchmarkIndexedJoin(b *testing.B) {
 	}
 }
 
+// --- ablation: Δ-seeded violation probes vs scratch re-checks --------------------------------------
+
+// BenchmarkIncrementalViolationProbe isolates the tentpole's probe: one
+// constraint check on an instance that differs from a known-consistent
+// parent by a single fact. The scratch probe re-joins the constraint body
+// over the whole relation; the Δ-seeded probe anchors on the changed fact
+// and completes the join through the index, so its cost is independent of
+// the relation size. "violating" changes a late key so the scratch join
+// pays most of the scan before finding the violation; "consistent" deletes
+// a row, which forces the scratch probe through the entire join to prove
+// satisfaction while the incremental probe has nothing to seed.
+func BenchmarkIncrementalViolationProbe(b *testing.B) {
+	set := parser.MustConstraints(`r(X, Y), r(X, Z) -> Y = Z.`)
+	ic := set.ICs[0]
+	parent := relational.NewInstance()
+	for i := 0; i < 2000; i++ {
+		parent.Insert(relational.F("r", value.Str(fmt.Sprintf("u%d", i)), value.Str(fmt.Sprintf("v%d", i))))
+	}
+	parent.Freeze()
+
+	violating := parent.Clone()
+	vfact := relational.F("r", value.Str("u1999"), value.Str("w"))
+	violating.Insert(vfact)
+	vdelta := relational.Delta{Added: []relational.Fact{vfact}}
+
+	consistent := parent.Clone()
+	dfact := relational.F("r", value.Str("u999"), value.Str("v999"))
+	consistent.Delete(dfact)
+	cdelta := relational.Delta{Removed: []relational.Fact{dfact}}
+
+	b.Run("violating/scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := nullsem.FirstViolationIC(violating, ic, nullsem.NullAware); !ok {
+				b.Fatal("expected a violation")
+			}
+		}
+	})
+	b.Run("violating/incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := nullsem.FirstViolationICFrom(violating, ic, nullsem.NullAware, vdelta); !ok {
+				b.Fatal("expected a violation")
+			}
+		}
+	})
+	b.Run("consistent/scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := nullsem.FirstViolationIC(consistent, ic, nullsem.NullAware); ok {
+				b.Fatal("unexpected violation")
+			}
+		}
+	})
+	b.Run("consistent/incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := nullsem.FirstViolationICFrom(consistent, ic, nullsem.NullAware, cdelta); ok {
+				b.Fatal("unexpected violation")
+			}
+		}
+	})
+}
+
+// --- ablation: base-anchored per-repair answering vs full re-evaluation ----------------------------
+
+// BenchmarkCertainTuplesPatched isolates the per-repair query half of the
+// tentpole: intersecting q's answers across a 16-repair set over a database
+// whose query relation is large. "scratch" evaluates the full join on every
+// repair; "patched" evaluates once on D and patches each repair's answer set
+// along its Δ (one base evaluation plus k·O(|Δ|) anchored joins).
+func BenchmarkCertainTuplesPatched(b *testing.B) {
+	d := relational.NewInstance()
+	for i := 0; i < 4; i++ {
+		d.Insert(relational.F("course", value.Int(int64(100+i)), value.Str(fmt.Sprintf("cx%d", i))))
+	}
+	for i := 0; i < 1000; i++ {
+		id := value.Int(int64(1000 + i))
+		d.Insert(relational.F("course", id, value.Str(fmt.Sprintf("c%d", i))))
+		d.Insert(relational.F("student", id, value.Str(fmt.Sprintf("n%d", i))))
+	}
+	set := parser.MustConstraints(`course(Id, Code) -> student(Id, Name).`)
+	q := parser.MustQuery(`q(Id) :- student(Id, Name).`)
+	res, err := repair.Repairs(d, set, repair.Options{})
+	if err != nil || len(res.Repairs) != 16 {
+		b.Fatalf("repairs=%d err=%v", len(res.Repairs), err)
+	}
+	repairs := res.Repairs
+
+	scratch := func(b *testing.B) map[string]relational.Tuple {
+		certain := map[string]relational.Tuple{}
+		for i, r := range repairs {
+			tuples, err := query.Eval(r, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			here := map[string]relational.Tuple{}
+			for _, t := range tuples {
+				here[t.Key()] = t
+			}
+			if i == 0 {
+				certain = here
+				continue
+			}
+			for k := range certain {
+				if _, ok := here[k]; !ok {
+					delete(certain, k)
+				}
+			}
+		}
+		return certain
+	}
+	patched := func(b *testing.B) map[string]relational.Tuple {
+		be, err := query.NewBaseEval(d, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		certain := map[string]relational.Tuple{}
+		for i, r := range repairs {
+			tuples := be.EvalOn(r)
+			here := map[string]relational.Tuple{}
+			for _, t := range tuples {
+				here[t.Key()] = t
+			}
+			if i == 0 {
+				certain = here
+				continue
+			}
+			for k := range certain {
+				if _, ok := here[k]; !ok {
+					delete(certain, k)
+				}
+			}
+		}
+		return certain
+	}
+	if s, p := scratch(b), patched(b); len(s) != len(p) || len(s) != 1000 {
+		b.Fatalf("ablation paths disagree: scratch %d certain tuples, patched %d", len(s), len(p))
+	}
+
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := scratch(b); len(got) != 1000 {
+				b.Fatalf("certain=%d", len(got))
+			}
+		}
+	})
+	b.Run("patched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := patched(b); len(got) != 1000 {
+				b.Fatalf("certain=%d", len(got))
+			}
+		}
+	})
+}
+
 // --- public facade end-to-end -------------------------------------------------------------------
 
 func BenchmarkFacadeQuickstart(b *testing.B) {

@@ -189,15 +189,21 @@ func searchAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts
 			return Answer{}, err
 		}
 		ans := Answer{NumRepairs: len(repairs), StatesExplored: stats.StatesExplored}
-		if ans.Tuples, err = certainTuples(repairs, q); err != nil {
+		if ans.Tuples, err = certainTuples(d, repairs, q); err != nil {
 			return Answer{}, err
 		}
 		return ans, nil
 	}
 
+	// One base evaluation of q on D; every leaf is answered by patching
+	// that result along Δ(D, leaf) — O(|Δ|) anchored joins instead of a
+	// full per-leaf evaluation.
+	be, err := query.NewBaseEval(d, q)
+	if err != nil {
+		return Answer{}, err
+	}
 	ac := repair.NewAntichain(d, opts.Repair.Mode)
 	holdsBy := map[*relational.Instance]bool{}
-	var evalErr error
 	short := false
 	// A failed certificate costs up to 2^ConfirmLimit consistency checks
 	// (the falsifying leaf is minimal so far, but its dominator arrives
@@ -212,11 +218,7 @@ func searchAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts
 		if !minimal {
 			return true
 		}
-		holds, err := query.EvalBool(leaf, q)
-		if err != nil {
-			evalErr = err
-			return false
-		}
+		holds := len(be.EvalOn(leaf)) > 0
 		holdsBy[leaf] = holds
 		if !holds && confirmBudget > 0 {
 			confirmBudget--
@@ -229,9 +231,6 @@ func searchAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts
 	})
 	if err != nil {
 		return Answer{}, err
-	}
-	if evalErr != nil {
-		return Answer{}, evalErr
 	}
 	ans := Answer{StatesExplored: stats.StatesExplored}
 	if short {
@@ -293,7 +292,7 @@ func materializedAnswers(d *relational.Instance, set *constraint.Set, q *query.Q
 			return Answer{}, errEmptyRepairSet
 		}
 		ans := Answer{NumRepairs: len(repairs)}
-		if ans.Tuples, err = certainTuples(repairs, q); err != nil {
+		if ans.Tuples, err = certainTuples(d, repairs, q); err != nil {
 			return Answer{}, err
 		}
 		return ans, nil
@@ -302,22 +301,18 @@ func materializedAnswers(d *relational.Instance, set *constraint.Set, q *query.Q
 	if err != nil {
 		return Answer{}, err
 	}
-	seen := map[string]bool{}
-	var evalErr error
+	be, err := query.NewBaseEval(d, q)
+	if err != nil {
+		return Answer{}, err
+	}
+	seen := newInstSet()
 	holds := true
 	short := false
 	if err := tr.StreamRepairs(opts.Stable, func(inst *relational.Instance, _ stable.Model) bool {
-		key := inst.Key()
-		if seen[key] {
+		if !seen.add(inst) {
 			return true
 		}
-		seen[key] = true
-		ok, err := query.EvalBool(inst, q)
-		if err != nil {
-			evalErr = err
-			return false
-		}
-		if !ok {
+		if len(be.EvalOn(inst)) == 0 {
 			holds = false
 			short = true
 			return false
@@ -326,45 +321,92 @@ func materializedAnswers(d *relational.Instance, set *constraint.Set, q *query.Q
 	}); err != nil {
 		return Answer{}, err
 	}
-	if evalErr != nil {
-		return Answer{}, evalErr
-	}
-	if len(seen) == 0 {
+	if seen.len() == 0 {
 		return Answer{}, errEmptyRepairSet
 	}
-	return Answer{NumRepairs: len(seen), Boolean: holds, ShortCircuited: short}, nil
+	return Answer{NumRepairs: seen.len(), Boolean: holds, ShortCircuited: short}, nil
 }
 
 // certainTuples intersects the answers of q across the repairs, breaking off
-// as soon as the intersection empties.
-func certainTuples(repairs []*relational.Instance, q *query.Q) ([]relational.Tuple, error) {
-	certain := map[string]relational.Tuple{}
+// as soon as the intersection empties. q is evaluated in full once, on the
+// original instance d; each repair's answer set is then computed by patching
+// that base result along Δ(d, repair), so k repairs cost one evaluation plus
+// k·O(|Δ|) anchored joins rather than k full joins. Answer sets arrive
+// sorted (Tuple.Compare), so the running intersection is a linear merge with
+// no per-repair key maps.
+func certainTuples(d *relational.Instance, repairs []*relational.Instance, q *query.Q) ([]relational.Tuple, error) {
+	be, err := query.NewBaseEval(d, q)
+	if err != nil {
+		return nil, err
+	}
+	var certain []relational.Tuple
 	for i, r := range repairs {
-		tuples, err := query.Eval(r, q)
-		if err != nil {
-			return nil, err
-		}
+		tuples := be.EvalOn(r)
 		if i == 0 {
-			for _, t := range tuples {
-				certain[t.Key()] = t
-			}
+			certain = tuples
 			continue
 		}
-		here := map[string]bool{}
-		for _, t := range tuples {
-			here[t.Key()] = true
-		}
-		for k := range certain {
-			if !here[k] {
-				delete(certain, k)
-			}
-		}
+		certain = intersectSorted(certain, tuples)
 		if len(certain) == 0 {
 			break
 		}
 	}
-	return sortedTuples(certain), nil
+	return certain, nil
 }
+
+// intersectSorted intersects two Compare-sorted distinct tuple lists with a
+// two-pointer walk, preserving order.
+func intersectSorted(a, b []relational.Tuple) []relational.Tuple {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch c := a[i].Compare(b[j]); {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// instSet deduplicates instances through their incrementally maintained
+// 64-bit fingerprints, confirming hash hits with Equal — the streaming
+// engines' repair dedup, with no O(|D|) canonical key string per model.
+// The distinct instances are retained for the stream's lifetime (Equal
+// needs them on a fingerprint hit); that matches the old key-string dedup's
+// asymptotics, trading byte-for-byte size for never re-encoding a model.
+type instSet struct {
+	buckets map[uint64][]*relational.Instance
+	n       int
+}
+
+func newInstSet() *instSet {
+	return &instSet{buckets: map[uint64][]*relational.Instance{}}
+}
+
+// add inserts the instance, reporting whether it was new.
+func (s *instSet) add(d *relational.Instance) bool {
+	fp := d.Fingerprint()
+	for _, o := range s.buckets[fp] {
+		if o.Equal(d) {
+			return false
+		}
+	}
+	s.buckets[fp] = append(s.buckets[fp], d)
+	s.n++
+	return true
+}
+
+// len returns the number of distinct instances added.
+func (s *instSet) len() int { return s.n }
 
 // sortedTuples flattens a keyed tuple set into Compare order.
 func sortedTuples(m map[string]relational.Tuple) []relational.Tuple {
@@ -406,12 +448,12 @@ func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, op
 
 	boolean := q.IsBoolean()
 	emptyKey := relational.Tuple{}.Key()
-	repairKeys := map[string]bool{}
+	repairSeen := newInstSet()
 	certain := map[string]relational.Tuple{}
 	first := true
 	short := false
 	if err := stable.Enumerate(gp, opts.Stable, func(m stable.Model) bool {
-		repairKeys[tr.Interpret(gp, m).Key()] = true
+		repairSeen.add(tr.Interpret(gp, m))
 		here := map[string]relational.Tuple{}
 		for _, id := range m {
 			f := gp.Atoms[id]
@@ -443,7 +485,7 @@ func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, op
 		return Answer{}, fmt.Errorf("core: the repair program has no stable model")
 	}
 
-	ans := Answer{NumRepairs: len(repairKeys), ShortCircuited: short}
+	ans := Answer{NumRepairs: repairSeen.len(), ShortCircuited: short}
 	if boolean {
 		_, ans.Boolean = certain[emptyKey]
 		return ans, nil
@@ -468,13 +510,13 @@ func PossibleAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, op
 	if err != nil {
 		return nil, err
 	}
+	be, err := query.NewBaseEval(d, q)
+	if err != nil {
+		return nil, err
+	}
 	seen := map[string]relational.Tuple{}
 	for _, r := range repairs {
-		tuples, err := query.Eval(r, q)
-		if err != nil {
-			return nil, err
-		}
-		for _, t := range tuples {
+		for _, t := range be.EvalOn(r) {
 			seen[t.Key()] = t
 		}
 	}
@@ -488,30 +530,23 @@ func possibleProgramAnswers(d *relational.Instance, set *constraint.Set, q *quer
 	if err != nil {
 		return nil, err
 	}
+	be, err := query.NewBaseEval(d, q)
+	if err != nil {
+		return nil, err
+	}
 	boolean := q.IsBoolean()
-	seenRepair := map[string]bool{}
+	seenRepair := newInstSet()
 	seen := map[string]relational.Tuple{}
-	var evalErr error
 	if err := tr.StreamRepairs(opts.Stable, func(inst *relational.Instance, _ stable.Model) bool {
-		key := inst.Key()
-		if seenRepair[key] {
+		if !seenRepair.add(inst) {
 			return true
 		}
-		seenRepair[key] = true
-		tuples, err := query.Eval(inst, q)
-		if err != nil {
-			evalErr = err
-			return false
-		}
-		for _, t := range tuples {
+		for _, t := range be.EvalOn(inst) {
 			seen[t.Key()] = t
 		}
 		return !(boolean && len(seen) > 0)
 	}); err != nil {
 		return nil, err
-	}
-	if evalErr != nil {
-		return nil, evalErr
 	}
 	return sortedTuples(seen), nil
 }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/repair"
+	"repro/internal/value"
+)
+
+// TestIncrementalAnswersMatchScratch pins the whole delta-driven stack at
+// the CQA level: consistent answers, possible answers, and repair listings
+// computed with the incremental probes and base-anchored patched evaluation
+// must be byte-identical to the scratch search probe combined with full
+// per-repair query evaluation, at workers ∈ {1, 4}. This is the acceptance
+// differential for the tentpole.
+func TestIncrementalAnswersMatchScratch(t *testing.T) {
+	sets := []*constraint.Set{
+		parser.MustConstraints(`course(Id, Code) -> student(Id, Name).`),
+		parser.MustConstraints(`
+			r(X, Y), r(X, Z) -> Y = Z.
+			s(U, V) -> r(V, W).
+		`),
+		parser.MustConstraints(`
+			r(X, Y), isnull(X) -> false.
+			s(U, V) -> r(V, W).
+		`),
+	}
+	queries := [][]string{
+		{`q(Id) :- student(Id, Name).`, `q :- course(21, c15).`, `q(Id) :- course(Id, Code), not student(Id, Code).`},
+		{`q(X, Y) :- r(X, Y).`, `q(U) :- s(U, V), r(V, W).`, `q :- r(a, b).`},
+		{`q(V) :- s(U, V), not r(V, V).`, `q(X) :- r(X, Y).`},
+	}
+	rng := rand.New(rand.NewSource(73))
+	vals := []value.V{value.Str("a"), value.Str("b"), value.Null(), value.Int(21)}
+	pick := func() value.V { return vals[rng.Intn(len(vals))] }
+
+	for round := 0; round < 12; round++ {
+		for si, set := range sets {
+			d := relational.NewInstance()
+			if si == 0 {
+				d.Insert(relational.F("course", value.Int(21), value.Str("c15")))
+				for k := 0; k < rng.Intn(3); k++ {
+					d.Insert(relational.F("course", pick(), pick()))
+				}
+				for k := 0; k < rng.Intn(3); k++ {
+					d.Insert(relational.F("student", pick(), pick()))
+				}
+			} else {
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					d.Insert(relational.F("r", pick(), pick()))
+				}
+				for k := 0; k < rng.Intn(3); k++ {
+					d.Insert(relational.F("s", pick(), pick()))
+				}
+			}
+
+			// Repair listings: incremental vs scratch, both worker counts.
+			scratchOpts := NewOptions()
+			scratchOpts.Repair.ScratchProbe = true
+			scratch, err := RepairsOf(d, set, scratchOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				opts := NewOptions()
+				opts.Repair.Workers = workers
+				inc, err := RepairsOf(d, set, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(inc) != len(scratch) {
+					t.Fatalf("round %d set %d workers %d: %d repairs incremental, %d scratch\nD=%v",
+						round, si, workers, len(inc), len(scratch), d)
+				}
+				for i := range scratch {
+					if inc[i].Key() != scratch[i].Key() {
+						t.Fatalf("round %d set %d workers %d: repair %d differs\nD=%v", round, si, workers, i, d)
+					}
+				}
+			}
+
+			for _, qsrc := range queries[si] {
+				q := parser.MustQuery(qsrc)
+				want, err := scratchAnswers(d, set, q, scratch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantPossible, err := scratchPossible(d, set, q, scratch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 4} {
+					opts := NewOptions()
+					opts.Repair.Workers = workers
+					got, err := ConsistentAnswers(d, set, q, opts)
+					if err != nil {
+						t.Fatalf("round %d set %d q=%q workers %d: %v", round, si, qsrc, workers, err)
+					}
+					if err := sameAnswerTuples(want, got, q); err != nil {
+						t.Fatalf("round %d set %d q=%q workers %d: %v\nD=%v", round, si, qsrc, workers, err, d)
+					}
+					gotPossible, err := PossibleAnswers(d, set, q, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(gotPossible) != len(wantPossible) {
+						t.Fatalf("round %d set %d q=%q workers %d: possible %d vs %d\nD=%v",
+							round, si, qsrc, workers, len(gotPossible), len(wantPossible), d)
+					}
+					for i := range wantPossible {
+						if !gotPossible[i].Equal(wantPossible[i]) {
+							t.Fatalf("round %d set %d q=%q workers %d: possible tuple %d differs", round, si, qsrc, workers, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// scratchAnswers is the reference pipeline: full per-repair evaluation with
+// query.EvalWith over a scratch-probe repair set.
+func scratchAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, repairs []*relational.Instance) (Answer, error) {
+	if q.IsBoolean() {
+		ans := Answer{NumRepairs: len(repairs), Boolean: true}
+		for _, r := range repairs {
+			holds, err := query.EvalBool(r, q)
+			if err != nil {
+				return Answer{}, err
+			}
+			if !holds {
+				ans.Boolean = false
+			}
+		}
+		return ans, nil
+	}
+	certain := map[string]relational.Tuple{}
+	for i, r := range repairs {
+		tuples, err := query.EvalWith(r, q, query.Options{})
+		if err != nil {
+			return Answer{}, err
+		}
+		here := map[string]relational.Tuple{}
+		for _, t := range tuples {
+			here[t.Key()] = t
+		}
+		if i == 0 {
+			certain = here
+			continue
+		}
+		for k := range certain {
+			if _, ok := here[k]; !ok {
+				delete(certain, k)
+			}
+		}
+	}
+	return Answer{NumRepairs: len(repairs), Tuples: sortedTuples(certain)}, nil
+}
+
+func scratchPossible(d *relational.Instance, set *constraint.Set, q *query.Q, repairs []*relational.Instance) ([]relational.Tuple, error) {
+	seen := map[string]relational.Tuple{}
+	for _, r := range repairs {
+		tuples, err := query.EvalWith(r, q, query.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tuples {
+			seen[t.Key()] = t
+		}
+	}
+	return sortedTuples(seen), nil
+}
+
+// sameAnswerTuples compares the cross-worker-stable parts of an answer:
+// boolean verdict and the certain tuples (NumRepairs is skipped — the
+// reference never short-circuits, the engine may).
+func sameAnswerTuples(want, got Answer, q *query.Q) error {
+	if q.IsBoolean() {
+		if want.Boolean != got.Boolean {
+			return fmt.Errorf("boolean answers differ: want %v, got %v", want.Boolean, got.Boolean)
+		}
+		return nil
+	}
+	if len(want.Tuples) != len(got.Tuples) {
+		return fmt.Errorf("certain tuple counts differ: want %d, got %d", len(want.Tuples), len(got.Tuples))
+	}
+	for i := range want.Tuples {
+		if !want.Tuples[i].Equal(got.Tuples[i]) {
+			return fmt.Errorf("certain tuple %d differs: want %v, got %v", i, want.Tuples[i], got.Tuples[i])
+		}
+	}
+	return nil
+}
+
+// TestScratchProbeOptionPlumbs makes sure the ablation knob actually reaches
+// the search: with ScratchProbe both probes still agree on a workload whose
+// diagnostics are content-determined.
+func TestScratchProbeOptionPlumbs(t *testing.T) {
+	d := relational.NewInstance(
+		relational.F("r", value.Str("k"), value.Str("b")),
+		relational.F("r", value.Str("k"), value.Str("c")),
+	)
+	set := parser.MustConstraints(`r(X, Y), r(X, Z) -> Y = Z.`)
+	inc, err := repair.Repairs(d, set, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr, err := repair.Repairs(d, set, repair.Options{ScratchProbe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Repairs) != 2 || len(scr.Repairs) != 2 || inc.StatesExplored != scr.StatesExplored {
+		t.Fatalf("probe modes disagree: inc %d repairs/%d states, scratch %d/%d",
+			len(inc.Repairs), inc.StatesExplored, len(scr.Repairs), scr.StatesExplored)
+	}
+}

@@ -103,9 +103,10 @@ func (v NNCViolation) String() string {
 
 // icContext caches the per-constraint analysis shared by all checks.
 type icContext struct {
-	ic     *constraint.IC
-	counts map[string]int // total occurrences per variable in ψ
-	body   map[string]bool
+	ic      *constraint.IC
+	counts  map[string]int // total occurrences per variable in ψ
+	body    map[string]bool
+	varList []string // body variables in first-occurrence order (subst keys)
 }
 
 func newICContext(ic *constraint.IC) *icContext {
@@ -123,11 +124,24 @@ func newICContext(ic *constraint.IC) *icContext {
 	for _, v := range all {
 		counts[v]++
 	}
+	varList := ic.BodyVars()
 	body := map[string]bool{}
-	for _, v := range ic.BodyVars() {
+	for _, v := range varList {
 		body[v] = true
 	}
-	return &icContext{ic: ic, counts: counts, body: body}
+	return &icContext{ic: ic, counts: counts, body: body, varList: varList}
+}
+
+// substKey is a canonical injective encoding of an antecedent assignment: the
+// interned ids of the body variables' values, in first-occurrence order. All
+// body variables must be bound (which every full body join guarantees).
+func (c *icContext) substKey(subst term.Subst) string {
+	b := make([]byte, 0, 4*len(c.varList))
+	for _, v := range c.varList {
+		id := subst[v].ID()
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
 }
 
 // relevantVar reports whether v occupies a relevant position, i.e. occurs

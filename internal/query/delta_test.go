@@ -1,0 +1,152 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/term"
+	"repro/internal/value"
+)
+
+// This file pins the base-anchored patched evaluation against the
+// from-scratch evaluator: for random base instances, random deltas, and a
+// query zoo covering joins, unions, negation, builtins, repeated variables,
+// and boolean queries, BaseEval.EvalOn must be byte-identical to Eval on the
+// patched instance. The suite runs under -race in CI with the rest of the
+// package.
+
+func deltaQueryZoo() []*Q {
+	lit := func(neg bool, pred string, args ...term.T) Literal {
+		return Literal{Atom: term.NewAtom(pred, args...), Neg: neg}
+	}
+	v := term.V
+	return []*Q{
+		{Name: "q1", Head: []string{"X"}, Disjuncts: []Conj{{
+			Lits: []Literal{lit(false, "r", v("X"), v("Y"))},
+		}}},
+		{Name: "q2", Head: []string{"X", "Z"}, Disjuncts: []Conj{{
+			Lits: []Literal{lit(false, "r", v("X"), v("Y")), lit(false, "s", v("Y"), v("Z"))},
+		}}},
+		{Name: "q3", Head: []string{"X"}, Disjuncts: []Conj{{
+			Lits: []Literal{lit(false, "r", v("X"), v("Y")), lit(true, "s", v("X"), v("Y"))},
+		}}},
+		{Name: "q4", Head: []string{"X"}, Disjuncts: []Conj{
+			{Lits: []Literal{lit(false, "r", v("X"), v("X"))}},
+			{Lits: []Literal{lit(false, "s", v("X"), v("Y")), lit(true, "r", v("Y"), v("X"))}},
+		}},
+		{Name: "q5", Head: nil, Disjuncts: []Conj{{ // boolean join
+			Lits: []Literal{lit(false, "r", v("X"), v("Y")), lit(false, "s", v("Y"), v("Z"))},
+		}}},
+		{Name: "q6", Head: nil, Disjuncts: []Conj{{ // boolean ground negation
+			Lits: []Literal{lit(true, "r", term.CStr("a"), term.CStr("b"))},
+		}}},
+		{Name: "q7", Head: []string{"X", "Y"}, Disjuncts: []Conj{{
+			Lits:     []Literal{lit(false, "r", v("X"), v("Y"))},
+			Builtins: []term.Builtin{{Op: term.NEQ, L: v("X"), R: v("Y")}},
+		}}},
+		{Name: "q8", Head: []string{"X", "X"}, Disjuncts: []Conj{{ // repeated head var
+			Lits: []Literal{lit(false, "s", v("X"), v("Y")), lit(true, "r", v("X"), v("X"))},
+		}}},
+	}
+}
+
+func randDeltaFact(rng *rand.Rand) relational.Fact {
+	vals := []value.V{value.Str("a"), value.Str("b"), value.Str("c"), value.Null(), value.Int(7)}
+	preds := []string{"r", "s"}
+	return relational.Fact{
+		Pred: preds[rng.Intn(2)],
+		Args: relational.Tuple{vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))]},
+	}
+}
+
+func tuplesEqual(a, b []relational.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPatchedEvalMatchesScratch compares EvalOn against Eval over random
+// base instances and random overlay deltas of growing size, including deltas
+// that delete and re-insert base facts.
+func TestPatchedEvalMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	zoo := deltaQueryZooValidated(t)
+	for trial := 0; trial < 300; trial++ {
+		base := relational.NewInstance()
+		for k := 0; k < rng.Intn(12); k++ {
+			base.Insert(randDeltaFact(rng))
+		}
+		evals := make([]*BaseEval, len(zoo))
+		for i, q := range zoo {
+			be, err := NewBaseEval(base, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evals[i] = be
+		}
+		for variant := 0; variant < 3; variant++ {
+			r := base.Clone()
+			for k := 0; k < rng.Intn(5); k++ {
+				f := randDeltaFact(rng)
+				if rng.Intn(2) == 0 {
+					r.Insert(f)
+				} else if facts := r.Facts(); len(facts) > 0 && rng.Intn(2) == 0 {
+					r.Delete(facts[rng.Intn(len(facts))])
+				} else {
+					r.Delete(f)
+				}
+			}
+			for i, q := range zoo {
+				want, err := Eval(r, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := evals[i].EvalOn(r)
+				if !tuplesEqual(got, want) {
+					t.Fatalf("trial %d query %s: patched %v, scratch %v\nbase=%v\nr=%v\nΔ=%v",
+						trial, q.Name, got, want, base, r, relational.Diff(base, r))
+				}
+			}
+		}
+	}
+}
+
+func deltaQueryZooValidated(t *testing.T) []*Q {
+	t.Helper()
+	zoo := deltaQueryZoo()
+	for _, q := range zoo {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("query zoo entry %s invalid: %v", q.Name, err)
+		}
+	}
+	return zoo
+}
+
+// TestPatchedEvalEmptyDelta pins the fast path: patching with an untouched
+// clone returns the base answers verbatim.
+func TestPatchedEvalEmptyDelta(t *testing.T) {
+	base := relational.NewInstance(
+		relational.F("r", value.Str("a"), value.Str("b")),
+		relational.F("s", value.Str("b"), value.Str("c")),
+	)
+	q := deltaQueryZoo()[1]
+	be, err := NewBaseEval(base, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := be.EvalOn(base.Clone())
+	if !tuplesEqual(got, be.BaseAnswers()) {
+		t.Fatalf("empty delta: got %v, base %v", got, be.BaseAnswers())
+	}
+	if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", be.BaseAnswers()) {
+		t.Fatalf("empty delta rendering differs")
+	}
+}

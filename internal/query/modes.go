@@ -84,7 +84,7 @@ func evalConjWith(d *relational.Instance, c Conj, head []string, opts Options, y
 			posAtoms = append(posAtoms, l.Atom)
 		}
 	}
-	posAtoms = orderBySelectivity(d, posAtoms)
+	posAtoms = orderBySelectivity(d, posAtoms, nil)
 	subst := term.Subst{}
 	var rec func(i int)
 	rec = func(i int) {

@@ -166,15 +166,20 @@ func EvalBool(d *relational.Instance, q *Q) (bool, error) {
 
 // orderBySelectivity reorders the positive atoms of a join greedily: at each
 // step it picks the remaining atom with the most columns bound by the atoms
-// already placed (constants count as bound), breaking ties toward the
-// smaller relation and then toward the original order. The answer set is
-// order-independent; only the enumeration cost changes.
-func orderBySelectivity(d *relational.Instance, atoms []term.Atom) []term.Atom {
+// already placed (constants and the pre-bound variables count as bound),
+// breaking ties toward the smaller relation and then toward the original
+// order. The answer set is order-independent; only the enumeration cost
+// changes. pre names variables an anchored join has already bound; nil for a
+// join from scratch.
+func orderBySelectivity(d *relational.Instance, atoms []term.Atom, pre map[string]bool) []term.Atom {
 	if len(atoms) < 2 {
 		return atoms
 	}
 	remaining := append([]term.Atom(nil), atoms...)
 	bound := map[string]bool{}
+	for v := range pre {
+		bound[v] = true
+	}
 	out := make([]term.Atom, 0, len(atoms))
 	for len(remaining) > 0 {
 		best, bestBound, bestSize := -1, -1, 0
@@ -206,47 +211,76 @@ func orderBySelectivity(d *relational.Instance, atoms []term.Atom) []term.Atom {
 // resolved through per-relation hash indexes on the bound columns — then
 // filters by negated literals and builtins, yielding each head projection.
 func evalConj(d *relational.Instance, c Conj, head []string, yield func(relational.Tuple)) {
-	var posAtoms []term.Atom
+	atoms := orderBySelectivity(d, positiveAtoms(c), nil)
+	subst := term.Subst{}
+	joinPositives(d, atoms, subst, func() bool {
+		if condsHold(d, c, subst) {
+			yield(projectHead(head, subst))
+		}
+		return true
+	})
+}
+
+// positiveAtoms collects the positive literals of a disjunct, in order.
+func positiveAtoms(c Conj) []term.Atom {
+	var out []term.Atom
 	for _, l := range c.Lits {
 		if !l.Neg {
-			posAtoms = append(posAtoms, l.Atom)
+			out = append(out, l.Atom)
 		}
 	}
-	posAtoms = orderBySelectivity(d, posAtoms)
-	subst := term.Subst{}
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(posAtoms) {
-			for _, b := range c.Builtins {
-				res, ok := b.Eval(subst)
-				if !ok || !res {
-					return
-				}
-			}
-			for _, l := range c.Lits {
-				if l.Neg && holdsGround(d, l.Atom, subst) {
-					return
-				}
-			}
-			out := make(relational.Tuple, len(head))
-			for j, v := range head {
-				out[j] = subst[v]
-			}
-			yield(out)
-			return
-		}
-		a := posAtoms[i]
-		d.Scan(a.Pred, a.Arity(), relational.AtomBindings(a, subst), func(tuple relational.Tuple) bool {
-			bound, ok := matchAtom(tuple, a, subst)
-			if !ok {
-				return true
-			}
-			rec(i + 1)
-			undo(subst, bound)
+	return out
+}
+
+// joinPositives enumerates the assignments of the positive atoms over d,
+// extending subst in place — the shared join core of the from-scratch, the
+// Δ-anchored, and the head-bound evaluations. The atoms should already be
+// selectivity-ordered; bound columns (constants and variables subst already
+// binds) are resolved through the per-relation hash indexes. yield returns
+// false to stop; joinPositives reports whether the enumeration completed.
+func joinPositives(d *relational.Instance, atoms []term.Atom, subst term.Subst, yield func() bool) bool {
+	if len(atoms) == 0 {
+		return yield()
+	}
+	a := atoms[0]
+	cont := true
+	d.Scan(a.Pred, a.Arity(), relational.AtomBindings(a, subst), func(tuple relational.Tuple) bool {
+		bound, ok := matchAtom(tuple, a, subst)
+		if !ok {
 			return true
-		})
+		}
+		cont = joinPositives(d, atoms[1:], subst, yield)
+		undo(subst, bound)
+		return cont
+	})
+	return cont
+}
+
+// condsHold evaluates the builtins and then the negated literals of c under
+// a complete assignment, with null as an ordinary constant (the package's
+// default ConstantNulls semantics).
+func condsHold(d *relational.Instance, c Conj, subst term.Subst) bool {
+	for _, b := range c.Builtins {
+		res, ok := b.Eval(subst)
+		if !ok || !res {
+			return false
+		}
 	}
-	rec(0)
+	for _, l := range c.Lits {
+		if l.Neg && holdsGround(d, l.Atom, subst) {
+			return false
+		}
+	}
+	return true
+}
+
+// projectHead materializes the head projection of an assignment.
+func projectHead(head []string, subst term.Subst) relational.Tuple {
+	out := make(relational.Tuple, len(head))
+	for j, v := range head {
+		out[j] = subst[v]
+	}
+	return out
 }
 
 func holdsGround(d *relational.Instance, a term.Atom, subst term.Subst) bool {

@@ -312,22 +312,46 @@ func (d *Instance) ForEach(yield func(Fact) bool) {
 }
 
 // sortedFacts returns the cached sorted fact list without copying; callers
-// must not mutate it.
+// must not mutate it. For an overlay the list is a linear merge of the
+// engine's shared sorted base (built once per engine, for every view) with
+// the overlay's sorted delta — O(|D| + |Δ|) per view instead of a full
+// O(|D| log |D|) re-sort, which is what keeps canonical repair listings
+// cheap when thousands of leaves share one base.
 func (d *Instance) sortedFacts() []Fact {
 	if d.factsCache == nil || d.factsGen != d.gen {
 		if !d.overlay() {
 			d.factsCache = d.eng.sortedFacts()
 		} else {
-			out := make([]Fact, 0, d.size)
-			d.ForEach(func(f Fact) bool {
-				out = append(out, f)
-				return true
-			})
-			d.factsCache = SortFacts(out)
+			d.factsCache = mergeSorted(d.eng.sortedFacts(), d.Delta(), d.size)
 		}
 		d.factsGen = d.gen
 	}
 	return d.factsCache
+}
+
+// mergeSorted merges a sorted base fact list with a sorted delta: removed
+// facts (a subset of the base) are skipped, added facts (disjoint from the
+// base) are merged in order. Distinct facts never compare equal (Compare is
+// injective on interned values), so the two-pointer walk is exact.
+func mergeSorted(base []Fact, dl Delta, size int) []Fact {
+	if len(dl.Removed) == 0 && len(dl.Added) == 0 {
+		return base
+	}
+	out := make([]Fact, 0, size)
+	ri, ai := 0, 0
+	for _, f := range base {
+		if ri < len(dl.Removed) && dl.Removed[ri].Compare(f) == 0 {
+			ri++
+			continue
+		}
+		for ai < len(dl.Added) && dl.Added[ai].Compare(f) < 0 {
+			out = append(out, dl.Added[ai])
+			ai++
+		}
+		out = append(out, f)
+	}
+	out = append(out, dl.Added[ai:]...)
+	return out
 }
 
 // Facts returns all facts sorted deterministically. The result is cached
@@ -595,12 +619,46 @@ func fits(pos []int, arity int) bool {
 	return true
 }
 
+// Delta returns the overlay's symmetric difference against the physical base
+// engine this view shares: Added are the facts inserted over the base,
+// Removed the base facts deleted, both sorted. For an instance that owns its
+// engine (no overlay, or an overlay folded back by flattening) the delta is
+// empty — the base *is* the instance. The cost is O(|Δ|), independent of the
+// instance size, which is what lets downstream layers (Δ-seeded constraint
+// probes, base-anchored query patching) see what changed instead of
+// re-scanning everything.
+func (d *Instance) Delta() Delta {
+	var dl Delta
+	if !d.overlay() {
+		return dl
+	}
+	for _, rk := range d.dorder {
+		deltas := d.deltas[rk]
+		for _, k := range deltas.addOrder {
+			if t := deltas.add[k]; t != nil {
+				dl.Added = append(dl.Added, Fact{Pred: rk.Pred, Args: t})
+			}
+		}
+		for _, t := range deltas.del {
+			dl.Removed = append(dl.Removed, Fact{Pred: rk.Pred, Args: t})
+		}
+	}
+	SortFacts(dl.Added)
+	SortFacts(dl.Removed)
+	return dl
+}
+
 // Diff computes Δ(d, e). When both instances are overlay views of the same
 // physical base — as in the repair search, where every state is a clone of
 // the original database — the difference is computed from the deltas alone
-// in O(|Δ(d)| + |Δ(e)|), independent of |D|.
+// in O(|Δ(d)| + |Δ(e)|), independent of |D|. When d additionally sits exactly
+// on the base (a freshly frozen owner, the root of a repair search), the
+// difference is e's own overlay delta.
 func Diff(d, e *Instance) Delta {
 	if d.eng == e.eng {
+		if d.deltaN == 0 {
+			return e.Delta()
+		}
 		return diffShared(d, e)
 	}
 	var dl Delta

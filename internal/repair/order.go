@@ -198,28 +198,137 @@ func deltaOrder(mode Mode) func(dl1, dl2 relational.Delta) bool {
 // and ≤_D transitivity is a tested property, not an assumption), so the
 // final minimal set is exactly MinimalUnder over the whole stream, no matter
 // in which order a parallel search delivered it. Each leaf's Δ(D, leaf) is
-// computed once on entry and cached for every later comparison and for
-// Result.Deltas.
+// computed once on entry — together with its per-fact key encodings and key
+// sets — and cached for every later comparison and for Result.Deltas, so
+// the O(n²) pairwise comparisons never re-intern a constant or rebuild a
+// key map (the pre-view antichain spent most of the enumeration's time
+// doing exactly that).
 //
 // Antichain is not safe for concurrent use; the streaming search calls Add
 // from the single collector goroutine.
 type Antichain struct {
 	d            *relational.Instance
-	leq          func(dl1, dl2 relational.Delta) bool
+	classic      bool
 	entries      []acEntry
 	minimalCount int
 }
 
 type acEntry struct {
 	inst      *relational.Instance
-	delta     relational.Delta
+	view      *deltaView
 	dominated bool
+}
+
+// deltaView is a delta with its comparison artifacts precomputed: the key of
+// every fact (keys are interner round-trips, the hot cost of ≤_D) and the
+// key sets both orders probe.
+type deltaView struct {
+	dl          relational.Delta
+	removedKeys []string        // aligned with dl.Removed
+	addedKeys   []string        // aligned with dl.Added
+	addedNull   []bool          // aligned with dl.Added: Args.HasNull()
+	removedSet  map[string]bool // keys of dl.Removed
+	addedSet    map[string]bool // keys of dl.Added
+}
+
+func newDeltaView(dl relational.Delta) *deltaView {
+	v := &deltaView{
+		dl:          dl,
+		removedKeys: make([]string, len(dl.Removed)),
+		addedKeys:   make([]string, len(dl.Added)),
+		addedNull:   make([]bool, len(dl.Added)),
+		removedSet:  make(map[string]bool, len(dl.Removed)),
+		addedSet:    make(map[string]bool, len(dl.Added)),
+	}
+	for i, f := range dl.Removed {
+		k := f.Key()
+		v.removedKeys[i] = k
+		v.removedSet[k] = true
+	}
+	for i, f := range dl.Added {
+		k := f.Key()
+		v.addedKeys[i] = k
+		v.addedNull[i] = f.Args.HasNull()
+		v.addedSet[k] = true
+	}
+	return v
+}
+
+// leqDViews is LeqDDeltas over precomputed views.
+func leqDViews(a, b *deltaView) bool {
+	for _, k := range a.removedKeys {
+		if !b.removedSet[k] {
+			return false
+		}
+	}
+	for i := range a.dl.Added {
+		k := a.addedKeys[i]
+		if !a.addedNull[i] {
+			if !b.addedSet[k] {
+				return false
+			}
+			continue
+		}
+		if b.addedSet[k] {
+			continue // the identical insertion
+		}
+		if !patternMatchViews(a.dl.Added[i], b, a.addedSet) {
+			return false
+		}
+	}
+	return true
+}
+
+// patternMatchViews is hasPatternMatch against a view's additions, using the
+// cached keys for the exclusion test.
+func patternMatchViews(f relational.Fact, b *deltaView, excluded map[string]bool) bool {
+	for i, g := range b.dl.Added {
+		if g.Pred != f.Pred || len(g.Args) != len(f.Args) {
+			continue
+		}
+		if excluded[b.addedKeys[i]] {
+			continue
+		}
+		ok := true
+		for p, v := range f.Args {
+			if !v.IsNull() && !g.Args[p].Eq(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// subsetViews is SubsetDeltas over precomputed views.
+func subsetViews(a, b *deltaView) bool {
+	for _, k := range a.removedKeys {
+		if !b.removedSet[k] && !b.addedSet[k] {
+			return false
+		}
+	}
+	for _, k := range a.addedKeys {
+		if !b.removedSet[k] && !b.addedSet[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Antichain) leq(v1, v2 *deltaView) bool {
+	if a.classic {
+		return subsetViews(v1, v2)
+	}
+	return leqDViews(v1, v2)
 }
 
 // NewAntichain returns an empty antichain filtering under the given mode's
 // order (≤_D for NullBased, ⊆-Δ for Classic) relative to the original d.
 func NewAntichain(d *relational.Instance, mode Mode) *Antichain {
-	return &Antichain{d: d, leq: deltaOrder(mode)}
+	return &Antichain{d: d, classic: mode == Classic}
 }
 
 // Add feeds one leaf into the filter. It reports whether the leaf is
@@ -228,12 +337,12 @@ func NewAntichain(d *relational.Instance, mode Mode) *Antichain {
 // streaming consumers drop per-candidate state (cached query answers) for
 // displaced leaves. Leaves must be distinct; the search guarantees that.
 func (a *Antichain) Add(leaf *relational.Instance) (minimal bool, displaced []*relational.Instance) {
-	dl := relational.Diff(a.d, leaf)
+	view := newDeltaView(relational.Diff(a.d, leaf))
 	dominated := false
 	for i := range a.entries {
 		o := &a.entries[i]
-		oBelow := a.leq(o.delta, dl)
-		cBelow := a.leq(dl, o.delta)
+		oBelow := a.leq(o.view, view)
+		cBelow := a.leq(view, o.view)
 		if oBelow && !cBelow {
 			dominated = true
 		}
@@ -243,7 +352,7 @@ func (a *Antichain) Add(leaf *relational.Instance) (minimal bool, displaced []*r
 			displaced = append(displaced, o.inst)
 		}
 	}
-	a.entries = append(a.entries, acEntry{inst: leaf, delta: dl, dominated: dominated})
+	a.entries = append(a.entries, acEntry{inst: leaf, view: view, dominated: dominated})
 	if !dominated {
 		a.minimalCount++
 	}
@@ -274,7 +383,7 @@ func (a *Antichain) Results() ([]*relational.Instance, []relational.Delta) {
 	deltas := make([]relational.Delta, len(idx))
 	for i, j := range idx {
 		repairs[i] = a.entries[j].inst
-		deltas[i] = a.entries[j].delta
+		deltas[i] = a.entries[j].view.dl
 	}
 	return repairs, deltas
 }
@@ -329,6 +438,15 @@ func ConfirmMinimal(d, cand *relational.Instance, set *constraint.Set, opts Opti
 	if len(pool) > ConfirmLimit {
 		return false
 	}
+	// Each candidate dominator differs from cand — a consistent instance —
+	// by only a handful of facts, so its consistency is decided by the
+	// Δ-seeded incremental check anchored on cand instead of a full
+	// re-evaluation of every constraint: constraints untouched by
+	// Δ(cand, d2) are skipped outright. Every violation the anchored check
+	// finds is genuine (confirmed on d2), so even if a caller passes an
+	// inconsistent cand the certificate can only degrade to a false
+	// negative — ConfirmMinimal never wrongly returns true.
+	sc := nullsem.NewSetChecker(set, sem)
 	for mask := 0; mask < 1<<len(pool); mask++ {
 		d2 := d.Clone()
 		for b, e := range pool {
@@ -345,7 +463,7 @@ func ConfirmMinimal(d, cand *relational.Instance, set *constraint.Set, opts Opti
 		if !leq(dl2, dl) || leq(dl, dl2) {
 			continue // not strictly below cand
 		}
-		if nullsem.Satisfies(d2, set, sem) {
+		if sc.SatisfiesFrom(d2, relational.Diff(cand, d2)) {
 			return false // a consistent strict dominator exists
 		}
 	}

@@ -56,6 +56,17 @@ type Options struct {
 	// by schedule: a cancellation that wins reports the partial stats,
 	// where another schedule might hit ErrStateLimit first.
 	Workers int
+	// ScratchProbe disables the delta-driven incremental violation probes
+	// and re-checks every constraint from scratch at every search node, as
+	// the pre-incremental engine did. Repairs and Deltas are byte-identical
+	// either way (the two probes agree on whether a state is consistent,
+	// and any violation-choice policy enumerates a consistent superset of
+	// Rep that the minimality filter reduces to exactly Rep); the knob
+	// exists for differential tests and ablation benchmarks.
+	// StatesExplored/Leaves may differ between the two probes — the probes
+	// can pick different (equally valid) violations of the same state, so
+	// the explored fringes diverge while the repair set does not.
+	ScratchProbe bool
 }
 
 // DefaultMaxStates bounds the search space when Options.MaxStates is 0.
@@ -245,10 +256,17 @@ func enumerate(d *relational.Instance, set *constraint.Set, opts Options, adomIC
 		adomICs:      adomICs,
 		memo:         newStateMemo(),
 		maxStates:    int64(maxStates),
+		scratchProbe: opts.ScratchProbe,
+	}
+	if !opts.ScratchProbe {
+		s.checkers = make([]*nullsem.ICChecker, len(set.ICs))
+		for i, ic := range set.ICs {
+			s.checkers[i] = nullsem.NewICChecker(ic, sem)
+		}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if s.admit(d) {
-		s.stack = append(s.stack, d)
+		s.stack = append(s.stack, node{inst: d})
 	}
 	if workers == 1 {
 		return s.runSequential(yield)
@@ -342,6 +360,8 @@ type searcher struct {
 	mode         Mode
 	insertDomain []value.V
 	adomICs      map[string]bool
+	checkers     []*nullsem.ICChecker // cached per-IC analysis (incremental probe)
+	scratchProbe bool
 
 	memo      *stateMemo
 	visited   atomic.Int64
@@ -352,10 +372,49 @@ type searcher struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	stack   []*relational.Instance
+	stack   []node
 	active  int // workers currently expanding a state
 	failure error
 }
+
+// node is one work-list entry: a search state plus the delta that produced
+// it and what its parent's probe established, so the state can be probed
+// incrementally instead of re-checking every constraint over the whole
+// instance.
+type node struct {
+	inst *relational.Instance
+	// df is the single fact this state changed relative to its parent —
+	// deleted when del is true, inserted otherwise. Meaningless at the
+	// root (snap == nil), which is probed from scratch.
+	df  relational.Fact
+	del bool
+	// snap is the parent's probe snapshot (shared, read-only, by all the
+	// parent's children); nil at the root.
+	snap *probeSnap
+}
+
+// probeSnap is what one expansion learned about its instance's constraint
+// status, inherited by the children it pushed.
+type probeSnap struct {
+	// sat marks the constraints verified satisfied on the parent instance:
+	// bit i < len(set.ICs) is ICs[i], bit len(set.ICs)+j is NNCs[j].
+	// Constraints past the first violated one were never probed and stay
+	// unset.
+	sat bitset
+	// violIC indexes the violated IC whose complete violation list is
+	// tracked, or -1 when the probe stopped at an NNC violation.
+	violIC int
+	// viols is the complete violation list of ICs[violIC] on the parent,
+	// in deterministic order; viols[0] is the violation the children fix.
+	viols []nullsem.Violation
+}
+
+// bitset is a minimal fixed-size bit vector over constraint indexes.
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
 
 // work is one worker's loop: pop a state, expand it, repeat until the
 // work-list drains (stack empty with no expansion in flight) or the search
@@ -377,12 +436,12 @@ func (s *searcher) sendLeaf(leaf *relational.Instance) bool {
 	return true
 }
 
-func (s *searcher) pop() (*relational.Instance, bool) {
+func (s *searcher) pop() (node, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		if s.stopped.Load() {
-			return nil, false
+			return node{}, false
 		}
 		if n := len(s.stack); n > 0 {
 			cur := s.stack[n-1]
@@ -391,7 +450,7 @@ func (s *searcher) pop() (*relational.Instance, bool) {
 			return cur, true
 		}
 		if s.active == 0 {
-			return nil, false
+			return node{}, false
 		}
 		s.cond.Wait()
 	}
@@ -406,7 +465,7 @@ func (s *searcher) release() {
 	s.mu.Unlock()
 }
 
-func (s *searcher) push(next *relational.Instance) {
+func (s *searcher) push(next node) {
 	s.mu.Lock()
 	s.stack = append(s.stack, next)
 	s.cond.Signal()
@@ -450,28 +509,108 @@ func (s *searcher) admit(next *relational.Instance) bool {
 // expand processes one state — the single definition of the search's
 // transition relation, shared by the sequential and parallel drivers: emit
 // it as a leaf if consistent (emit returning false stops the search),
-// otherwise admit and push its paper-sanctioned successor states.
-func (s *searcher) expand(cur *relational.Instance, emit func(*relational.Instance) bool) {
+// otherwise admit and push its paper-sanctioned successor states, which
+// inherit this probe's snapshot so they can be probed incrementally.
+func (s *searcher) expand(cur node, emit func(*relational.Instance) bool) {
 	if s.stopped.Load() {
 		return
 	}
-	viol, nncViol, ok := firstViolation(cur, s.set, s.sem)
-	if !ok {
+	viol, nncViol, snap, bad := s.probe(cur)
+	if !bad {
 		// Each state is admitted once, so leaves are distinct by
 		// construction.
-		if !emit(cur) {
+		if !emit(cur.inst) {
 			s.stopped.Store(true)
 		}
 		return
 	}
-	for _, next := range fixes(cur, viol, nncViol, s.mode, s.insertDomain, s.adomICs) {
+	for _, next := range fixes(cur.inst, viol, nncViol, s.mode, s.insertDomain, s.adomICs) {
 		if s.stopped.Load() {
 			return
 		}
-		if s.admit(next) {
+		next.snap = snap
+		if s.admit(next.inst) {
 			s.push(next)
 		}
 	}
+}
+
+// probe decides a state's status: its first violation, if any, plus the
+// snapshot its children inherit. The root (and every state under
+// Options.ScratchProbe) is probed from scratch. Every other state differs
+// from its parent by one fact, so the probe is delta-driven:
+//
+//   - constraints verified on the parent that share no predicate with the
+//     changed fact cannot have changed — their probe results are skipped
+//     entirely (the pred→IC incidence is baked into ICChecker.SharesPred);
+//   - constraints verified on the parent that do share a predicate are
+//     probed Δ-seeded: only constraint occurrences unifying with the
+//     changed fact are instantiated, each join anchored on the Δ-atom and
+//     completed against the indexed store;
+//   - the parent's violated IC carries its complete violation list through
+//     the work-list, advanced here by the one-fact delta (survivors are
+//     filtered in place, newly created violations are found Δ-seeded);
+//   - constraints past the parent's first violation were never probed
+//     there and are checked from scratch.
+//
+// The two probes agree exactly on whether a state is consistent; they may
+// pick different violations of an inconsistent state (the incremental list
+// keeps survivors in inherited order, the scratch join re-enumerates in
+// instance order), which is covered by the policy-independence contract
+// documented on Options.Workers.
+func (s *searcher) probe(nd node) (*nullsem.Violation, *nullsem.NNCViolation, *probeSnap, bool) {
+	if s.scratchProbe {
+		viol, nncViol, bad := firstViolation(nd.inst, s.set, s.sem)
+		return viol, nncViol, nil, bad
+	}
+	d := nd.inst
+	nIC := len(s.set.ICs)
+	sat := newBitset(nIC + len(s.set.NNCs))
+	var delta relational.Delta
+	if nd.snap != nil {
+		if nd.del {
+			delta.Removed = []relational.Fact{nd.df}
+		} else {
+			delta.Added = []relational.Fact{nd.df}
+		}
+	}
+	for i, ck := range s.checkers {
+		var vs []nullsem.Violation
+		switch {
+		case nd.snap != nil && nd.snap.sat.has(i) && !ck.SharesPred(nd.df.Pred):
+			sat.set(i)
+			continue
+		case nd.snap != nil && nd.snap.sat.has(i):
+			vs = ck.ViolationsFrom(d, delta)
+		case nd.snap != nil && i == nd.snap.violIC:
+			vs = ck.Update(d, nd.snap.viols, delta)
+		default:
+			vs = ck.Violations(d)
+		}
+		if len(vs) == 0 {
+			sat.set(i)
+			continue
+		}
+		return &vs[0], nil, &probeSnap{sat: sat, violIC: i, viols: vs}, true
+	}
+	for j, n := range s.set.NNCs {
+		bit := nIC + j
+		if nd.snap != nil && nd.snap.sat.has(bit) {
+			// NNC satisfaction is per-fact: a deletion, or an insertion
+			// of another relation or with a non-null constrained column,
+			// cannot violate it.
+			if nd.del || nd.df.Pred != n.Pred || len(nd.df.Args) != n.Arity || !nd.df.Args[n.Pos].IsNull() {
+				sat.set(bit)
+				continue
+			}
+			return nil, &nullsem.NNCViolation{NNC: n, Fact: nd.df}, &probeSnap{sat: sat, violIC: -1}, true
+		}
+		if f, found := nullsem.FirstViolationNNC(d, n); found {
+			return nil, &nullsem.NNCViolation{NNC: n, Fact: f}, &probeSnap{sat: sat, violIC: -1}, true
+		}
+		sat.set(bit)
+	}
+	return nil, nil, nil, false
 }
 
 // memoShards stripes the visited-state memo; fingerprints spread uniformly,
@@ -534,16 +673,17 @@ func firstViolation(d *relational.Instance, set *constraint.Set, sem nullsem.Sem
 	return nil, nil, false
 }
 
-// fixes returns the paper-sanctioned successor instances for one violation:
+// fixes returns the paper-sanctioned successor states for one violation:
 // delete one antecedent support atom, or insert one instantiated consequent
 // atom (existential positions drawn from insertDomain — {null} in the
-// paper's semantics).
-func fixes(cur *relational.Instance, viol *nullsem.Violation, nncViol *nullsem.NNCViolation, mode Mode, insertDomain []value.V, adomICs map[string]bool) []*relational.Instance {
-	var out []*relational.Instance
+// paper's semantics). Each successor records its one-fact delta so the
+// expansion can probe it incrementally.
+func fixes(cur *relational.Instance, viol *nullsem.Violation, nncViol *nullsem.NNCViolation, mode Mode, insertDomain []value.V, adomICs map[string]bool) []node {
+	var out []node
 	if nncViol != nil {
 		next := cur.Clone()
 		next.Delete(nncViol.Fact)
-		return []*relational.Instance{next}
+		return []node{{inst: next, df: nncViol.Fact, del: true}}
 	}
 
 	seen := newFactDedup(len(viol.Support))
@@ -553,7 +693,7 @@ func fixes(cur *relational.Instance, viol *nullsem.Violation, nncViol *nullsem.N
 		}
 		next := cur.Clone()
 		next.Delete(f)
-		out = append(out, next)
+		out = append(out, node{inst: next, df: f, del: true})
 	}
 
 	domain := insertDomain
@@ -563,9 +703,16 @@ func fixes(cur *relational.Instance, viol *nullsem.Violation, nncViol *nullsem.N
 	}
 	for _, head := range viol.IC.Head {
 		for _, f := range instantiations(head, viol.Subst, domain) {
+			if cur.Has(f) {
+				// The consequent instantiation is already present: the
+				// "successor" is the current state itself, which has
+				// already been admitted — skip it before paying for a
+				// clone or a memo round-trip.
+				continue
+			}
 			next := cur.Clone()
 			next.Insert(f)
-			out = append(out, next)
+			out = append(out, node{inst: next, df: f, del: false})
 		}
 	}
 	return out
