@@ -548,6 +548,102 @@ func BenchmarkStableRepairs(b *testing.B) {
 	}
 }
 
+// --- ablation: overlay repair emission vs materialized interpretation ------------------------------
+
+// BenchmarkProgramRepairOverlay isolates the program engine's repair
+// emission: turning each stable model of Π(D, IC) into an instance.
+// "materialized" rebuilds a fresh instance per model by re-reading every
+// annotated atom (the pre-overlay Interpret); "overlay" reads the model
+// through the prepared edit lists and emits a copy-on-write overlay of the
+// shared base, so the per-repair cost is O(|Δ|) instead of O(|D|). The bulk
+// rides in an unconstrained relation to keep the edit lists small while the
+// base stays large.
+func BenchmarkProgramRepairOverlay(b *testing.B) {
+	d, set := stableRepairDB(4, 16)
+	for i := 0; i < 512; i++ {
+		d.Insert(relational.F("audit", value.Int(int64(i)), value.Str(fmt.Sprintf("a%d", i))))
+	}
+	tr, err := repairprog.BuildWith(d, set, repairprog.BuildOptions{
+		Variant:            repairprog.VariantCorrected,
+		PruneUnconstrained: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gp, err := ground.Ground(tr.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var models []stable.Model
+	if err := stable.Enumerate(gp, stable.Options{}, func(m stable.Model) bool {
+		models = append(models, m)
+		return true
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, m := range models {
+				if inst := tr.Interpret(gp, m); inst.Len() == 0 {
+					b.Fatal("empty repair")
+				}
+			}
+		}
+	})
+	b.Run("overlay", func(b *testing.B) {
+		b.ReportAllocs()
+		reader := tr.NewModelReader(gp)
+		for i := 0; i < b.N; i++ {
+			for _, m := range models {
+				if inst, _ := reader.Repair(m); inst.Len() == 0 {
+					b.Fatal("empty repair")
+				}
+			}
+		}
+	})
+}
+
+// --- ablation: persistent Δ-seeded solving vs scratch rebuilds -------------------------------------
+
+// BenchmarkSolverReuse is the solver mirror of IncrementalViolationProbe:
+// the same stable-model enumeration once on a single persistent solver per
+// component (learned clauses, saved phases and the assumption-prefix trail
+// carried across candidate, minimization and stability solves) and once with
+// Options.ScratchSolve rebuilding the solver from the clause log on every
+// solve call.
+func BenchmarkSolverReuse(b *testing.B) {
+	d, set := stableRepairDB(4, 16)
+	tr, err := repairprog.BuildWith(d, set, repairprog.BuildOptions{
+		Variant:            repairprog.VariantCorrected,
+		PruneUnconstrained: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gp, err := ground.Ground(tr.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		scratch bool
+	}{{"persistent", false}, {"scratch", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if err := stable.Enumerate(gp, stable.Options{ScratchSolve: mode.scratch}, func(stable.Model) bool {
+					n++
+					return true
+				}); err != nil || n != 1<<4 {
+					b.Fatalf("models=%d err=%v", n, err)
+				}
+			}
+		})
+	}
+}
+
 // --- storage engine: constraint-check cost vs unrelated data ---------------------------------------
 
 // BenchmarkUnrelatedScaling checks that |=_N satisfaction over a fixed

@@ -9,7 +9,7 @@
 //	    Parse benchmark output (possibly -count N repetitions; the median
 //	    per benchmark is kept) into JSON: name -> {ns_per_op, allocs_per_op}.
 //
-//	benchdiff -baseline bench/baseline.json -current BENCH_4.json [-threshold 25] [-min-ns 1000000]
+//	benchdiff -baseline bench/baseline.json -current BENCH_4.json [-threshold 25] [-min-ns 1000000] [-summary path]
 //	    Print a delta table and exit 1 when any tracked benchmark regressed
 //	    by more than threshold percent. Benchmarks whose baseline ns/op is
 //	    below min-ns (default 1ms) are compared on allocs/op only: with
@@ -19,6 +19,11 @@
 //	    benchmark present in the baseline but missing from the current run
 //	    also fails the gate (delete it from the baseline deliberately, not
 //	    silently).
+//
+//	    -summary appends the same comparison as a GitHub-flavored markdown
+//	    table to the given file (defaulting to $GITHUB_STEP_SUMMARY, so CI
+//	    runs surface the per-benchmark old/new/delta table on the workflow
+//	    summary page); the table is written whether or not the gate fails.
 //
 // GOMAXPROCS suffixes ("-4") are stripped from benchmark names so files
 // compare across machines with different core counts.
@@ -68,6 +73,7 @@ func run(args []string, stdout io.Writer) error {
 	current := fs.String("current", "", "current BENCH JSON for comparison")
 	threshold := fs.Float64("threshold", 25, "regression threshold in percent")
 	minNs := fs.Float64("min-ns", 1_000_000, "below this baseline ns/op, compare allocs/op only")
+	summary := fs.String("summary", "", "append a markdown comparison table to this file (default $GITHUB_STEP_SUMMARY)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,7 +102,19 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return compare(stdout, base, cur, *threshold, *minNs)
+		gateErr := compare(stdout, base, cur, *threshold, *minNs)
+		path := *summary
+		if path == "" {
+			path = os.Getenv("GITHUB_STEP_SUMMARY")
+		}
+		if path != "" {
+			// The summary is written even when the gate fails — a failing
+			// run is exactly when the table is wanted on the summary page.
+			if err := appendSummary(path, base, cur, *threshold, *minNs); err != nil {
+				return err
+			}
+		}
+		return gateErr
 	default:
 		return fmt.Errorf("need either -parse, or -baseline and -current (see -h)")
 	}
@@ -244,4 +262,73 @@ func pctDelta(base, cur float64) float64 {
 		return 0
 	}
 	return (cur - base) / base * 100
+}
+
+// appendSummary appends the markdown table to path (created if absent).
+func appendSummary(path string, base, cur File, threshold, minNs float64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return renderMarkdown(f, base, cur, threshold, minNs)
+}
+
+// renderMarkdown writes the baseline/current comparison as one GitHub-
+// flavored markdown table: a row per tracked benchmark with old/new values
+// and percentage deltas, regressions flagged (the same rules as the gate:
+// ns/op only at or above minNs, allocs always, zero-alloc baselines must
+// stay at zero), then the untracked current-only benchmarks.
+func renderMarkdown(w io.Writer, base, cur File, threshold, minNs float64) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var buf strings.Builder
+	regressions := 0
+	buf.WriteString("### Benchmark gate\n\n")
+	buf.WriteString("| benchmark | base ns/op | cur ns/op | Δns | base allocs | cur allocs | Δallocs | |\n")
+	buf.WriteString("|---|---:|---:|---:|---:|---:|---:|---|\n")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			regressions++
+			fmt.Fprintf(&buf, "| `%s` | %.0f | missing | — | %.0f | missing | — | ❌ |\n",
+				name, b.NsPerOp, b.AllocsPerOp)
+			continue
+		}
+		dNs := pctDelta(b.NsPerOp, c.NsPerOp)
+		dAllocs := pctDelta(b.AllocsPerOp, c.AllocsPerOp)
+		bad := (b.NsPerOp >= minNs && dNs > threshold) ||
+			dAllocs > threshold || (b.AllocsPerOp == 0 && c.AllocsPerOp > 0)
+		flag := ""
+		if bad {
+			regressions++
+			flag = "❌"
+		}
+		fmt.Fprintf(&buf, "| `%s` | %.0f | %.0f | %+.1f%% | %.0f | %.0f | %+.1f%% | %s |\n",
+			name, b.NsPerOp, c.NsPerOp, dNs, b.AllocsPerOp, c.AllocsPerOp, dAllocs, flag)
+	}
+	var untracked []string
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			untracked = append(untracked, name)
+		}
+	}
+	sort.Strings(untracked)
+	for _, name := range untracked {
+		c := cur.Benchmarks[name]
+		fmt.Fprintf(&buf, "| `%s` | untracked | %.0f | — | untracked | %.0f | — | |\n",
+			name, c.NsPerOp, c.AllocsPerOp)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(&buf, "\n**%d regression(s) over the %.0f%% threshold.**\n\n", regressions, threshold)
+	} else {
+		fmt.Fprintf(&buf, "\ngate ok: %d tracked benchmarks within %.0f%%\n\n", len(names), threshold)
+	}
+	_, err := io.WriteString(w, buf.String())
+	return err
 }

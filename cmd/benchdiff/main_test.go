@@ -169,6 +169,68 @@ func TestGateFailsOnMissingBenchmark(t *testing.T) {
 	}
 }
 
+func TestSummaryMarkdownTable(t *testing.T) {
+	base := benchJSON(t, "base.json", File{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1_000_000, AllocsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 2_000_000, AllocsPerOp: 50},
+	}})
+	cur := benchJSON(t, "cur.json", File{Benchmarks: map[string]Result{
+		"BenchmarkA":   {NsPerOp: 800_000, AllocsPerOp: 90},   // improved
+		"BenchmarkB":   {NsPerOp: 2_800_000, AllocsPerOp: 50}, // +40% ns: regression
+		"BenchmarkNew": {NsPerOp: 1_000, AllocsPerOp: 1},      // untracked
+	}})
+	summary := filepath.Join(t.TempDir(), "summary.md")
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-summary", summary}, &buf)
+	if err == nil {
+		t.Fatalf("gate passed a 40%% slowdown:\n%s", buf.String())
+	}
+	md, readErr := os.ReadFile(summary)
+	if readErr != nil {
+		t.Fatalf("summary not written despite gate failure: %v", readErr)
+	}
+	text := string(md)
+	for _, want := range []string{
+		"| benchmark | base ns/op | cur ns/op | Δns | base allocs | cur allocs | Δallocs | |",
+		"| `BenchmarkA` | 1000000 | 800000 | -20.0% | 100 | 90 | -10.0% |  |",
+		"| `BenchmarkB` | 2000000 | 2800000 | +40.0% | 50 | 50 | +0.0% | ❌ |",
+		"| `BenchmarkNew` | untracked | 1000 | — | untracked | 1 | — | |",
+		"**1 regression(s) over the 25% threshold.**",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q:\n%s", want, text)
+		}
+	}
+
+	// A second comparison appends — the step-summary file accumulates.
+	if err := run([]string{"-baseline", base, "-current", base, "-summary", summary}, &buf); err != nil {
+		t.Fatalf("identity comparison failed the gate: %v", err)
+	}
+	md2, _ := os.ReadFile(summary)
+	if n := strings.Count(string(md2), "### Benchmark gate"); n != 2 {
+		t.Errorf("summary file has %d tables after two runs, want 2:\n%s", n, md2)
+	}
+	if !strings.Contains(string(md2), "gate ok: 2 tracked benchmarks within 25%") {
+		t.Errorf("passing table missing gate-ok line:\n%s", md2)
+	}
+}
+
+func TestSummaryFlagsMissingBenchmark(t *testing.T) {
+	base := benchJSON(t, "base.json", File{Benchmarks: map[string]Result{
+		"BenchmarkGone": {NsPerOp: 1_000_000, AllocsPerOp: 100},
+	}})
+	cur := benchJSON(t, "cur.json", File{Benchmarks: map[string]Result{}})
+	var md bytes.Buffer
+	baseF, _ := readFile(base)
+	curF, _ := readFile(cur)
+	if err := renderMarkdown(&md, baseF, curF, 25, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| `BenchmarkGone` | 1000000 | missing | — | 100 | missing | — | ❌ |") {
+		t.Errorf("missing benchmark row not rendered:\n%s", md.String())
+	}
+}
+
 func TestParseRejectsEmptyInput(t *testing.T) {
 	in := writeSample(t, "empty.txt", "PASS\nok\n")
 	var buf bytes.Buffer

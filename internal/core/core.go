@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/constraint"
 	"repro/internal/ground"
@@ -305,14 +306,14 @@ func materializedAnswers(d *relational.Instance, set *constraint.Set, q *query.Q
 	if err != nil {
 		return Answer{}, err
 	}
-	seen := newInstSet()
+	seen := relational.NewInstanceSet()
 	holds := true
 	short := false
-	if err := tr.StreamRepairs(opts.Stable, func(inst *relational.Instance, _ stable.Model) bool {
-		if !seen.add(inst) {
+	if err := tr.StreamRepairs(opts.Stable, func(inst *relational.Instance, delta relational.Delta, _ stable.Model) bool {
+		if !seen.Add(inst) {
 			return true
 		}
-		if len(be.EvalOn(inst)) == 0 {
+		if len(be.EvalDelta(inst, delta)) == 0 {
 			holds = false
 			short = true
 			return false
@@ -321,10 +322,10 @@ func materializedAnswers(d *relational.Instance, set *constraint.Set, q *query.Q
 	}); err != nil {
 		return Answer{}, err
 	}
-	if seen.len() == 0 {
+	if seen.Len() == 0 {
 		return Answer{}, errEmptyRepairSet
 	}
-	return Answer{NumRepairs: seen.len(), Boolean: holds, ShortCircuited: short}, nil
+	return Answer{NumRepairs: seen.Len(), Boolean: holds, ShortCircuited: short}, nil
 }
 
 // certainTuples intersects the answers of q across the repairs, breaking off
@@ -377,36 +378,22 @@ func intersectSorted(a, b []relational.Tuple) []relational.Tuple {
 	return out
 }
 
-// instSet deduplicates instances through their incrementally maintained
-// 64-bit fingerprints, confirming hash hits with Equal — the streaming
-// engines' repair dedup, with no O(|D|) canonical key string per model.
-// The distinct instances are retained for the stream's lifetime (Equal
-// needs them on a fingerprint hit); that matches the old key-string dedup's
-// asymptotics, trading byte-for-byte size for never re-encoding a model.
-type instSet struct {
-	buckets map[uint64][]*relational.Instance
-	n       int
-}
-
-func newInstSet() *instSet {
-	return &instSet{buckets: map[uint64][]*relational.Instance{}}
-}
-
-// add inserts the instance, reporting whether it was new.
-func (s *instSet) add(d *relational.Instance) bool {
-	fp := d.Fingerprint()
-	for _, o := range s.buckets[fp] {
-		if o.Equal(d) {
-			return false
-		}
+// deltaKey is a canonical encoding of a repair delta (halves sorted by the
+// Delta contract): two repairs of one base coincide iff their keys do.
+func deltaKey(dl relational.Delta) string {
+	var b strings.Builder
+	for _, f := range dl.Removed {
+		b.WriteByte('-')
+		b.WriteString(f.Key())
+		b.WriteByte(0)
 	}
-	s.buckets[fp] = append(s.buckets[fp], d)
-	s.n++
-	return true
+	for _, f := range dl.Added {
+		b.WriteByte('+')
+		b.WriteString(f.Key())
+		b.WriteByte(0)
+	}
+	return b.String()
 }
-
-// len returns the number of distinct instances added.
-func (s *instSet) len() int { return s.n }
 
 // sortedTuples flattens a keyed tuple set into Compare order.
 func sortedTuples(m map[string]relational.Tuple) []relational.Tuple {
@@ -448,12 +435,17 @@ func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, op
 
 	boolean := q.IsBoolean()
 	emptyKey := relational.Tuple{}.Key()
-	repairSeen := newInstSet()
+	// The distinct-repair count (part of the cross-engine contract) needs
+	// no materialized instances: every repair is determined by its delta
+	// against the shared base, so a canonical delta-key set dedups in
+	// O(|Δ|) per model with no instance build at all.
+	reader := tr.NewModelReader(gp)
+	repairSeen := map[string]bool{}
 	certain := map[string]relational.Tuple{}
 	first := true
 	short := false
 	if err := stable.Enumerate(gp, opts.Stable, func(m stable.Model) bool {
-		repairSeen.add(tr.Interpret(gp, m))
+		repairSeen[deltaKey(reader.Delta(m))] = true
 		here := map[string]relational.Tuple{}
 		for _, id := range m {
 			f := gp.Atoms[id]
@@ -485,7 +477,7 @@ func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, op
 		return Answer{}, fmt.Errorf("core: the repair program has no stable model")
 	}
 
-	ans := Answer{NumRepairs: repairSeen.len(), ShortCircuited: short}
+	ans := Answer{NumRepairs: len(repairSeen), ShortCircuited: short}
 	if boolean {
 		_, ans.Boolean = certain[emptyKey]
 		return ans, nil
@@ -535,13 +527,13 @@ func possibleProgramAnswers(d *relational.Instance, set *constraint.Set, q *quer
 		return nil, err
 	}
 	boolean := q.IsBoolean()
-	seenRepair := newInstSet()
+	seenRepair := relational.NewInstanceSet()
 	seen := map[string]relational.Tuple{}
-	if err := tr.StreamRepairs(opts.Stable, func(inst *relational.Instance, _ stable.Model) bool {
-		if !seenRepair.add(inst) {
+	if err := tr.StreamRepairs(opts.Stable, func(inst *relational.Instance, delta relational.Delta, _ stable.Model) bool {
+		if !seenRepair.Add(inst) {
 			return true
 		}
-		for _, t := range be.EvalOn(inst) {
+		for _, t := range be.EvalDelta(inst, delta) {
 			seen[t.Key()] = t
 		}
 		return !(boolean && len(seen) > 0)

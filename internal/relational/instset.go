@@ -1,0 +1,38 @@
+package relational
+
+// InstanceSet deduplicates instances through their incrementally maintained
+// 64-bit fingerprints, confirming hash hits with Equal — the streaming
+// engines' repair dedup, with no O(|D|) canonical key string per member.
+// When the members are overlay views of one shared base (the repair search
+// and the program engine's overlay emission both produce exactly that), a
+// confirm runs in O(|Δ|) via the shared-engine Equal fast path. Distinct
+// instances are retained for the set's lifetime (Equal needs them on a
+// fingerprint hit); that matches key-string dedup's asymptotics while never
+// re-encoding a member.
+//
+// InstanceSet is not safe for concurrent use.
+type InstanceSet struct {
+	buckets map[uint64][]*Instance
+	n       int
+}
+
+// NewInstanceSet returns an empty set.
+func NewInstanceSet() *InstanceSet {
+	return &InstanceSet{buckets: map[uint64][]*Instance{}}
+}
+
+// Add inserts the instance, reporting whether it was new.
+func (s *InstanceSet) Add(d *Instance) bool {
+	fp := d.Fingerprint()
+	for _, o := range s.buckets[fp] {
+		if o.Equal(d) {
+			return false
+		}
+	}
+	s.buckets[fp] = append(s.buckets[fp], d)
+	s.n++
+	return true
+}
+
+// Len returns the number of distinct instances added.
+func (s *InstanceSet) Len() int { return s.n }

@@ -198,11 +198,26 @@ func deltaOrder(mode Mode) func(dl1, dl2 relational.Delta) bool {
 // and ≤_D transitivity is a tested property, not an assumption), so the
 // final minimal set is exactly MinimalUnder over the whole stream, no matter
 // in which order a parallel search delivered it. Each leaf's Δ(D, leaf) is
-// computed once on entry — together with its per-fact key encodings and key
-// sets — and cached for every later comparison and for Result.Deltas, so
-// the O(n²) pairwise comparisons never re-intern a constant or rebuild a
-// key map (the pre-view antichain spent most of the enumeration's time
-// doing exactly that).
+// computed once on entry — together with its per-fact key encodings, key
+// sets, and fact fingerprints — and cached for every later comparison and
+// for Result.Deltas.
+//
+// Add does not compare the new leaf against every stored entry. Both orders
+// require, as a necessary condition for a ≤ b, that a's exact-match
+// obligations (all removals plus, under ≤_D, the null-free additions; under
+// ⊆-Δ every delta atom) appear identically in b. The antichain therefore
+// keeps inverted posting lists from per-fact fingerprints (Fact.Hash) to the
+// entries obligated on — or containing — that fact, and each Add makes one
+// counting pass over the new delta's fingerprints: an entry can precede the
+// candidate only if its obligation count is fully met, and can follow it
+// only if the candidate's own obligations are all found in the entry.
+// Fingerprint collisions merely overcount (the filters test >=), so the
+// survivors of the count filter are confirmed with the exact comparators;
+// entries with no obligations at all ("wild": pure null-insertion or empty
+// deltas) sit on a side list that is always confirmed pairwise, and a
+// candidate with no obligations of its own falls back to the full scan. The
+// per-Add cost thus scales with the entries sharing facts with the new
+// delta, not with the antichain size.
 //
 // Antichain is not safe for concurrent use; the streaming search calls Add
 // from the single collector goroutine.
@@ -211,6 +226,28 @@ type Antichain struct {
 	classic      bool
 	entries      []acEntry
 	minimalCount int
+
+	// noIndex forces the pairwise reference path (differential tests).
+	noIndex bool
+
+	// Inverted index: fact fingerprint → entries obligated on that fact.
+	// Under ≤_D the roles are separate (invRem for removals, invAdd for
+	// null-free additions — a null-free key can only ever match a null-free
+	// key, so null-containing additions need no posting lists); the classic
+	// order uses the single role-blind invUnion. wild lists entries with
+	// zero obligations.
+	invRem   map[uint64][]int32
+	invAdd   map[uint64][]int32
+	invUnion map[uint64][]int32
+	wild     []int32
+
+	// Counting-pass scratch, reused across Adds: cnt[i]/mark[i] are live for
+	// entry i iff mark[i] == gen; touched lists the live indices in
+	// first-touch order.
+	cnt     []acCount
+	mark    []uint32
+	gen     uint32
+	touched []int32
 }
 
 type acEntry struct {
@@ -220,8 +257,9 @@ type acEntry struct {
 }
 
 // deltaView is a delta with its comparison artifacts precomputed: the key of
-// every fact (keys are interner round-trips, the hot cost of ≤_D) and the
-// key sets both orders probe.
+// every fact (keys are interner round-trips, the hot cost of ≤_D), the key
+// sets both orders probe, and the per-fact fingerprints the antichain's
+// inverted index buckets by.
 type deltaView struct {
 	dl          relational.Delta
 	removedKeys []string        // aligned with dl.Removed
@@ -229,6 +267,9 @@ type deltaView struct {
 	addedNull   []bool          // aligned with dl.Added: Args.HasNull()
 	removedSet  map[string]bool // keys of dl.Removed
 	addedSet    map[string]bool // keys of dl.Added
+	removedFps  []uint64        // aligned with dl.Removed: Fact.Hash()
+	addedFps    []uint64        // aligned with dl.Added: Fact.Hash()
+	reqAdd      int             // additions without nulls (exact-match obligations)
 }
 
 func newDeltaView(dl relational.Delta) *deltaView {
@@ -239,17 +280,24 @@ func newDeltaView(dl relational.Delta) *deltaView {
 		addedNull:   make([]bool, len(dl.Added)),
 		removedSet:  make(map[string]bool, len(dl.Removed)),
 		addedSet:    make(map[string]bool, len(dl.Added)),
+		removedFps:  make([]uint64, len(dl.Removed)),
+		addedFps:    make([]uint64, len(dl.Added)),
 	}
 	for i, f := range dl.Removed {
 		k := f.Key()
 		v.removedKeys[i] = k
 		v.removedSet[k] = true
+		v.removedFps[i] = f.Hash()
 	}
 	for i, f := range dl.Added {
 		k := f.Key()
 		v.addedKeys[i] = k
 		v.addedNull[i] = f.Args.HasNull()
 		v.addedSet[k] = true
+		v.addedFps[i] = f.Hash()
+		if !v.addedNull[i] {
+			v.reqAdd++
+		}
 	}
 	return v
 }
@@ -328,7 +376,24 @@ func (a *Antichain) leq(v1, v2 *deltaView) bool {
 // NewAntichain returns an empty antichain filtering under the given mode's
 // order (≤_D for NullBased, ⊆-Δ for Classic) relative to the original d.
 func NewAntichain(d *relational.Instance, mode Mode) *Antichain {
-	return &Antichain{d: d, classic: mode == Classic}
+	a := &Antichain{d: d, classic: mode == Classic}
+	if a.classic {
+		a.invUnion = map[uint64][]int32{}
+	} else {
+		a.invRem = map[uint64][]int32{}
+		a.invAdd = map[uint64][]int32{}
+	}
+	return a
+}
+
+// obligations counts a view's exact-match obligations under the antichain's
+// order: every removal plus (≤_D) the null-free additions, or (classic)
+// every delta atom.
+func (a *Antichain) obligations(v *deltaView) int {
+	if a.classic {
+		return len(v.removedKeys) + len(v.addedKeys)
+	}
+	return len(v.removedKeys) + v.reqAdd
 }
 
 // Add feeds one leaf into the filter. It reports whether the leaf is
@@ -338,25 +403,167 @@ func NewAntichain(d *relational.Instance, mode Mode) *Antichain {
 // displaced leaves. Leaves must be distinct; the search guarantees that.
 func (a *Antichain) Add(leaf *relational.Instance) (minimal bool, displaced []*relational.Instance) {
 	view := newDeltaView(relational.Diff(a.d, leaf))
-	dominated := false
+	var dominated bool
+	if a.noIndex || a.obligations(view) == 0 {
+		// A candidate with no obligations could sit below any entry; the
+		// count filter has no handle on it, so scan (rare: empty or pure
+		// null-insertion deltas only).
+		dominated, displaced = a.addScan(view)
+	} else {
+		dominated, displaced = a.addIndexed(view)
+	}
+	id := int32(len(a.entries))
+	a.entries = append(a.entries, acEntry{inst: leaf, view: view, dominated: dominated})
+	if !a.noIndex {
+		a.indexEntry(id, view)
+	}
+	if !dominated {
+		a.minimalCount++
+	}
+	return !dominated, displaced
+}
+
+// addScan is the pairwise reference path: compare the candidate against
+// every stored entry in insertion order.
+func (a *Antichain) addScan(view *deltaView) (dominated bool, displaced []*relational.Instance) {
 	for i := range a.entries {
-		o := &a.entries[i]
-		oBelow := a.leq(o.view, view)
-		cBelow := a.leq(view, o.view)
-		if oBelow && !cBelow {
-			dominated = true
+		d2, disp := a.compare(&a.entries[i], view)
+		dominated = dominated || d2
+		if disp != nil {
+			displaced = append(displaced, disp)
 		}
+	}
+	return dominated, displaced
+}
+
+// compare runs both exact order tests between one stored entry and the
+// candidate view, updating the entry's domination state; disp is non-nil
+// when the entry was minimal until now and the candidate displaces it.
+func (a *Antichain) compare(o *acEntry, view *deltaView) (dominated bool, disp *relational.Instance) {
+	oBelow := a.leq(o.view, view)
+	cBelow := a.leq(view, o.view)
+	if cBelow && !oBelow && !o.dominated {
+		o.dominated = true
+		a.minimalCount--
+		disp = o.inst
+	}
+	return oBelow && !cBelow, disp
+}
+
+// acCount accumulates one counting pass's per-entry intersection sizes.
+type acCount struct {
+	rem, add, union int32
+}
+
+// addIndexed finds the entries comparable to the candidate via the inverted
+// index: one counting pass over the candidate's fact fingerprints, then the
+// exact comparators on the entries whose obligation counts survive the
+// necessary-condition filters. Fingerprint collisions and duplicate postings
+// only ever overcount, so the filters test >= and the exact tests decide.
+func (a *Antichain) addIndexed(view *deltaView) (dominated bool, displaced []*relational.Instance) {
+	for len(a.cnt) < len(a.entries) {
+		a.cnt = append(a.cnt, acCount{})
+		a.mark = append(a.mark, 0)
+	}
+	a.gen++
+	a.touched = a.touched[:0]
+	at := func(id int32) *acCount {
+		if a.mark[id] != a.gen {
+			a.mark[id] = a.gen
+			a.cnt[id] = acCount{}
+			a.touched = append(a.touched, id)
+		}
+		return &a.cnt[id]
+	}
+	if a.classic {
+		for _, fp := range view.removedFps {
+			for _, id := range a.invUnion[fp] {
+				at(id).union++
+			}
+		}
+		for _, fp := range view.addedFps {
+			for _, id := range a.invUnion[fp] {
+				at(id).union++
+			}
+		}
+	} else {
+		for _, fp := range view.removedFps {
+			for _, id := range a.invRem[fp] {
+				at(id).rem++
+			}
+		}
+		for i, fp := range view.addedFps {
+			if view.addedNull[i] {
+				continue // null-containing: never an exact match either way
+			}
+			for _, id := range a.invAdd[fp] {
+				at(id).add++
+			}
+		}
+	}
+	// Wild entries (zero obligations) pass the entry-below filter vacuously
+	// but own no postings; pull them into the candidate set.
+	for _, id := range a.wild {
+		at(id)
+	}
+
+	// Insertion order keeps the displaced sequence identical to addScan's.
+	ids := a.touched
+	sort.Slice(ids, func(x, y int) bool { return ids[x] < ids[y] })
+
+	cRem, cAdd := int32(len(view.removedFps)), int32(view.reqAdd)
+	cAll := cRem + int32(len(view.addedFps))
+	for _, id := range ids {
+		o := &a.entries[id]
+		cnt := &a.cnt[id]
+		var mayBelow, mayAbove bool
+		if a.classic {
+			mayBelow = int(cnt.union) >= a.obligations(o.view)
+			mayAbove = cnt.union >= cAll
+		} else {
+			mayBelow = int(cnt.rem) >= len(o.view.removedKeys) && int(cnt.add) >= o.view.reqAdd
+			mayAbove = cnt.rem >= cRem && cnt.add >= cAdd
+		}
+		if !mayBelow && !mayAbove {
+			continue
+		}
+		oBelow := mayBelow && a.leq(o.view, view)
+		cBelow := mayAbove && a.leq(view, o.view)
 		if cBelow && !oBelow && !o.dominated {
 			o.dominated = true
 			a.minimalCount--
 			displaced = append(displaced, o.inst)
 		}
+		if oBelow && !cBelow {
+			dominated = true
+		}
 	}
-	a.entries = append(a.entries, acEntry{inst: leaf, view: view, dominated: dominated})
-	if !dominated {
-		a.minimalCount++
+	return dominated, displaced
+}
+
+// indexEntry posts the new entry's obligations (and classic-mode fact set)
+// into the inverted index.
+func (a *Antichain) indexEntry(id int32, v *deltaView) {
+	if a.classic {
+		for _, fp := range v.removedFps {
+			a.invUnion[fp] = append(a.invUnion[fp], id)
+		}
+		for _, fp := range v.addedFps {
+			a.invUnion[fp] = append(a.invUnion[fp], id)
+		}
+	} else {
+		for _, fp := range v.removedFps {
+			a.invRem[fp] = append(a.invRem[fp], id)
+		}
+		for i, fp := range v.addedFps {
+			if !v.addedNull[i] {
+				a.invAdd[fp] = append(a.invAdd[fp], id)
+			}
+		}
 	}
-	return !dominated, displaced
+	if a.obligations(v) == 0 {
+		a.wild = append(a.wild, id)
+	}
 }
 
 // MinimalCount returns the current number of surviving candidates.

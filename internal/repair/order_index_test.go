@@ -1,0 +1,112 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+// TestAntichainIndexedMatchesPairwise is the differential pin for the
+// fingerprint-indexed Add: on randomized distinct candidate sets (null
+// patterns included via randomSmallInstance), the indexed antichain must
+// agree with the pairwise reference path on every per-Add observable —
+// minimality verdict, the displaced sequence (content and order),
+// MinimalCount — and on the final Results, under both orders.
+func TestAntichainIndexedMatchesPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 120; trial++ {
+		d := randomSmallInstance(rng)
+		var leaves []*relational.Instance
+		seen := map[string]bool{}
+		for len(leaves) < 3+rng.Intn(12) {
+			c := randomSmallInstance(rng)
+			if k := c.Key(); !seen[k] {
+				seen[k] = true
+				leaves = append(leaves, c)
+			}
+		}
+		for _, mode := range []Mode{NullBased, Classic} {
+			indexed := NewAntichain(d, mode)
+			reference := NewAntichain(d, mode)
+			reference.noIndex = true
+			for i, leaf := range leaves {
+				gotMin, gotDisp := indexed.Add(leaf)
+				wantMin, wantDisp := reference.Add(leaf)
+				if gotMin != wantMin {
+					t.Fatalf("trial %d mode=%v add %d: indexed minimal=%v, pairwise %v (leaf %v, base %v)",
+						trial, mode, i, gotMin, wantMin, leaf, d)
+				}
+				if len(gotDisp) != len(wantDisp) {
+					t.Fatalf("trial %d mode=%v add %d: indexed displaced %v, pairwise %v",
+						trial, mode, i, gotDisp, wantDisp)
+				}
+				for j := range gotDisp {
+					if gotDisp[j] != wantDisp[j] {
+						t.Fatalf("trial %d mode=%v add %d: displaced[%d] differs: %v vs %v",
+							trial, mode, i, j, gotDisp[j], wantDisp[j])
+					}
+				}
+				if indexed.MinimalCount() != reference.MinimalCount() {
+					t.Fatalf("trial %d mode=%v add %d: minimal count %d != %d",
+						trial, mode, i, indexed.MinimalCount(), reference.MinimalCount())
+				}
+			}
+			gotR, gotD := indexed.Results()
+			wantR, wantD := reference.Results()
+			if len(gotR) != len(wantR) {
+				t.Fatalf("trial %d mode=%v: %d results != %d", trial, mode, len(gotR), len(wantR))
+			}
+			for i := range gotR {
+				if gotR[i] != wantR[i] {
+					t.Fatalf("trial %d mode=%v: result %d differs: %v vs %v", trial, mode, i, gotR[i], wantR[i])
+				}
+				if gotD[i].Size() != wantD[i].Size() {
+					t.Fatalf("trial %d mode=%v: delta %d differs", trial, mode, i)
+				}
+			}
+		}
+	}
+}
+
+// TestAntichainIndexedAgainstMinimalUnder cross-checks the indexed online
+// filter against the offline MinimalUnder on the same candidate sets: the
+// surviving instances must coincide as sets regardless of arrival order.
+func TestAntichainIndexedAgainstMinimalUnder(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 60; trial++ {
+		d := randomSmallInstance(rng)
+		var leaves []*relational.Instance
+		seen := map[string]bool{}
+		for len(leaves) < 2+rng.Intn(10) {
+			c := randomSmallInstance(rng)
+			if k := c.Key(); !seen[k] {
+				seen[k] = true
+				leaves = append(leaves, c)
+			}
+		}
+		for _, mode := range []Mode{NullBased, Classic} {
+			ord := Ordering(LeqD)
+			if mode == Classic {
+				ord = SubsetDelta
+			}
+			want := map[string]bool{}
+			for _, m := range MinimalUnder(d, leaves, ord) {
+				want[m.Key()] = true
+			}
+			ac := NewAntichain(d, mode)
+			for _, leaf := range leaves {
+				ac.Add(leaf)
+			}
+			got, _ := ac.Results()
+			if len(got) != len(want) {
+				t.Fatalf("trial %d mode=%v: antichain kept %d, MinimalUnder %d", trial, mode, len(got), len(want))
+			}
+			for _, g := range got {
+				if !want[g.Key()] {
+					t.Fatalf("trial %d mode=%v: antichain kept %v, MinimalUnder did not", trial, mode, g)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package repairprog
+
+import (
+	"sort"
+
+	"repro/internal/ground"
+	"repro/internal/relational"
+	"repro/internal/stable"
+)
+
+// ModelReader reads the database instance D_M of Definition 10 off stable
+// models of one grounding of the translation, in O(|Δ|) per model instead of
+// a per-model full-instance build. The reader precomputes, once per
+// grounding, the candidate edits a model can apply to the base instance:
+//
+//   - a base fact can be removed only if its advised-false atom (annotation
+//     fa) was grounded — facts no constraint ever touches have no fa atom
+//     and ride every repair untouched, which is also what keeps the edit
+//     lists proportional to the constraint-relevant grounding, not to |D|;
+//   - a fact can be inserted only if its t** atom was grounded for a tuple
+//     outside the base.
+//
+// Per model, each candidate resolves by a binary-search membership probe:
+// a base fact is removed iff its fa atom is in M (the program denial and
+// rule 6 make that equivalent to "t** not in M"), and a non-base fact is
+// inserted iff its t** atom is in M. Applying the resolved edits to a
+// copy-on-write Clone of the base yields exactly Interpret's instance —
+// pruned-passthrough predicates ride the shared base verbatim — as an
+// overlay whose Delta is free.
+type ModelReader struct {
+	base      *relational.Instance
+	removals  []readerEdit
+	additions []readerEdit
+}
+
+// readerEdit pairs the ground atom id that decides an edit with the
+// base-predicate fact the edit applies to.
+type readerEdit struct {
+	id   int
+	fact relational.Fact
+}
+
+// NewModelReader precomputes the candidate edit lists for one grounding of
+// the translation's program (or of an extension of it, such as WithQuery:
+// atoms of predicates outside the annotation scheme are ignored).
+func (tr *Translation) NewModelReader(gp *ground.Program) *ModelReader {
+	r := &ModelReader{base: tr.base}
+	for id, f := range gp.Atoms {
+		base, ok := tr.annToBase[f.Pred]
+		if !ok || len(f.Args) == 0 {
+			continue
+		}
+		switch ann := f.Args[len(f.Args)-1]; {
+		case ann.Eq(FA):
+			fact := relational.Fact{Pred: base, Args: f.Args[:len(f.Args)-1]}
+			if tr.base.Has(fact) {
+				r.removals = append(r.removals, readerEdit{id: id, fact: fact})
+			}
+		case ann.Eq(TSS):
+			fact := relational.Fact{Pred: base, Args: f.Args[:len(f.Args)-1]}
+			if !tr.base.Has(fact) {
+				r.additions = append(r.additions, readerEdit{id: id, fact: fact})
+			}
+		}
+	}
+	// Edits in fact order make every per-model delta (a subsequence) come
+	// out sorted, matching the Delta contract with no per-model sort.
+	sortEdits(r.removals)
+	sortEdits(r.additions)
+	return r
+}
+
+func sortEdits(edits []readerEdit) {
+	sort.Slice(edits, func(i, j int) bool { return edits[i].fact.Compare(edits[j].fact) < 0 })
+}
+
+// Delta resolves the candidate edits against m and returns Δ(base, D_M),
+// halves sorted.
+func (r *ModelReader) Delta(m stable.Model) relational.Delta {
+	var dl relational.Delta
+	for _, e := range r.removals {
+		if m.Contains(e.id) {
+			dl.Removed = append(dl.Removed, e.fact)
+		}
+	}
+	for _, e := range r.additions {
+		if m.Contains(e.id) {
+			dl.Added = append(dl.Added, e.fact)
+		}
+	}
+	return dl
+}
+
+// Repair returns D_M as a copy-on-write overlay of the base together with
+// its delta. The overlay shares the base's physical engine, so the build
+// costs O(|Δ|) and the instance's own Delta/Diff against the base stay
+// O(|Δ|) downstream.
+func (r *ModelReader) Repair(m stable.Model) (*relational.Instance, relational.Delta) {
+	dl := r.Delta(m)
+	inst := r.base.Clone()
+	for _, f := range dl.Removed {
+		inst.Delete(f)
+	}
+	for _, f := range dl.Added {
+		inst.Insert(f)
+	}
+	return inst, dl
+}
+
+// InterpretDelta is the overlay counterpart of Interpret: the same D_M, as
+// a clone-plus-delta of the base instead of a fresh full build. For repeated
+// reads off one grounding, build a ModelReader once and call Repair.
+func (tr *Translation) InterpretDelta(gp *ground.Program, m stable.Model) (*relational.Instance, relational.Delta) {
+	return tr.NewModelReader(gp).Repair(m)
+}

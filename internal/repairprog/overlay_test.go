@@ -1,0 +1,162 @@
+package repairprog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/ground"
+	"repro/internal/relational"
+	"repro/internal/stable"
+	"repro/internal/value"
+)
+
+func deltasEqual(a, b relational.Delta) bool {
+	if len(a.Removed) != len(b.Removed) || len(a.Added) != len(b.Added) {
+		return false
+	}
+	for i := range a.Removed {
+		if a.Removed[i].Compare(b.Removed[i]) != 0 {
+			return false
+		}
+	}
+	for i := range a.Added {
+		if a.Added[i].Compare(b.Added[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func factsEqual(a, b []relational.Fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Compare(b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestInterpretDeltaMatchesInterpret is the tentpole's byte-identity pin:
+// on randomized instances, every stable model's overlay repair must carry
+// exactly the materialized Interpret instance — same Facts(), and a Delta()
+// that matches both the emitted delta and Diff against the base — with the
+// stream identical across worker counts, under both pruning modes.
+func TestInterpretDeltaMatchesInterpret(t *testing.T) {
+	fd := constraint.FD("R", 2, []int{0}, []int{1})
+	fk := constraint.ForeignKey("S", 2, []int{1}, "R", 2, []int{0})
+	nnc := &constraint.NNC{Name: "rkey", Pred: "R", Arity: 2, Pos: 0}
+	set := constraint.MustSet(append(fd, fk), []*constraint.NNC{nnc})
+	vals := []value.V{s("a"), s("b"), n()}
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		d := relational.NewInstance()
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			d.Insert(fact("R", vals[rng.Intn(3)], vals[rng.Intn(3)]))
+		}
+		for k := 0; k < rng.Intn(3); k++ {
+			d.Insert(fact("S", vals[rng.Intn(3)], vals[rng.Intn(3)]))
+		}
+		// Unconstrained bulk: pruned to passthrough when pruning is on,
+		// annotated (rules 5–7 only) when off — both must ride along.
+		for k := 0; k < rng.Intn(4); k++ {
+			d.Insert(fact("T", value.Int(int64(k))))
+		}
+		for _, prune := range []bool{false, true} {
+			tr, err := BuildWith(d, set, BuildOptions{Variant: VariantCorrected, PruneUnconstrained: prune})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gp, err := ground.Ground(tr.Program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reader := tr.NewModelReader(gp)
+			if err := stable.Enumerate(gp, stable.Options{}, func(m stable.Model) bool {
+				want := tr.Interpret(gp, m)
+				inst, delta := reader.Repair(m)
+				if !factsEqual(inst.Facts(), want.Facts()) {
+					t.Fatalf("trial %d prune=%v: overlay facts %v != materialized %v (model %v)",
+						trial, prune, inst.Facts(), want.Facts(), m)
+				}
+				if diff := relational.Diff(d, want); !deltasEqual(delta, diff) {
+					t.Fatalf("trial %d prune=%v: emitted delta %v != Diff %v", trial, prune, delta, diff)
+				}
+				if own := inst.Delta(); !deltasEqual(own, delta) {
+					t.Fatalf("trial %d prune=%v: overlay Delta() %v != emitted delta %v", trial, prune, own, delta)
+				}
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// The (instance, delta) stream is identical at every worker
+			// count, including content order.
+			var sequential []string
+			for _, workers := range []int{1, 4} {
+				var stream []string
+				if err := tr.StreamRepairs(stable.Options{Workers: workers}, func(inst *relational.Instance, delta relational.Delta, _ stable.Model) bool {
+					stream = append(stream, inst.Key())
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if workers == 1 {
+					sequential = stream
+					continue
+				}
+				if len(stream) != len(sequential) {
+					t.Fatalf("trial %d prune=%v workers=%d: stream length %d != %d",
+						trial, prune, workers, len(stream), len(sequential))
+				}
+				for i := range stream {
+					if stream[i] != sequential[i] {
+						t.Fatalf("trial %d prune=%v workers=%d: stream diverges at %d",
+							trial, prune, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInterpretDeltaCutoff pins the MaxCandidates cutoff point: the overlay
+// stream must deliver the same prefix and the same error as the materialized
+// interpretation at every worker count, for budgets straddling the cutoff.
+func TestInterpretDeltaCutoff(t *testing.T) {
+	d, set := example19()
+	tr := mustBuild(t, d, set, VariantCorrected)
+	for _, budget := range []int{1, 2, 3, 5, 8, 100} {
+		type outcome struct {
+			keys []string
+			err  error
+		}
+		collect := func(workers int) outcome {
+			var out outcome
+			out.err = tr.StreamRepairs(stable.Options{MaxCandidates: budget, Workers: workers},
+				func(inst *relational.Instance, _ relational.Delta, _ stable.Model) bool {
+					out.keys = append(out.keys, inst.Key())
+					return true
+				})
+			return out
+		}
+		seq := collect(1)
+		for _, workers := range []int{2, 4} {
+			par := collect(workers)
+			if seq.err != par.err {
+				t.Fatalf("budget=%d workers=%d: err %v != sequential %v", budget, workers, par.err, seq.err)
+			}
+			if len(par.keys) != len(seq.keys) {
+				t.Fatalf("budget=%d workers=%d: %d repairs != sequential %d", budget, workers, len(par.keys), len(seq.keys))
+			}
+			for i := range par.keys {
+				if par.keys[i] != seq.keys[i] {
+					t.Fatalf("budget=%d workers=%d: stream diverges at %d", budget, workers, i)
+				}
+			}
+		}
+	}
+}

@@ -78,6 +78,10 @@ type Translation struct {
 	Program *logic.Program
 	Set     *constraint.Set
 	Variant Variant
+	// base is the instance D the program was built from. Streamed repairs
+	// are emitted as copy-on-write overlays of it (see ModelReader), so it
+	// must not be mutated while the translation is in use.
+	base *relational.Instance
 	// annToBase maps annotated predicate names to their base predicate.
 	annToBase map[string]string
 	// annotated records the base predicates carrying rules 5–7; nil
@@ -136,6 +140,7 @@ func BuildWith(d *relational.Instance, set *constraint.Set, opts BuildOptions) (
 		Program:   &logic.Program{},
 		Set:       set,
 		Variant:   variant,
+		base:      d,
 		annToBase: map[string]string{},
 	}
 	if opts.PruneUnconstrained {
@@ -372,38 +377,43 @@ func (tr *Translation) Interpret(gp *ground.Program, m stable.Model) *relational
 }
 
 // StreamRepairs grounds the program and streams each stable model with the
-// database instance D_M it induces (Definition 10), as the model arrives
-// from stable.Enumerate — the first repair candidate is observable before
-// the model enumeration completes, so boolean CQA can cancel the rest.
+// database instance D_M it induces (Definition 10) and its delta against
+// the base, as the model arrives from stable.Enumerate — the first repair
+// candidate is observable before the model enumeration completes, so
+// boolean CQA can cancel the rest. The instance is a copy-on-write overlay
+// of the base D (see ModelReader), built and delivered in O(|Δ|) per model.
 // Distinct models can induce the same instance; deduplication is the
 // caller's concern. yield returning false cancels the enumeration (nil
 // error), mirroring the streaming contract of repair.Enumerate.
-func (tr *Translation) StreamRepairs(opts stable.Options, yield func(*relational.Instance, stable.Model) bool) error {
+func (tr *Translation) StreamRepairs(opts stable.Options, yield func(inst *relational.Instance, delta relational.Delta, m stable.Model) bool) error {
 	gp, err := ground.Ground(tr.Program)
 	if err != nil {
 		return err
 	}
+	reader := tr.NewModelReader(gp)
 	return stable.Enumerate(gp, opts, func(m stable.Model) bool {
-		return yield(tr.Interpret(gp, m), m)
+		inst, delta := reader.Repair(m)
+		return yield(inst, delta, m)
 	})
 }
 
 // StableRepairs materializes the stream: the distinct database instances
 // induced by the stable models, in content-canonical order, along with the
-// models themselves (in stream order).
+// models themselves (in stream order). Dedup goes through fingerprints
+// confirmed by Equal; since every streamed repair is an overlay of one
+// shared base, each confirm costs O(|Δ|), not an O(|D|) key encoding.
 func (tr *Translation) StableRepairs(opts stable.Options) ([]*relational.Instance, []stable.Model, error) {
 	var models []stable.Model
-	seen := map[string]*relational.Instance{}
-	if err := tr.StreamRepairs(opts, func(inst *relational.Instance, m stable.Model) bool {
+	seen := relational.NewInstanceSet()
+	var out []*relational.Instance
+	if err := tr.StreamRepairs(opts, func(inst *relational.Instance, _ relational.Delta, m stable.Model) bool {
 		models = append(models, m)
-		seen[inst.Key()] = inst
+		if seen.Add(inst) {
+			out = append(out, inst)
+		}
 		return true
 	}); err != nil {
 		return nil, nil, err
-	}
-	out := make([]*relational.Instance, 0, len(seen))
-	for _, inst := range seen {
-		out = append(out, inst)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out, models, nil

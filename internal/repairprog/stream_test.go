@@ -20,9 +20,12 @@ func TestStreamRepairsMatchesMaterialized(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var streamed []string
 		seen := map[string]bool{}
-		if err := tr.StreamRepairs(stable.Options{Workers: workers}, func(inst *relational.Instance, m stable.Model) bool {
+		if err := tr.StreamRepairs(stable.Options{Workers: workers}, func(inst *relational.Instance, delta relational.Delta, m stable.Model) bool {
 			if len(m) == 0 {
 				t.Fatal("empty stable model streamed")
+			}
+			if got := relational.Diff(d, inst); !deltasEqual(got, delta) {
+				t.Fatalf("emitted delta %v does not match Diff %v", delta, got)
 			}
 			key := inst.Key()
 			streamed = append(streamed, key)
@@ -60,7 +63,7 @@ func TestStreamRepairsCancel(t *testing.T) {
 	d, set := example19()
 	tr := mustBuild(t, d, set, VariantCorrected)
 	calls := 0
-	if err := tr.StreamRepairs(stable.Options{}, func(_ *relational.Instance, _ stable.Model) bool {
+	if err := tr.StreamRepairs(stable.Options{}, func(_ *relational.Instance, _ relational.Delta, _ stable.Model) bool {
 		calls++
 		return false
 	}); err != nil {

@@ -19,10 +19,17 @@ import "sync/atomic"
 //
 // Enumeration, minimization and the reduct-minimality check are therefore
 // three assumption patterns against one incrementally growing clause set,
-// and every learned clause carries over between phases. Temporary
-// constraints ("find a model strictly below m") are guarded by fresh
-// selector variables that are assumed during the phase and retired with a
-// unit clause afterwards.
+// and every learned clause carries over between phases — and, through the
+// solver's trail retention and deferred selector retirement, between
+// candidates: consecutive solves re-use the shared assumption-prefix trail
+// instead of restarting from level 0. Temporary constraints ("find a model
+// strictly below m") are guarded by fresh selector variables that are
+// assumed during the phase and retired lazily afterwards.
+//
+// Options.ScratchSolve is the ablation switch: it replays the accumulated
+// clause log into a fresh solver for every solve call, discarding learned
+// clauses, saved phases and the retained trail — the rebuild-per-candidate
+// behaviour the persistent solver replaces.
 
 // candidateBudget is an atomic solve counter with a cap, used in two roles
 // (Options.MaxCandidates sets the cap for both): each enumerator meters its
@@ -41,7 +48,8 @@ func (b *candidateBudget) take() bool { return b.n.Add(1) <= b.max }
 func (b *candidateBudget) takeN(k int64) bool { return b.n.Add(k) <= b.max }
 
 // enumerator streams the stable models of one component in a deterministic
-// order (the CDCL discovery order, a pure function of the component).
+// order (the CDCL discovery order, a pure function of the component and the
+// ScratchSolve mode).
 type enumerator struct {
 	comp *component
 	s    *solver
@@ -51,22 +59,34 @@ type enumerator struct {
 	err  error
 
 	inM []bool // scratch: membership of the current model
+
+	// Scratch-solve ablation state: every clause is recorded so each solve
+	// can rebuild a fresh solver from the log.
+	scratch bool
+	stop    func() bool
+	nVars   int
+	log     [][]int
 }
 
 // sh maps a local atom to its shadow variable.
 func (e *enumerator) sh(a int) int { return e.n + a }
 
-func newEnumerator(c *component, bud *candidateBudget, stop func() bool) *enumerator {
+func newEnumerator(c *component, bud *candidateBudget, stop func() bool, scratch bool) *enumerator {
 	n := len(c.atoms)
-	e := &enumerator{comp: c, s: newSolver(2 * n), n: n, bud: bud, inM: make([]bool, n)}
-	e.s.stop = stop
+	e := &enumerator{comp: c, n: n, bud: bud, inM: make([]bool, n), scratch: scratch, stop: stop}
+	if e.scratch {
+		e.nVars = 2 * n
+	} else {
+		e.s = newSolver(2 * n)
+		e.s.stop = stop
+	}
 
 	inHead := make([]bool, n)
 	isFact := make([]bool, n)
 	for _, f := range c.facts {
 		isFact[f] = true
-		e.s.addClause([]int{pos(f)})
-		e.s.addClause([]int{pos(e.sh(f))})
+		e.addClause([]int{pos(f)})
+		e.addClause([]int{pos(e.sh(f))})
 	}
 	for _, r := range c.rules {
 		base := make([]int, 0, len(r.Head)+len(r.Pos)+len(r.Neg))
@@ -84,19 +104,68 @@ func newEnumerator(c *component, bud *candidateBudget, stop func() bool) *enumer
 			base = append(base, pos(b))
 			shadow = append(shadow, pos(b)) // unshifted: reduct blocking tests the model itself
 		}
-		e.s.addClause(base)
-		e.s.addClause(shadow)
+		e.addClause(base)
+		e.addClause(shadow)
 	}
 	for a := 0; a < n; a++ {
 		// h' → h: shadow models are submodels of the pinned original.
-		e.s.addClause([]int{neg(e.sh(a)), pos(a)})
+		e.addClause([]int{neg(e.sh(a)), pos(a)})
 		if !inHead[a] && !isFact[a] {
 			// No rule can ever justify a: false on both rails.
-			e.s.addClause([]int{neg(a)})
-			e.s.addClause([]int{neg(e.sh(a))})
+			e.addClause([]int{neg(a)})
+			e.addClause([]int{neg(e.sh(a))})
 		}
 	}
 	return e
+}
+
+// addClause registers a clause with the persistent solver, or appends it to
+// the replay log in scratch mode.
+func (e *enumerator) addClause(c []int) {
+	if e.scratch {
+		e.log = append(e.log, append([]int(nil), c...))
+		return
+	}
+	e.s.addClause(c)
+}
+
+// newVar allocates a solver variable (scratch mode: a fresh id the next
+// rebuilt solver will cover).
+func (e *enumerator) newVar() int {
+	if e.scratch {
+		v := e.nVars
+		e.nVars++
+		return v
+	}
+	return e.s.newVar()
+}
+
+// retire permanently deactivates a selector variable. The persistent solver
+// defers the unit to its next sweep (an immediate unit would force a restart
+// to level 0); in scratch mode the unit just joins the log.
+func (e *enumerator) retire(sel int) {
+	if e.scratch {
+		e.addClause([]int{neg(sel)})
+		return
+	}
+	e.s.retireLater(neg(sel))
+}
+
+// solve runs one solver call. In scratch mode it rebuilds a fresh solver
+// from the clause log first — the ablation baseline the persistent,
+// learned-clause-retaining solver is measured against.
+func (e *enumerator) solve(assumps []int) bool {
+	if e.scratch {
+		s := newSolver(e.nVars)
+		s.stop = e.stop
+		e.s = s
+		for _, c := range e.log {
+			if !s.addClause(c) {
+				return false
+			}
+		}
+	}
+	return e.s.solveWith(assumps)
 }
 
 // next produces the component's next stable model (global atom ids,
@@ -112,7 +181,7 @@ func (e *enumerator) next() (m Model, cost int64, ok bool) {
 			break
 		}
 		cost++
-		if !e.s.solveWith(nil) {
+		if !e.solve(nil) {
 			e.done = true
 			break
 		}
@@ -128,7 +197,7 @@ func (e *enumerator) next() (m Model, cost int64, ok bool) {
 			for i, a := range cand {
 				block[i] = neg(a)
 			}
-			e.s.addClause(block)
+			e.addClause(block)
 		}
 		if stable {
 			return e.globalize(cand), cost, true
@@ -163,54 +232,56 @@ func (e *enumerator) setM(m []int) func() {
 // minimize descends from a classical model to a minimal classical model
 // (set inclusion over the originals). Each round adds, under a fresh
 // selector sel, the clause "at least one atom of m is false" and solves
-// with atoms outside m assumed false; UNSAT means m is minimal.
+// with atoms outside m assumed false; UNSAT means m is minimal. The
+// selector rides at the end of the assumptions so consecutive rounds (whose
+// outside-sets grow monotonically) share a retained assumption-prefix trail
+// in the persistent solver.
 func (e *enumerator) minimize(m []int) []int {
 	if len(m) == 0 {
 		return m
 	}
-	sel := e.s.newVar()
+	sel := e.newVar()
 	for {
 		clause := make([]int, 0, len(m)+1)
 		clause = append(clause, neg(sel))
 		for _, a := range m {
 			clause = append(clause, neg(a))
 		}
-		e.s.addClause(clause)
+		e.addClause(clause)
 
 		restore := e.setM(m)
 		assumps := make([]int, 0, e.n-len(m)+1)
-		assumps = append(assumps, pos(sel))
 		for a := 0; a < e.n; a++ {
 			if !e.inM[a] {
 				assumps = append(assumps, neg(a))
 			}
 		}
+		assumps = append(assumps, pos(sel))
 		restore()
-		if !e.s.solveWith(assumps) {
+		if !e.solve(assumps) {
 			break
 		}
 		m = e.extract()
 	}
-	e.s.addClause([]int{neg(sel)}) // retire the descent clauses
+	e.retire(sel)
 	return m
 }
 
 // isStable checks whether m is a minimal model of the GL-reduct Π^m: the
 // originals are pinned to m by assumptions, and a strictness clause (under
-// a fresh selector) demands a shadow model missing at least one atom of m.
-// SAT refutes stability; UNSAT certifies it.
+// a fresh selector, assumed last) demands a shadow model missing at least
+// one atom of m. SAT refutes stability; UNSAT certifies it.
 func (e *enumerator) isStable(m []int) bool {
-	sel := e.s.newVar()
+	sel := e.newVar()
 	clause := make([]int, 0, len(m)+1)
 	clause = append(clause, neg(sel))
 	for _, a := range m {
 		clause = append(clause, neg(e.sh(a)))
 	}
-	e.s.addClause(clause)
+	e.addClause(clause)
 
 	restore := e.setM(m)
 	assumps := make([]int, 0, e.n+1)
-	assumps = append(assumps, pos(sel))
 	for a := 0; a < e.n; a++ {
 		if e.inM[a] {
 			assumps = append(assumps, pos(a))
@@ -218,9 +289,10 @@ func (e *enumerator) isStable(m []int) bool {
 			assumps = append(assumps, neg(a))
 		}
 	}
+	assumps = append(assumps, pos(sel))
 	restore()
-	sat := e.s.solveWith(assumps)
-	e.s.addClause([]int{neg(sel)})
+	sat := e.solve(assumps)
+	e.retire(sel)
 	return !sat
 }
 

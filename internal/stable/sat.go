@@ -50,6 +50,20 @@ type solver struct {
 	seen []bool // conflict-analysis scratch
 	ok   bool   // false once the clause set is UNSAT at level 0
 
+	// lastAssumps remembers the previous solveWith's assumptions so the
+	// next call can keep the trail prefix both calls share instead of
+	// restarting from level 0 — the Δ-seeded re-solve: when consecutive
+	// solves differ in a few assumptions (the minimization descent, or a
+	// candidate solve after a blocking clause), only the differing suffix
+	// is re-searched.
+	lastAssumps []int
+
+	// deferred holds retirement units (see retireLater) not yet applied:
+	// enqueueing a unit forces a full restart to level 0, so enumeration
+	// selectors are retired lazily, in a batch, right before the next
+	// sweep — which is when the units are needed to reclaim their clauses.
+	deferred []int
+
 	// rootAssigns counts level-0 assignments since the last sweep of
 	// satisfied clauses; enumeration retires selector variables with
 	// level-0 units, so without sweeping, dead descent/strictness/learned
@@ -116,14 +130,17 @@ func dedupLits(c []int) ([]int, bool) {
 	return out, true
 }
 
-// addClause registers a clause at decision level 0 (backtracking first if
-// needed). Literals false at level 0 are dropped; a clause satisfied at
-// level 0 is discarded. Returns false if the clause set became UNSAT.
+// addClause registers a clause without abandoning the search trail: literals
+// false at level 0 are dropped, a clause satisfied at level 0 is discarded,
+// and the solver backtracks only as far as needed to leave the clause with
+// two watchable (non-false) literals — blocking and descent clauses land
+// mid-search with a minimal backjump instead of a restart. Unit clauses are
+// permanent consequences and do go to level 0. Returns false if the clause
+// set became UNSAT.
 func (s *solver) addClause(c []int) bool {
 	if !s.ok {
 		return false
 	}
-	s.cancelUntil(0)
 	cc, keep := dedupLits(c)
 	if !keep {
 		return true // tautology
@@ -132,22 +149,73 @@ func (s *solver) addClause(c []int) bool {
 	for _, l := range cc {
 		switch s.litValue(l) {
 		case 1:
-			return true // already satisfied forever
-		case -1:
+			if s.level[litVar(l)] == 0 {
+				return true // already satisfied forever
+			}
+			lits = append(lits, l)
+		case 0:
+			if s.level[litVar(l)] != 0 {
+				lits = append(lits, l)
+			}
+			// level-0 false literals are dropped
+		default:
 			lits = append(lits, l)
 		}
-		// level-0 false literals are dropped
 	}
 	switch len(lits) {
 	case 0:
+		s.cancelUntil(0)
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(lits[0], noReason)
+		s.cancelUntil(0)
+		s.uncheckedEnqueue(lits[0], noReason) // non-false above level 0, so unassigned now
 		return true
+	}
+	// Backtrack just far enough that two literals are watchable: to keep a
+	// falsified watch detectable by propagate, a watch must not already be
+	// false when attached.
+	nonFalse := 0
+	hi1, hi2 := 0, 0 // the two highest false-literal levels
+	for _, l := range lits {
+		if s.litValue(l) != 0 {
+			nonFalse++
+			continue
+		}
+		lvl := int(s.level[litVar(l)])
+		if lvl > hi1 {
+			hi1, hi2 = lvl, hi1
+		} else if lvl > hi2 {
+			hi2 = lvl
+		}
+	}
+	switch nonFalse {
+	case 0:
+		s.cancelUntil(hi2 - 1) // unassigns the two deepest false literals
+	case 1:
+		s.cancelUntil(hi1 - 1) // unassigns the deepest false literal
+	}
+	w := 0
+	for i, l := range lits {
+		if s.litValue(l) != 0 {
+			lits[w], lits[i] = lits[i], lits[w]
+			w++
+			if w == 2 {
+				break
+			}
+		}
 	}
 	s.attach(&clause{lits: lits})
 	return true
+}
+
+// retireLater schedules a unit clause (a retired enumeration selector) to be
+// added at the next sweep. Until then the selector merely floats: nothing
+// forces it true, so its descent/strictness clauses are satisfiable by its
+// negation and every model remains a model of the eventual clause set —
+// deferring only avoids the restart-to-level-0 an immediate unit would cost.
+func (s *solver) retireLater(l int) {
+	s.deferred = append(s.deferred, l)
 }
 
 func (s *solver) attach(c *clause) {
@@ -357,11 +425,38 @@ func (s *solver) solveWith(assumps []int) bool {
 	if !s.ok {
 		return false
 	}
-	s.cancelUntil(0)
-	if s.rootAssigns >= sweepThreshold {
+	if s.rootAssigns+len(s.deferred) >= sweepThreshold {
+		// Flush the deferred retirement units and garbage-collect: both
+		// need level 0, and batching them here means only the sweep pays
+		// the restart.
+		s.cancelUntil(0)
+		deferred := s.deferred
+		s.deferred = s.deferred[:0]
+		for _, l := range deferred {
+			if !s.addClause([]int{l}) {
+				return false
+			}
+		}
 		s.sweepSatisfied()
 		s.rootAssigns = 0
 	}
+	// Keep the trail prefix the previous call's assumptions share with this
+	// one: those levels hold only matching assumption decisions and their
+	// consequences under the clause set, so they are valid verbatim — the
+	// minimization descent re-solves only the suffix that changed. When the
+	// new assumptions are a prefix of the previous ones (in particular,
+	// when there are none), every retained level beyond them is kept as a
+	// plain decision: models found under it satisfy the full clause set,
+	// and conflict-driven learning undoes it when the subspace is exhausted,
+	// so completeness is unaffected.
+	cp := 0
+	for cp < len(assumps) && cp < len(s.lastAssumps) && assumps[cp] == s.lastAssumps[cp] {
+		cp++
+	}
+	if cp < len(assumps) {
+		s.cancelUntil(cp)
+	}
+	s.lastAssumps = append(s.lastAssumps[:0], assumps...)
 	for {
 		confl := s.propagate()
 		if confl != -1 {

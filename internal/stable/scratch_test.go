@@ -1,0 +1,118 @@
+package stable
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/ground"
+)
+
+func sortedModelSet(t *testing.T, p *ground.Program, opts Options) []string {
+	t.Helper()
+	models, err := Models(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(models))
+	for i, m := range models {
+		out[i] = fmt.Sprint([]int(m))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestScratchSolveMatchesPersistent is the solver-reuse soundness pin: on
+// randomized ground programs the scratch ablation (fresh solver per solve
+// call) must produce exactly the same set of stable models as the default
+// persistent solver. The per-component discovery order may differ between
+// the modes, so the comparison is on sorted model sets; within each mode the
+// stream must be identical for every worker count.
+func TestScratchSolveMatchesPersistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 60; trial++ {
+		p := randomGroundProgramClean(rng, 4+rng.Intn(4))
+		persistent := sortedModelSet(t, p, Options{})
+		scratch := sortedModelSet(t, p, Options{ScratchSolve: true})
+		if len(persistent) != len(scratch) {
+			t.Fatalf("trial %d: %d persistent models, %d scratch", trial, len(persistent), len(scratch))
+		}
+		for i := range persistent {
+			if persistent[i] != scratch[i] {
+				t.Fatalf("trial %d: model sets diverge at %d: %s vs %s", trial, i, persistent[i], scratch[i])
+			}
+		}
+
+		// Per-mode worker invariance: each mode's stream (content and
+		// order) must not depend on the worker count.
+		for _, opts := range []Options{{}, {ScratchSolve: true}} {
+			var sequential []string
+			for _, workers := range []int{1, 4} {
+				opts.Workers = workers
+				var stream []string
+				if err := Enumerate(p, opts, func(m Model) bool {
+					stream = append(stream, fmt.Sprint([]int(m)))
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if workers == 1 {
+					sequential = stream
+					continue
+				}
+				if len(stream) != len(sequential) {
+					t.Fatalf("trial %d scratch=%v workers=%d: stream length %d != %d",
+						trial, opts.ScratchSolve, workers, len(stream), len(sequential))
+				}
+				for i := range stream {
+					if stream[i] != sequential[i] {
+						t.Fatalf("trial %d scratch=%v workers=%d: stream diverges at %d",
+							trial, opts.ScratchSolve, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScratchSolveBudgetDeterminism checks that the candidate budget cutoff
+// in scratch mode is, like the persistent mode's, a pure function of the
+// demanded stream: same prefix and same error at every worker count. (The
+// two modes may legitimately cut off at different points — candidate counts
+// differ when discovery orders do — so each mode is only compared with
+// itself.)
+func TestScratchSolveBudgetDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	p := randomGroundProgramClean(rng, 7)
+	for _, budget := range []int{1, 2, 4, 8, 1 << 16} {
+		type outcome struct {
+			models []string
+			err    error
+		}
+		collect := func(workers int) outcome {
+			var out outcome
+			out.err = Enumerate(p, Options{ScratchSolve: true, MaxCandidates: budget, Workers: workers},
+				func(m Model) bool {
+					out.models = append(out.models, fmt.Sprint([]int(m)))
+					return true
+				})
+			return out
+		}
+		seq := collect(1)
+		for _, workers := range []int{2, 4} {
+			par := collect(workers)
+			if seq.err != par.err {
+				t.Fatalf("budget=%d workers=%d: err %v != sequential %v", budget, workers, par.err, seq.err)
+			}
+			if len(par.models) != len(seq.models) {
+				t.Fatalf("budget=%d workers=%d: %d models != sequential %d", budget, workers, len(par.models), len(seq.models))
+			}
+			for i := range par.models {
+				if par.models[i] != seq.models[i] {
+					t.Fatalf("budget=%d workers=%d: stream diverges at %d", budget, workers, i)
+				}
+			}
+		}
+	}
+}

@@ -46,6 +46,14 @@ type Options struct {
 	// pre-streaming contract). Enumerate ignores it: the stream order is
 	// the deterministic component-odometer order documented there.
 	Sorted bool
+	// ScratchSolve is an ablation knob: rebuild each component's solver
+	// from its clause log on every solve call instead of keeping one
+	// persistent solver with learned clauses, saved phases, and a retained
+	// assumption trail. The set of stable models is unchanged, but each
+	// component's discovery order may differ from the persistent solver's;
+	// within either mode the stream stays deterministic and identical for
+	// every Workers value.
+	ScratchSolve bool
 }
 
 // DefaultMaxCandidates bounds candidate enumeration when unset.
@@ -98,7 +106,7 @@ func Enumerate(p *ground.Program, opts Options, yield func(Model) bool) error {
 	stop := func() bool { return stopped.Load() }
 	srcs := make([]*modelSource, len(comps))
 	for i, c := range comps {
-		srcs[i] = newModelSource(c, int64(maxCand), shared, stop)
+		srcs[i] = newModelSource(c, int64(maxCand), shared, stop, opts.ScratchSolve)
 	}
 	if opts.Workers > 1 {
 		// Eager mode for every source: modelAt waits on the cache instead
@@ -252,9 +260,9 @@ type modelSource struct {
 	eager    bool
 }
 
-func newModelSource(c *component, maxCand int64, shared *candidateBudget, stop func() bool) *modelSource {
+func newModelSource(c *component, maxCand int64, shared *candidateBudget, stop func() bool, scratch bool) *modelSource {
 	ms := &modelSource{
-		e:      newEnumerator(c, &candidateBudget{max: maxCand}, stop),
+		e:      newEnumerator(c, &candidateBudget{max: maxCand}, stop, scratch),
 		shared: shared,
 		stop:   stop,
 	}
