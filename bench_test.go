@@ -871,3 +871,165 @@ func BenchmarkFacadeQuickstart(b *testing.B) {
 		}
 	}
 }
+
+// --- grounding rewrite: fixpoint scaling, reuse, multi-query sessions ------------------------------
+
+// BenchmarkGround scales the repair-program grounding over violations and
+// bulk, comparing the semi-naive fixpoint (default) against the naive
+// round-robin ablation and the parallel instantiation pool. The allocs/op
+// column doubles as the hot-path hygiene gate: grounding interns atoms by
+// hash, with no string keys on the fixpoint or instantiation path.
+func BenchmarkGround(b *testing.B) {
+	for _, cfg := range []struct{ n, bulk int }{{3, 16}, {3, 64}, {5, 64}} {
+		d, set := stableRepairDB(cfg.n, cfg.bulk)
+		tr, err := repairprog.BuildWith(d, set, repairprog.BuildOptions{
+			Variant:            repairprog.VariantCorrected,
+			PruneUnconstrained: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			opts ground.Options
+		}{
+			{"seminaive", ground.Options{}},
+			{"naive", ground.Options{Naive: true}},
+			{"seminaive-workers=4", ground.Options{Workers: 4}},
+		} {
+			b.Run(fmt.Sprintf("violations=%d/bulk=%d/%s", cfg.n, cfg.bulk, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ground.GroundWith(tr.Program, mode.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// extendQueryZoo is the multi-query session workload: eight query shapes
+// over the benchmark schema, each grounding to its own q_ans rules.
+var extendQueryZoo = []string{
+	`q(X) :- r(X, Y).`,
+	`q(Y) :- r(X, Y).`,
+	`q(X, Y) :- r(X, Y).`,
+	`q(X) :- r(X, b).`,
+	`q(X, Y) :- r(X, Y), X != Y.`,
+	`q(X) :- r(X, Y), not r(Y, X).`,
+	`q(X, Z) :- r(X, Y), r(Y, Z).`,
+	`q :- r(k0, b).`,
+}
+
+// multiQuerySessionDB is the grounding-reuse workload: a small queried
+// relation r with key violations next to a bulk audit relation under its own
+// key constraint. Π(D, IC) annotates both relations, so a monolithic
+// grounding pays for the whole schema on every query, while the queries only
+// ever touch r.
+func multiQuerySessionDB(bulk int) (*relational.Instance, *constraint.Set) {
+	d := relational.NewInstance()
+	for i := 0; i < 3; i++ {
+		k := value.Str(fmt.Sprintf("k%d", i))
+		d.Insert(relational.F("r", k, value.Str("b")))
+		d.Insert(relational.F("r", k, value.Str("c")))
+	}
+	for i := 0; i < 16; i++ {
+		d.Insert(relational.F("r", value.Str(fmt.Sprintf("u%d", i)), value.Str(fmt.Sprintf("v%d", i))))
+	}
+	for i := 0; i < bulk; i++ {
+		d.Insert(relational.F("audit", value.Int(int64(i)), value.Str(fmt.Sprintf("a%d", i))))
+	}
+	d.Insert(relational.F("audit", value.Int(0), value.Str("dup"))) // keep audit inconsistent too
+	return d, parser.MustConstraints(`
+		r(X, Y), r(X, Z) -> Y = Z.
+		audit(X, Y), audit(X, Z) -> Y = Z.
+	`)
+}
+
+// BenchmarkGroundExtend measures what the base/extend split buys a
+// multi-query session: "reground" grounds Π(D, IC) ∪ Π(q) from scratch for
+// each of the eight queries (the pre-split behavior), "extend" grounds the
+// base once and extends it per query over the retained possible-set
+// snapshot. Both arms include the base grounding cost, so the ratio is the
+// end-to-end session speedup.
+func BenchmarkGroundExtend(b *testing.B) {
+	d, set := multiQuerySessionDB(192)
+	tr, err := repairprog.BuildWith(d, set, repairprog.BuildOptions{
+		Variant:            repairprog.VariantCorrected,
+		PruneUnconstrained: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]*query.Q, len(extendQueryZoo))
+	for i, src := range extendQueryZoo {
+		queries[i] = parser.MustQuery(src)
+	}
+	b.Run("reground", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				prog, err := tr.WithQuery(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ground.Ground(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("extend", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			base, err := ground.GroundBase(tr.Program, ground.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, q := range queries {
+				rules, err := tr.QueryRules(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := base.Extend(rules); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkCQAProgramMultiQuery is the end-to-end mirror of GroundExtend:
+// eight consistent-answer computations over one inconsistent database,
+// "separate" via one ConsistentAnswers call per query (each re-building and
+// re-grounding the repair program), "shared" via CautiousMany (one
+// translation, one base grounding, per-query extension).
+func BenchmarkCQAProgramMultiQuery(b *testing.B) {
+	d, set := stableRepairDB(3, 16)
+	queries := make([]*query.Q, len(extendQueryZoo))
+	for i, src := range extendQueryZoo {
+		queries[i] = parser.MustQuery(src)
+	}
+	opts := core.NewOptions()
+	opts.Engine = core.EngineProgramCautious
+	b.Run("separate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if _, err := core.ConsistentAnswers(d, set, q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ans, err := core.CautiousMany(d, set, queries, opts)
+			if err != nil || len(ans) != len(queries) {
+				b.Fatalf("answers=%d err=%v", len(ans), err)
+			}
+		}
+	})
+}

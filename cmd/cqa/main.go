@@ -11,8 +11,11 @@
 //	cqa -db db.facts -ic constraints.ic semantics
 //
 // -workers parallelizes the chosen engine: the search engine's state
-// expansion pool, or the program engines' per-component stable-model
-// solvers. Output is byte-identical for every worker count.
+// expansion pool, or the program engines' grounding and per-component
+// stable-model solvers. Output is byte-identical for every worker count.
+//
+// -cpuprofile/-memprofile write runtime/pprof profiles of the whole
+// command, for bottleneck hunts without an ad-hoc harness.
 //
 // Input files use the syntax of internal/parser (upper-case identifiers are
 // variables; null is the null constant). The -db and -ic flags also accept
@@ -28,8 +31,10 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/depgraph"
+	"repro/internal/ground"
 	"repro/internal/nullsem"
 	"repro/internal/parser"
+	"repro/internal/prof"
 	"repro/internal/query"
 	"repro/internal/relational"
 	"repro/internal/repair"
@@ -44,7 +49,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("cqa", flag.ContinueOnError)
 	dbArg := fs.String("db", "", "database instance (file path or inline facts)")
 	icArg := fs.String("ic", "", "integrity constraints (file path or inline)")
@@ -52,9 +57,20 @@ func run(args []string) error {
 	engine := fs.String("engine", "search", "repair engine: search | program | cautious (answers only)")
 	classic := fs.Bool("classic", false, "use the classic [2] repair semantics (repairs command, search engine)")
 	workers := fs.Int("workers", 1, "parallel workers for the selected engine (>= 1)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (taken after the command, post-GC) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one command: check | repairs | answers | semantics")
 	}
@@ -173,6 +189,7 @@ func cmdRepairs(d *relational.Instance, set *constraint.Set, engine string, clas
 		if err != nil {
 			return err
 		}
+		tr.GroundOptions = ground.Options{Workers: workers}
 		insts, models, err := tr.StableRepairs(stable.Options{Workers: workers})
 		if err != nil {
 			return err
@@ -210,9 +227,11 @@ func cmdAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, engine 
 	case "program":
 		opts.Engine = core.EngineProgram
 		opts.Stable.Workers = workers
+		opts.Ground.Workers = workers
 	case "cautious":
 		opts.Engine = core.EngineProgramCautious
 		opts.Stable.Workers = workers
+		opts.Ground.Workers = workers
 	default:
 		return fmt.Errorf("unknown -engine %q: want search, program, or cautious", engine)
 	}

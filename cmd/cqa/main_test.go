@@ -229,3 +229,32 @@ func TestWorkersDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileFlags checks -cpuprofile/-memprofile produce non-empty pprof
+// files alongside a normal run.
+func TestProfileFlags(t *testing.T) {
+	db, ic, q := writeFixtures(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out, err := capture(t, func() error {
+		return run([]string{"-db", db, "-ic", ic, "-query", q,
+			"-engine", "cautious", "-cpuprofile", cpu, "-memprofile", mem, "answers"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "consistent answers") {
+		t.Errorf("profiled run lost its output:\n%s", out)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", path, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}

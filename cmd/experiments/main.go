@@ -9,6 +9,8 @@
 //	experiments -id E23    # run one experiment
 //	experiments -list      # list experiment IDs
 //
+// -cpuprofile/-memprofile write runtime/pprof profiles of the run.
+//
 // The exit code is the number of failed experiments.
 package main
 
@@ -20,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -41,9 +44,20 @@ func run(args []string, stdout, stderr io.Writer) (failures int, err error) {
 	fs.SetOutput(stderr)
 	id := fs.String("id", "", "run only the experiment with this ID")
 	list := fs.Bool("list", false, "list experiments and exit")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	if *list {
 		for _, e := range experiments.All() {

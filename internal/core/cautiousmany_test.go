@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ground"
+	"repro/internal/parser"
+	"repro/internal/query"
+)
+
+func cautiousFixture() (d, setSrc string) {
+	return `
+		r(a, b).
+		r(a, c).
+		s(e, f).
+		s(null, a).
+	`, `
+		r(X, Y), r(X, Z) -> Y = Z.
+		s(U, V) -> r(V, W).
+		r(X, Y), isnull(X) -> false.
+	`
+}
+
+var cautiousQueries = []string{
+	`q(X) :- r(X, Y).`,
+	`q(X, Y) :- r(X, Y).`,
+	`q(U) :- s(U, V), r(V, W).`,
+	`q(X) :- r(X, Y), not s(Y, X).`,
+	`q :- r(a, b).`,
+	`q :- r(a, z).`,
+}
+
+// TestCautiousManyMatchesSingle pins CautiousMany's contract: Answers[i] is
+// exactly what ConsistentAnswers with the cautious engine returns for
+// queries[i], while the repair program is built and ground only once.
+func TestCautiousManyMatchesSingle(t *testing.T) {
+	dsrc, setSrc := cautiousFixture()
+	d := parser.MustInstance(dsrc)
+	set := parser.MustConstraints(setSrc)
+	opts := NewOptions()
+	var queries []*query.Q
+	for _, qsrc := range cautiousQueries {
+		queries = append(queries, parser.MustQuery(qsrc))
+	}
+	many, err := CautiousMany(d, set, queries, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != len(queries) {
+		t.Fatalf("answers = %d, want %d", len(many), len(queries))
+	}
+	single := NewOptions()
+	single.Engine = EngineProgramCautious
+	for i, q := range queries {
+		want, err := ConsistentAnswers(d, set, q, single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := many[i]
+		if got.Boolean != want.Boolean || got.NumRepairs != want.NumRepairs ||
+			got.ShortCircuited != want.ShortCircuited || len(got.Tuples) != len(want.Tuples) {
+			t.Errorf("query %q: CautiousMany=%+v, single=%+v", cautiousQueries[i], got, want)
+			continue
+		}
+		for j := range want.Tuples {
+			if !got.Tuples[j].Equal(want.Tuples[j]) {
+				t.Errorf("query %q tuple %d: %v vs %v", cautiousQueries[i], j, got.Tuples[j], want.Tuples[j])
+			}
+		}
+	}
+	if empty, err := CautiousMany(d, set, nil, opts); err != nil || empty != nil {
+		t.Errorf("empty query list: %v, %v", empty, err)
+	}
+}
+
+// TestGroundOptionsDifferential runs the program engines with every
+// grounding configuration — semi-naive, naive ablation, parallel — and
+// checks the answers are identical: grounding options must never change
+// semantics.
+func TestGroundOptionsDifferential(t *testing.T) {
+	dsrc, setSrc := cautiousFixture()
+	d := parser.MustInstance(dsrc)
+	set := parser.MustConstraints(setSrc)
+	grounds := []ground.Options{{}, {Naive: true}, {Workers: 4}, {Naive: true, Workers: 4}}
+	for _, engine := range []Engine{EngineProgram, EngineProgramCautious} {
+		for _, qsrc := range cautiousQueries {
+			q := parser.MustQuery(qsrc)
+			base := NewOptions()
+			base.Engine = engine
+			want, err := ConsistentAnswers(d, set, q, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range grounds[1:] {
+				opts := NewOptions()
+				opts.Engine = engine
+				opts.Ground = g
+				got, err := ConsistentAnswers(d, set, q, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Boolean != want.Boolean || len(got.Tuples) != len(want.Tuples) {
+					t.Errorf("engine %v, query %q, ground %+v: %+v vs %+v", engine, qsrc, g, got, want)
+					continue
+				}
+				for j := range want.Tuples {
+					if !got.Tuples[j].Equal(want.Tuples[j]) {
+						t.Errorf("engine %v, query %q, ground %+v: tuple %d differs", engine, qsrc, g, j)
+					}
+				}
+			}
+		}
+	}
+}

@@ -74,6 +74,10 @@ type Options struct {
 	Repair repair.Options
 	// Stable configures the model enumeration.
 	Stable stable.Options
+	// Ground configures the grounding of the repair program (worker pool,
+	// naive-fixpoint ablation). The answers are identical for every
+	// setting.
+	Ground ground.Options
 }
 
 // NewOptions returns the default options: search engine, corrected
@@ -133,6 +137,7 @@ func RepairsOf(d *relational.Instance, set *constraint.Set, opts Options) ([]*re
 		if err != nil {
 			return nil, err
 		}
+		tr.GroundOptions = opts.Ground
 		insts, _, err := tr.StableRepairs(opts.Stable)
 		return insts, err
 	default:
@@ -302,6 +307,7 @@ func materializedAnswers(d *relational.Instance, set *constraint.Set, q *query.Q
 	if err != nil {
 		return Answer{}, err
 	}
+	tr.GroundOptions = opts.Ground
 	be, err := query.NewBaseEval(d, q)
 	if err != nil {
 		return Answer{}, err
@@ -417,18 +423,60 @@ func sortedTuples(m map[string]relational.Tuple) []relational.Tuple {
 // queries enumerate fully: NumRepairs (the distinct induced repairs) is
 // part of the cross-engine differential contract.
 func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
+	tr, err := cautiousTranslation(d, set, opts)
+	if err != nil {
+		return Answer{}, err
+	}
+	return cautiousQuery(tr, q, opts)
+}
+
+// CautiousMany computes the consistent answers of several queries over one
+// (D, IC) session with the cautious program engine, amortizing the shared
+// work: the repair program Π(D, IC) is built and ground once, and each
+// query grounds only its own rules against the retained base grounding
+// (ground.Extend) before running its own cautious model enumeration.
+// Answers[i] is exactly what ConsistentAnswers with EngineProgramCautious
+// returns for queries[i]; opts.Engine is ignored.
+func CautiousMany(d *relational.Instance, set *constraint.Set, queries []*query.Q, opts Options) ([]Answer, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	tr, err := cautiousTranslation(d, set, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Answer, len(queries))
+	for i, q := range queries {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		if out[i], err = cautiousQuery(tr, q, opts); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// cautiousTranslation builds the pruned repair program one cautious session
+// shares across its queries.
+func cautiousTranslation(d *relational.Instance, set *constraint.Set, opts Options) (*repairprog.Translation, error) {
 	tr, err := repairprog.BuildWith(d, set, repairprog.BuildOptions{
 		Variant:            opts.Variant,
 		PruneUnconstrained: true,
 	})
 	if err != nil {
-		return Answer{}, err
+		return nil, err
 	}
-	prog, err := tr.WithQuery(q)
-	if err != nil {
-		return Answer{}, err
-	}
-	gp, err := ground.Ground(prog)
+	tr.GroundOptions = opts.Ground
+	return tr, nil
+}
+
+// cautiousQuery answers one query over the translation's cached base
+// grounding: the query rules are ground against the retained possible-set
+// snapshot (no re-grounding, no Facts/Rules copy), and the stable models of
+// the extended program drive the cautious intersection.
+func cautiousQuery(tr *repairprog.Translation, q *query.Q, opts Options) (Answer, error) {
+	gp, err := tr.GroundWithQuery(q)
 	if err != nil {
 		return Answer{}, err
 	}
@@ -522,6 +570,7 @@ func possibleProgramAnswers(d *relational.Instance, set *constraint.Set, q *quer
 	if err != nil {
 		return nil, err
 	}
+	tr.GroundOptions = opts.Ground
 	be, err := query.NewBaseEval(d, q)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,438 @@
+package ground
+
+import (
+	"repro/internal/logic"
+	"repro/internal/relational"
+	"repro/internal/term"
+)
+
+// Ground instantiates the program. It returns an error for unsafe rules.
+// The returned Program retains its grounding snapshot, so further rules can
+// be grounded against it with Extend without re-grounding the base.
+func Ground(p *logic.Program) (*Program, error) {
+	return GroundWith(p, Options{})
+}
+
+// GroundBase grounds the shared base of a multi-query session — typically
+// the repair program Π(D, IC) — once, so per-query rules can be added with
+// Extend. It is GroundWith under a name that states the intent.
+func GroundBase(p *logic.Program, opts Options) (*Program, error) {
+	return GroundWith(p, opts)
+}
+
+// GroundWith instantiates the program with explicit options. The emitted
+// program is identical for every option setting; options only change how it
+// is computed.
+func GroundWith(p *logic.Program, opts Options) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &grounder{
+		opts:  opts,
+		fix:   relational.NewInstance(),
+		poss:  newFactSet(),
+		facts: newFactSet(),
+	}
+
+	// Seed: program facts are unconditionally true and possible.
+	var seedFacts []relational.Fact
+	for _, a := range p.Facts {
+		f := groundFact(a)
+		if g.facts.add(f) {
+			seedFacts = append(seedFacts, f)
+		}
+		g.insertPossible(f)
+	}
+
+	if opts.Naive {
+		g.fixpointNaive(p.Rules)
+	} else {
+		g.fixpointSemiNaive(p.Rules)
+	}
+
+	// Canonicalize: rebuild the possible set in sorted fact order, so rule
+	// instantiation — whose enumeration order follows store scan order —
+	// becomes a pure function of the possible set, independent of the
+	// fixpoint schedule that derived it.
+	canon := relational.NewInstance()
+	for _, f := range g.fix.Facts() {
+		canon.Insert(f)
+	}
+	canon.Freeze()
+	g.fix = nil
+
+	st := &extState{
+		canon:     canon,
+		poss:      g.poss,
+		facts:     g.facts,
+		in:        newInterner(),
+		rs:        newRuleSet(),
+		guardRels: guardRels(nil, p.Rules, canon),
+		workers:   opts.Workers,
+	}
+	gp := &Program{}
+	for _, f := range seedFacts {
+		gp.Facts = append(gp.Facts, st.in.intern(f))
+	}
+	emit(st, p.Rules)
+	finish(gp, st, nil, nil)
+	return gp, nil
+}
+
+// guardRels collects the relations an extension's rule heads must avoid:
+// every relation with a possible atom and every relation referenced by a
+// rule body. Deriving new atoms into any of them could change how the
+// already-emitted rules would have grounded. base is the inherited guard
+// set of a parent extension (nil for a fresh grounding); it is not mutated.
+func guardRels(base map[relational.RelKey]bool, rules []logic.Rule, canon *relational.Instance) map[relational.RelKey]bool {
+	g := make(map[relational.RelKey]bool, len(base)+len(rules))
+	for rk := range base {
+		g[rk] = true
+	}
+	for _, r := range rules {
+		for _, a := range r.Pos {
+			g[relational.RelKey{Pred: a.Pred, Arity: a.Arity()}] = true
+		}
+		for _, a := range r.Neg {
+			g[relational.RelKey{Pred: a.Pred, Arity: a.Arity()}] = true
+		}
+	}
+	for _, rk := range canon.RelKeys() {
+		g[rk] = true
+	}
+	return g
+}
+
+// finish assembles the program from the grounding state. For an extension,
+// baseNames and baseRules are the parent program's slices, shared as
+// capacity-capped prefixes so appends never clobber the parent; the level's
+// ruleSet holds only the rules emitted at this level.
+func finish(gp *Program, st *extState, baseNames []string, baseRules []Rule) {
+	gp.Rules = append(baseRules[:len(baseRules):len(baseRules)], st.rs.rules...)
+	gp.Atoms = st.in.atoms
+	gp.Names = baseNames[:len(baseNames):len(baseNames)]
+	for _, f := range gp.Atoms[len(baseNames):] {
+		gp.Names = append(gp.Names, f.String())
+	}
+	gp.idx = st.in
+	gp.ext = st
+}
+
+// grounder carries the fixpoint state: fix is the growing possible-set
+// instance (joined through per-relation stores and bound-column indexes),
+// poss mirrors it for alloc-free membership, facts holds the
+// unconditionally true atoms.
+type grounder struct {
+	opts  Options
+	fix   *relational.Instance
+	poss  *factSet
+	facts *factSet
+}
+
+// insertPossible adds a possible atom, reporting whether it was new. f may
+// alias scratch storage; it is cloned before being retained.
+func (g *grounder) insertPossible(f relational.Fact) bool {
+	h := f.Hash()
+	if g.poss.hasHash(f, h) {
+		return false
+	}
+	owned := relational.Fact{Pred: f.Pred, Args: f.Args.Clone()}
+	g.poss.buckets[h] = append(g.poss.buckets[h], int32(len(g.poss.facts)))
+	g.poss.facts = append(g.poss.facts, owned)
+	g.fix.Insert(owned)
+	return true
+}
+
+// fixpointSemiNaive computes the possible set bottom-up, instantiating each
+// rule only through substitutions anchored on an atom derived in the
+// previous round. Every positive literal takes a turn as the delta anchor,
+// so a substitution whose newest body atom was derived in round k is found
+// in round k+1 (at the latest) when that atom's literal anchors. Headless
+// rules (constraints) derive nothing and are skipped.
+func (g *grounder) fixpointSemiNaive(rules []logic.Rule) {
+	subst := term.Subst{}
+	var scratch relational.Tuple
+	var delta []relational.Fact
+
+	// Round 0: the seeded facts, plus heads of rules with no positive
+	// body (their builtins, if any, are ground and decide applicability
+	// once).
+	delta = append(delta, g.poss.facts...)
+	for _, r := range rules {
+		if len(r.Head) == 0 || len(r.Pos) > 0 {
+			continue
+		}
+		if !evalBuiltins(r.Builtins, subst) {
+			continue
+		}
+		for _, h := range r.Head {
+			scratch = groundAtomInto(scratch, h, subst)
+			f := relational.Fact{Pred: h.Pred, Args: scratch}
+			if g.insertPossible(f) {
+				delta = append(delta, g.poss.facts[len(g.poss.facts)-1])
+			}
+		}
+	}
+
+	g.semiNaiveRounds(rules, delta)
+}
+
+// semiNaiveRounds drives the delta rounds to fixpoint: each round joins
+// every rule through substitutions anchored on an atom of the previous
+// round's delta, each positive literal taking a turn as the anchor, and the
+// newly derived atoms form the next round's delta. Atoms derived within a
+// round are visible to the rest of the round (the possible-set instance
+// grows in place); they anchor joins themselves one round later.
+func (g *grounder) semiNaiveRounds(rules []logic.Rule, delta []relational.Fact) {
+	subst := term.Subst{}
+	var scratch relational.Tuple
+	var restbuf [8]term.Atom
+	for len(delta) > 0 {
+		byRel := make(map[relational.RelKey][]relational.Fact)
+		for _, f := range delta {
+			rk := relational.RelKey{Pred: f.Pred, Arity: len(f.Args)}
+			byRel[rk] = append(byRel[rk], f)
+		}
+		var next []relational.Fact
+		for _, r := range rules {
+			if len(r.Head) == 0 || len(r.Pos) == 0 {
+				continue
+			}
+			for ai := range r.Pos {
+				anchor := r.Pos[ai]
+				group := byRel[relational.RelKey{Pred: anchor.Pred, Arity: anchor.Arity()}]
+				if len(group) == 0 {
+					continue
+				}
+				// The plan is consumed before the next anchor reuses the
+				// buffer.
+				rest := append(restbuf[:0], r.Pos[:ai]...)
+				rest = append(rest, r.Pos[ai+1:]...)
+				pl := buildPlan(g.fix, rest, r.Builtins, anchor)
+				for _, f := range group {
+					bound, ok := match(f.Args, anchor, subst)
+					if !ok {
+						continue
+					}
+					if evalBuiltins(pl.pre, subst) {
+						runPlan(g.fix, pl.steps, subst, func() bool {
+							for _, h := range r.Head {
+								scratch = groundAtomInto(scratch, h, subst)
+								if g.insertPossible(relational.Fact{Pred: h.Pred, Args: scratch}) {
+									next = append(next, g.poss.facts[len(g.poss.facts)-1])
+								}
+							}
+							return true
+						})
+					}
+					unbind(subst, bound)
+				}
+			}
+		}
+		delta = next
+	}
+}
+
+// fixpointNaive is the round-robin ablation: every rule re-joined over the
+// whole possible set each round, builtins evaluated at the join leaf, no
+// literal reordering — the pre-semi-naive algorithm, kept as a
+// differential-testing reference.
+func (g *grounder) fixpointNaive(rules []logic.Rule) {
+	var scratch relational.Tuple
+	for changed := true; changed; {
+		changed = false
+		for _, r := range rules {
+			if len(r.Head) == 0 {
+				continue
+			}
+			joinLeafBuiltins(g.fix, r, func(subst term.Subst) {
+				for _, h := range r.Head {
+					scratch = groundAtomInto(scratch, h, subst)
+					if g.insertPossible(relational.Fact{Pred: h.Pred, Args: scratch}) {
+						changed = true
+					}
+				}
+			})
+		}
+	}
+}
+
+// joinLeafBuiltins enumerates substitutions satisfying the positive body in
+// literal order, checking builtins only once the join is complete.
+func joinLeafBuiltins(inst *relational.Instance, r logic.Rule, yield func(term.Subst)) {
+	subst := term.Subst{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(r.Pos) {
+			if evalBuiltins(r.Builtins, subst) {
+				yield(subst)
+			}
+			return
+		}
+		a := r.Pos[i]
+		inst.Scan(a.Pred, a.Arity(), relational.AtomBindings(a, subst), func(t relational.Tuple) bool {
+			if bound, ok := match(t, a, subst); ok {
+				rec(i + 1)
+				unbind(subst, bound)
+			}
+			return true
+		})
+	}
+	rec(0)
+}
+
+// plan is a compiled join order for the positive literals of one rule: the
+// atoms reordered by bound-column selectivity, with each builtin attached
+// to the earliest step after which its variables are bound. pre holds the
+// builtins decidable before any step (ground, or bound by the anchor).
+type plan struct {
+	pre   []term.Builtin
+	steps []planStep
+}
+
+type planStep struct {
+	atom     term.Atom
+	builtins []term.Builtin
+}
+
+// indexOf is a linear lookup in a small variable list — rule bodies bind a
+// handful of variables, so slices beat maps on the plan-building hot path.
+func indexOf(vs []string, v string) int {
+	for i, x := range vs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// buildPlan compiles the join. anchor, if non-zero, is a literal already
+// matched by the caller; its variables count as bound.
+func buildPlan(inst *relational.Instance, pos []term.Atom, builtins []term.Builtin, anchor term.Atom) plan {
+	var prebuf [8]string
+	pre := prebuf[:0]
+	for _, t := range anchor.Args {
+		if t.IsVar() && indexOf(pre, t.Var) < 0 {
+			pre = append(pre, t.Var)
+		}
+	}
+	ordered := orderBySelectivity(inst, pos, pre)
+	pl := plan{steps: make([]planStep, len(ordered))}
+	if len(builtins) == 0 {
+		for i := range ordered {
+			pl.steps[i].atom = ordered[i]
+		}
+		return pl
+	}
+	// boundVar/boundIdx map each variable to the step index after which it
+	// is bound; anchor variables map to -1.
+	var varbuf [8]string
+	var idxbuf [8]int
+	boundVar, boundIdx := varbuf[:0], idxbuf[:0]
+	for _, v := range pre {
+		boundVar = append(boundVar, v)
+		boundIdx = append(boundIdx, -1)
+	}
+	for i := range ordered {
+		pl.steps[i].atom = ordered[i]
+		for _, t := range ordered[i].Args {
+			if t.IsVar() && indexOf(boundVar, t.Var) < 0 {
+				boundVar = append(boundVar, t.Var)
+				boundIdx = append(boundIdx, i)
+			}
+		}
+	}
+	var vars []string
+	for _, b := range builtins {
+		at := -1
+		vars = b.Vars(vars[:0])
+		for _, v := range vars {
+			if j := indexOf(boundVar, v); j >= 0 && boundIdx[j] > at {
+				at = boundIdx[j]
+			}
+		}
+		if at < 0 {
+			pl.pre = append(pl.pre, b)
+		} else {
+			pl.steps[at].builtins = append(pl.steps[at].builtins, b)
+		}
+	}
+	return pl
+}
+
+// orderBySelectivity reorders join atoms greedily: at each step it picks
+// the remaining atom with the most columns bound by the atoms already
+// placed (constants and pre-bound variables count), breaking ties toward
+// the smaller relation and then toward the original order — the same
+// heuristic as the query evaluator's join planner. The enumerated
+// substitution set is order-independent; only the cost changes. pre is not
+// mutated.
+func orderBySelectivity(inst *relational.Instance, atoms []term.Atom, pre []string) []term.Atom {
+	if len(atoms) < 2 {
+		return atoms
+	}
+	var atombuf [8]term.Atom
+	var boundbuf [16]string
+	remaining := append(atombuf[:0], atoms...)
+	bound := append(boundbuf[:0], pre...)
+	out := make([]term.Atom, 0, len(atoms))
+	for len(remaining) > 0 {
+		best, bestBound, bestSize := -1, -1, 0
+		for i, a := range remaining {
+			nb := 0
+			for _, t := range a.Args {
+				if !t.IsVar() || indexOf(bound, t.Var) >= 0 {
+					nb++
+				}
+			}
+			size := inst.RelationSize(a.Pred, a.Arity())
+			if best == -1 || nb > bestBound || (nb == bestBound && size < bestSize) {
+				best, bestBound, bestSize = i, nb, size
+			}
+		}
+		a := remaining[best]
+		out = append(out, a)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		for _, t := range a.Args {
+			if t.IsVar() && indexOf(bound, t.Var) < 0 {
+				bound = append(bound, t.Var)
+			}
+		}
+	}
+	return out
+}
+
+// runPlan enumerates the substitutions of the planned join, extending subst
+// in place and evaluating each step's builtins as soon as the step binds.
+// yield returns false to stop; runPlan reports whether the enumeration
+// completed.
+func runPlan(inst *relational.Instance, steps []planStep, subst term.Subst, yield func() bool) bool {
+	if len(steps) == 0 {
+		return yield()
+	}
+	st := &steps[0]
+	a := st.atom
+	cont := true
+	inst.Scan(a.Pred, a.Arity(), relational.AtomBindings(a, subst), func(t relational.Tuple) bool {
+		bound, ok := match(t, a, subst)
+		if !ok {
+			return true
+		}
+		if evalBuiltins(st.builtins, subst) {
+			cont = runPlan(inst, steps[1:], subst, yield)
+		}
+		unbind(subst, bound)
+		return cont
+	})
+	return cont
+}
+
+func evalBuiltins(bs []term.Builtin, subst term.Subst) bool {
+	for _, b := range bs {
+		res, ok := b.Eval(subst)
+		if !ok || !res {
+			return false
+		}
+	}
+	return true
+}

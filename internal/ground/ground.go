@@ -9,17 +9,45 @@
 // possibly be derived are dropped as trivially true; positive literals that
 // are facts are dropped as well. The result is typically a small fraction
 // of the naive instantiation.
+//
+// The fixpoint is semi-naive (fixpoint.go): each round joins rules only
+// through substitutions anchored on an atom derived in the previous round,
+// with the remaining positive literals reordered by bound-column
+// selectivity and builtins evaluated as soon as their variables are bound.
+// Options.Naive selects the round-robin full re-join ablation.
+//
+// Rule instantiation (emit.go) runs over a canonicalized possible set — the
+// fixpoint result re-inserted in sorted fact order — so the emitted program
+// is a pure function of the possible *set*, not of the fixpoint's derivation
+// order: naive and semi-naive grounding, and every Options.Workers setting,
+// produce byte-identical programs by construction.
+//
+// A grounded Program can be extended with further rules (extend.go) without
+// re-grounding: Extend grounds only the new rules against the retained
+// possible-set snapshot and shares the base program's slices copy-on-write.
 package ground
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 
-	"repro/internal/logic"
 	"repro/internal/relational"
 	"repro/internal/term"
 )
+
+// Options tunes grounding. The zero value is the default configuration:
+// semi-naive fixpoint, sequential instantiation.
+type Options struct {
+	// Workers sets the size of the rule-instantiation worker pool; values
+	// below 2 instantiate sequentially. The output is byte-identical at
+	// every worker count.
+	Workers int
+	// Naive selects the naive fixpoint (every rule re-joined over the whole
+	// possible set on every round, builtins evaluated at the join leaf) — an
+	// ablation and differential-testing reference for the semi-naive
+	// fixpoint. The emitted program is identical either way.
+	Naive bool
+}
 
 // Program is a ground disjunctive program over interned atoms.
 type Program struct {
@@ -32,9 +60,13 @@ type Program struct {
 	// Rules are the instantiated non-fact rules.
 	Rules []Rule
 
-	// ids indexes Atoms by fact key for O(1) AtomID lookups; nil on
-	// hand-built programs, which fall back to a linear scan.
-	ids map[string]int
+	// idx indexes Atoms for O(1) AtomID lookups; nil on hand-built
+	// programs, which fall back to a linear scan.
+	idx *interner
+	// ext retains the grounding snapshot (canonical possible set, member-
+	// ship sets, dedup state) that Extend grounds additional rules against;
+	// nil on hand-built programs.
+	ext *extState
 }
 
 // Rule is one ground rule over atom ids.
@@ -81,181 +113,208 @@ func (p *Program) String() string {
 	return b.String()
 }
 
-// interner assigns dense ids to ground atoms.
+// Fact exposed for tests: value constants of an atom id.
+func (p *Program) Fact(id int) relational.Fact { return p.Atoms[id] }
+
+// AtomID looks up the id of a ground fact, if interned.
+func (p *Program) AtomID(f relational.Fact) (int, bool) {
+	if p.idx != nil {
+		return p.idx.lookup(f)
+	}
+	for id, g := range p.Atoms {
+		if g.Equal(f) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// interner assigns dense ids to ground atoms. It buckets by Fact.Hash and
+// confirms with Fact.Equal, so neither interning a new atom nor looking up
+// an existing one materializes a string key. An interner may extend a
+// frozen parent: the child sees every parent atom (ids are shared) while
+// new atoms land only in the child, which is what lets an extension program
+// share its base program's atom table copy-on-write.
 type interner struct {
-	ids   map[string]int
-	names []string
+	parent  *interner
+	buckets map[uint64][]int32
+	// atoms holds the full atom table including the parent prefix; the
+	// prefix is capacity-capped so appends never clobber the parent.
 	atoms []relational.Fact
 }
 
 func newInterner() *interner {
-	return &interner{ids: map[string]int{}}
+	return &interner{buckets: make(map[uint64][]int32)}
 }
 
-func (in *interner) intern(f relational.Fact) int {
-	k := f.Key()
-	if id, ok := in.ids[k]; ok {
-		return id
+// extend returns a child interner sharing this interner's atoms as an
+// immutable prefix. The parent must not intern further atoms.
+func (in *interner) extend() *interner {
+	return &interner{
+		parent:  in,
+		buckets: make(map[uint64][]int32),
+		atoms:   in.atoms[:len(in.atoms):len(in.atoms)],
 	}
-	id := len(in.names)
-	in.ids[k] = id
-	in.names = append(in.names, f.String())
-	in.atoms = append(in.atoms, f)
-	return id
+}
+
+func (in *interner) lookupHash(f relational.Fact, h uint64) (int, bool) {
+	for lvl := in; lvl != nil; lvl = lvl.parent {
+		for _, id := range lvl.buckets[h] {
+			if in.atoms[id].Equal(f) {
+				return int(id), true
+			}
+		}
+	}
+	return 0, false
 }
 
 func (in *interner) lookup(f relational.Fact) (int, bool) {
-	id, ok := in.ids[f.Key()]
-	return id, ok
+	return in.lookupHash(f, f.Hash())
 }
 
-// Ground instantiates the program. It returns an error for unsafe rules.
-func Ground(p *logic.Program) (*Program, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+// intern returns the id of f, assigning the next dense id if new. The fact
+// is stored as given; callers pass facts that own their tuples.
+func (in *interner) intern(f relational.Fact) int {
+	h := f.Hash()
+	if id, ok := in.lookupHash(f, h); ok {
+		return id
 	}
-	in := newInterner()
+	id := len(in.atoms)
+	in.atoms = append(in.atoms, f)
+	in.buckets[h] = append(in.buckets[h], int32(id))
+	return id
+}
 
-	// possible holds the over-approximated derivable atoms in a relational
-	// instance, so rule instantiation joins through the engine's
-	// per-relation stores and bound-column indexes instead of re-keying
-	// fact slices. facts mirrors the unconditionally true atoms.
-	possible := relational.NewInstance()
-	facts := relational.NewInstance()
+// factSet is a membership set of ground facts, hash-bucketed with exact
+// confirmation (no string keys). Like the interner it may extend a frozen
+// parent, giving an extension grounding a copy-on-write view of the base
+// possible/fact sets.
+type factSet struct {
+	parent  *factSet
+	buckets map[uint64][]int32
+	facts   []relational.Fact
+}
 
-	gp := &Program{}
-	for _, a := range p.Facts {
-		f := groundFact(a)
-		if facts.Insert(f) {
-			gp.Facts = append(gp.Facts, in.intern(f))
-		}
-		possible.Insert(f)
-	}
+func newFactSet() *factSet {
+	return &factSet{buckets: make(map[uint64][]int32)}
+}
 
-	// Fixpoint: instantiate heads of rules whose positive bodies join
-	// over the possible set and whose builtins hold.
-	for changed := true; changed; {
-		changed = false
-		for _, r := range p.Rules {
-			joinPossible(possible, r, func(subst term.Subst) {
-				for _, h := range r.Head {
-					if possible.Insert(groundAtom(h, subst)) {
-						changed = true
-					}
-				}
-			})
-		}
-	}
+func (s *factSet) extend() *factSet {
+	return &factSet{parent: s, buckets: make(map[uint64][]int32)}
+}
 
-	// Instantiate the rules over the possible set.
-	seenRules := map[string]bool{}
-	for _, r := range p.Rules {
-		joinPossible(possible, r, func(subst term.Subst) {
-			rule, keep := instantiate(in, r, subst, possible, facts)
-			if !keep {
-				return
+func (s *factSet) has(f relational.Fact) bool {
+	return s.hasHash(f, f.Hash())
+}
+
+func (s *factSet) hasHash(f relational.Fact, h uint64) bool {
+	for lvl := s; lvl != nil; lvl = lvl.parent {
+		for _, i := range lvl.buckets[h] {
+			if lvl.facts[i].Equal(f) {
+				return true
 			}
-			key := ruleKey(rule)
-			if !seenRules[key] {
-				seenRules[key] = true
-				gp.Rules = append(gp.Rules, rule)
+		}
+	}
+	return false
+}
+
+// add inserts f unless present, reporting whether it was new. The fact is
+// stored as given; callers pass facts that own their tuples.
+func (s *factSet) add(f relational.Fact) bool {
+	h := f.Hash()
+	if s.hasHash(f, h) {
+		return false
+	}
+	s.buckets[h] = append(s.buckets[h], int32(len(s.facts)))
+	s.facts = append(s.facts, f)
+	return true
+}
+
+// ruleSet deduplicates ground rules. Equality treats each rule part as a
+// set (parts are duplicate-free by construction), matching the sorted-part
+// string keys of the pre-hash implementation; the hash is accordingly
+// order-independent within each part. A ruleSet may extend a frozen parent
+// so an extension program dedups against the base rules it shares.
+type ruleSet struct {
+	parent  *ruleSet
+	buckets map[uint64][]int32
+	// rules holds the rules added at this level, in insertion order; it is
+	// the emitted rule list of the level's program.
+	rules []Rule
+}
+
+func newRuleSet() *ruleSet {
+	return &ruleSet{buckets: make(map[uint64][]int32)}
+}
+
+func (s *ruleSet) extend() *ruleSet {
+	return &ruleSet{parent: s, buckets: make(map[uint64][]int32)}
+}
+
+// add inserts r unless an equal rule exists at any level, reporting whether
+// it was new.
+func (s *ruleSet) add(r Rule) bool {
+	h := ruleHash(r)
+	for lvl := s; lvl != nil; lvl = lvl.parent {
+		for _, i := range lvl.buckets[h] {
+			if ruleEq(lvl.rules[i], r) {
+				return false
 			}
-		})
+		}
 	}
-
-	gp.Names = in.names
-	gp.Atoms = in.atoms
-	gp.ids = in.ids
-	return gp, nil
+	s.buckets[h] = append(s.buckets[h], int32(len(s.rules)))
+	s.rules = append(s.rules, r)
+	return true
 }
 
-// instantiate builds one ground rule, simplifying it against the possible
-// and fact sets. keep is false when the rule instance is trivially
-// satisfied (a head atom or negated non-possible literal... ) or its body is
-// false.
-func instantiate(in *interner, r logic.Rule, subst term.Subst, possible, facts *relational.Instance) (Rule, bool) {
-	var out Rule
-	for _, h := range r.Head {
-		f := groundAtom(h, subst)
-		if facts.Has(f) {
-			return Rule{}, false // head already true
+func ruleHash(r Rule) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, part := range [3][]int{r.Head, r.Pos, r.Neg} {
+		var x uint64
+		for _, id := range part {
+			x ^= scramble(uint64(id))
 		}
-		out.Head = appendUniq(out.Head, in.intern(f))
+		h ^= x
+		h *= prime
+		h ^= uint64(len(part))
+		h *= prime
 	}
-	for _, a := range r.Pos {
-		f := groundAtom(a, subst)
-		if facts.Has(f) {
-			continue // always true
-		}
-		if !possible.Has(f) {
-			return Rule{}, false // body can never hold
-		}
-		out.Pos = appendUniq(out.Pos, in.intern(f))
-	}
-	for _, a := range r.Neg {
-		f := groundAtom(a, subst)
-		if facts.Has(f) {
-			return Rule{}, false // not <fact> is false
-		}
-		if !possible.Has(f) {
-			continue // not <underivable> is true
-		}
-		out.Neg = appendUniq(out.Neg, in.intern(f))
-	}
-	return out, true
+	return h
 }
 
-func appendUniq(xs []int, x int) []int {
-	for _, y := range xs {
-		if y == x {
-			return xs
-		}
-	}
-	return append(xs, x)
+// scramble is the splitmix64 finalizer, spreading dense atom ids so that
+// XOR-combining them within a rule part stays collision-resistant.
+func scramble(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
-func ruleKey(r Rule) string {
-	var b strings.Builder
-	for _, part := range [][]int{r.Head, r.Pos, r.Neg} {
-		s := append([]int(nil), part...)
-		sort.Ints(s)
-		fmt.Fprintf(&b, "%v|", s)
-	}
-	return b.String()
+func ruleEq(a, b Rule) bool {
+	return partEq(a.Head, b.Head) && partEq(a.Pos, b.Pos) && partEq(a.Neg, b.Neg)
 }
 
-// joinPossible enumerates substitutions satisfying the positive body and
-// the builtins over the possible-atom instance, probing each atom through
-// the store index on its bound columns.
-func joinPossible(possible *relational.Instance, r logic.Rule, yield func(term.Subst)) {
-	subst := term.Subst{}
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(r.Pos) {
-			for _, b := range r.Builtins {
-				res, ok := b.Eval(subst)
-				if !ok || !res {
-					return
-				}
+// partEq is set equality of duplicate-free id lists.
+func partEq(xs, ys []int) bool {
+	if len(xs) != len(ys) {
+		return false
+	}
+outer:
+	for _, x := range xs {
+		for _, y := range ys {
+			if x == y {
+				continue outer
 			}
-			yield(subst)
-			return
 		}
-		a := r.Pos[i]
-		possible.Scan(a.Pred, a.Arity(), relational.AtomBindings(a, subst), func(t relational.Tuple) bool {
-			bound, ok := match(t, a, subst)
-			if ok {
-				rec(i + 1)
-				for _, v := range bound {
-					delete(subst, v)
-				}
-			}
-			return true
-		})
+		return false
 	}
-	rec(0)
+	return true
 }
 
+// match binds the variables of a against the tuple, extending subst in
+// place; on mismatch it unbinds what it bound and reports false.
 func match(tuple relational.Tuple, a term.Atom, subst term.Subst) (bound []string, ok bool) {
 	for i, t := range a.Args {
 		if !t.IsVar() {
@@ -282,16 +341,29 @@ func match(tuple relational.Tuple, a term.Atom, subst term.Subst) (bound []strin
 	return bound, true
 }
 
-func groundAtom(a term.Atom, subst term.Subst) relational.Fact {
-	args := make(relational.Tuple, len(a.Args))
-	for i, t := range a.Args {
+func unbind(subst term.Subst, bound []string) {
+	for _, v := range bound {
+		delete(subst, v)
+	}
+}
+
+// groundAtomInto instantiates a under subst into dst's storage (reusing its
+// capacity), returning the tuple. The result aliases dst; callers clone
+// before retaining.
+func groundAtomInto(dst relational.Tuple, a term.Atom, subst term.Subst) relational.Tuple {
+	dst = dst[:0]
+	for _, t := range a.Args {
 		if t.IsVar() {
-			args[i] = subst[t.Var]
+			dst = append(dst, subst[t.Var])
 		} else {
-			args[i] = t.Const
+			dst = append(dst, t.Const)
 		}
 	}
-	return relational.Fact{Pred: a.Pred, Args: args}
+	return dst
+}
+
+func groundAtom(a term.Atom, subst term.Subst) relational.Fact {
+	return relational.Fact{Pred: a.Pred, Args: groundAtomInto(make(relational.Tuple, 0, len(a.Args)), a, subst)}
 }
 
 func groundFact(a term.Atom) relational.Fact {
@@ -300,21 +372,4 @@ func groundFact(a term.Atom) relational.Fact {
 		args[i] = t.Const
 	}
 	return relational.Fact{Pred: a.Pred, Args: args}
-}
-
-// Facts exposed for tests: value constants of an atom id.
-func (p *Program) Fact(id int) relational.Fact { return p.Atoms[id] }
-
-// AtomID looks up the id of a ground fact, if interned.
-func (p *Program) AtomID(f relational.Fact) (int, bool) {
-	if p.ids != nil {
-		id, ok := p.ids[f.Key()]
-		return id, ok
-	}
-	for id, g := range p.Atoms {
-		if g.Equal(f) {
-			return id, true
-		}
-	}
-	return 0, false
 }

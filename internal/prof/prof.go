@@ -1,0 +1,53 @@
+// Package prof wires the runtime/pprof CPU and heap profilers behind two
+// file-path options, so every command can expose -cpuprofile/-memprofile
+// without an ad-hoc harness per bottleneck hunt.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the (possibly empty) file paths: a
+// CPU profile streams to cpu until stop is called, and a heap profile is
+// captured into mem at stop time, after a GC, so it reflects live memory
+// at the end of the profiled region. Either path may be empty to skip that
+// profile; with both empty Start is a no-op and stop never fails.
+//
+// The returned stop function must be called exactly once (defer it); it
+// finishes both profiles and closes the files.
+func Start(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("prof: creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: closing CPU profile: %w", err)
+			}
+		}
+		if mem != "" {
+			memFile, err := os.Create(mem)
+			if err != nil {
+				return fmt.Errorf("prof: creating heap profile: %w", err)
+			}
+			defer memFile.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				return fmt.Errorf("prof: writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,8 +1,10 @@
 package repairprog
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/ground"
 	"repro/internal/logic"
 	"repro/internal/query"
 	"repro/internal/term"
@@ -62,6 +64,37 @@ func (tr *Translation) repairedAtom(a term.Atom) term.Atom {
 // predicate.
 func (tr *Translation) annotates(pred string) bool {
 	return tr.annotated == nil || tr.annotated[pred]
+}
+
+// GroundWithQuery returns the ground program of Π(D, IC) ∪ Π(q): the
+// cached base grounding (BaseGrounding) extended with just the query rules,
+// so the per-query cost is grounding a handful of rules over the retained
+// possible-set snapshot instead of re-grounding the whole repair program.
+// The result is byte-identical to a monolithic grounding of WithQuery(q).
+// If the extension cannot share the base — a database relation named
+// AnswerPred, say — it falls back to that monolithic grounding. Safe for
+// concurrent use: queries extend one shared frozen base.
+func (tr *Translation) GroundWithQuery(q *query.Q) (*ground.Program, error) {
+	rules, err := tr.QueryRules(q)
+	if err != nil {
+		return nil, err
+	}
+	base, err := tr.BaseGrounding()
+	if err != nil {
+		return nil, err
+	}
+	gp, err := base.Extend(rules)
+	if err == nil {
+		return gp, nil
+	}
+	if !errors.Is(err, ground.ErrExtendConflict) {
+		return nil, err
+	}
+	prog, err := tr.WithQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return ground.GroundWith(prog, tr.GroundOptions)
 }
 
 // WithQuery returns a copy of the repair program extended with the query

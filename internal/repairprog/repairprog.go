@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/constraint"
 	"repro/internal/ground"
@@ -78,6 +79,11 @@ type Translation struct {
 	Program *logic.Program
 	Set     *constraint.Set
 	Variant Variant
+	// GroundOptions configures how Π(D, IC) is grounded. It must be set
+	// before the first call of BaseGrounding (directly or via
+	// StreamRepairs/GroundWithQuery); later changes have no effect, since
+	// the grounding is computed once and cached.
+	GroundOptions ground.Options
 	// base is the instance D the program was built from. Streamed repairs
 	// are emitted as copy-on-write overlays of it (see ModelReader), so it
 	// must not be mutated while the translation is in use.
@@ -90,6 +96,12 @@ type Translation struct {
 	// passthrough records the predicates whose base facts are copied
 	// verbatim into every repair (pruned unconstrained predicates).
 	passthrough map[string]bool
+
+	// groundOnce guards the cached grounding of Π(D, IC), shared by every
+	// repair stream and query of this translation.
+	groundOnce sync.Once
+	groundProg *ground.Program
+	groundErr  error
 }
 
 // BuildOptions configures program generation.
@@ -386,7 +398,7 @@ func (tr *Translation) Interpret(gp *ground.Program, m stable.Model) *relational
 // caller's concern. yield returning false cancels the enumeration (nil
 // error), mirroring the streaming contract of repair.Enumerate.
 func (tr *Translation) StreamRepairs(opts stable.Options, yield func(inst *relational.Instance, delta relational.Delta, m stable.Model) bool) error {
-	gp, err := ground.Ground(tr.Program)
+	gp, err := tr.BaseGrounding()
 	if err != nil {
 		return err
 	}
@@ -395,6 +407,18 @@ func (tr *Translation) StreamRepairs(opts stable.Options, yield func(inst *relat
 		inst, delta := reader.Repair(m)
 		return yield(inst, delta, m)
 	})
+}
+
+// BaseGrounding grounds Π(D, IC) once per Translation and caches the
+// result; every repair stream and query of the translation shares it. The
+// returned program retains its grounding snapshot, so per-query rules can
+// be grounded against it with ground.Extend instead of re-grounding the
+// repair program. Safe for concurrent use.
+func (tr *Translation) BaseGrounding() (*ground.Program, error) {
+	tr.groundOnce.Do(func() {
+		tr.groundProg, tr.groundErr = ground.GroundBase(tr.Program, tr.GroundOptions)
+	})
+	return tr.groundProg, tr.groundErr
 }
 
 // StableRepairs materializes the stream: the distinct database instances
