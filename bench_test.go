@@ -23,6 +23,7 @@ import (
 	"repro/internal/relational"
 	"repro/internal/repair"
 	"repro/internal/repairprog"
+	"repro/internal/session"
 	"repro/internal/stable"
 	"repro/internal/value"
 )
@@ -1029,6 +1030,166 @@ func BenchmarkCQAProgramMultiQuery(b *testing.B) {
 			ans, err := core.CautiousMany(d, set, queries, opts)
 			if err != nil || len(ans) != len(queries) {
 				b.Fatalf("answers=%d err=%v", len(ans), err)
+			}
+		}
+	})
+}
+
+// --- session layer: O(|Δ|) live updates vs scratch recomputation ---------------------------------
+
+// sessionBenchDB builds the 2000-row update workload: 998 consistent
+// (course, student) pairs plus 4 dangling courses under the referential
+// constraint, so the repair set is the 16-element product of per-violation
+// resolutions.
+func sessionBenchDB() (*relational.Instance, *constraint.Set) {
+	d := relational.NewInstance()
+	for i := 0; i < 998; i++ {
+		id := value.Int(int64(1000 + i))
+		d.Insert(relational.F("course", id, value.Str(fmt.Sprintf("c%d", i))))
+		d.Insert(relational.F("student", id, value.Str(fmt.Sprintf("n%d", i))))
+	}
+	for i := 0; i < 4; i++ {
+		d.Insert(relational.F("course", value.Int(int64(100+i)), value.Str(fmt.Sprintf("cx%d", i))))
+	}
+	// An unconstrained relation read by a standing query: updates to it are
+	// query-relevant but constraint-irrelevant, the common case in a live
+	// database whose inconsistencies are localized.
+	for i := 0; i < 500; i++ {
+		d.Insert(relational.F("enrolled", value.Int(int64(1000+i)), value.Str("t1")))
+	}
+	return d, parser.MustConstraints(`course(Id, Code) -> student(Id, Name).`)
+}
+
+// sessionBenchDeltas is a period-4 mixed update stream, each step ≤8 facts:
+// a batch of enrollment facts enters (constraint-irrelevant, read by a
+// standing query), then 4 consistent (course, student) pairs
+// (constraint-relevant), then each batch leaves again, so the instance
+// returns to its start state every fourth step. The mix is the session
+// design point — most live updates don't touch a violated constraint — and
+// the all-relevant worst case is benchmarked separately.
+func sessionBenchDeltas() [4]relational.Delta {
+	var pairs, enr []relational.Fact
+	for i := 0; i < 4; i++ {
+		id := value.Int(int64(5000 + i))
+		pairs = append(pairs,
+			relational.F("course", id, value.Str(fmt.Sprintf("d%d", i))),
+			relational.F("student", id, value.Str(fmt.Sprintf("m%d", i))))
+	}
+	for i := 0; i < 8; i++ {
+		enr = append(enr, relational.F("enrolled", value.Int(int64(7000+i)), value.Str("t2")))
+	}
+	relational.SortFacts(pairs)
+	relational.SortFacts(enr)
+	return [4]relational.Delta{{Added: enr}, {Added: pairs}, {Removed: enr}, {Removed: pairs}}
+}
+
+// sessionRelevantDeltas is the all-relevant worst case: every step flips
+// the 4 consistent pairs, so each Apply invalidates the repair cache and
+// pays a full seeded re-enumeration.
+func sessionRelevantDeltas() [2]relational.Delta {
+	all := sessionBenchDeltas()
+	return [2]relational.Delta{all[1], all[3]}
+}
+
+// sessionBenchQueries returns the standing queries shared by both sides of
+// the update benchmarks.
+func sessionBenchQueries() []*query.Q {
+	return []*query.Q{
+		parser.MustQuery(`q(Id) :- student(Id, Name).`),
+		parser.MustQuery(`q(Id) :- enrolled(Id, Term).`),
+		parser.MustQuery(`q :- course(100, cx0).`),
+	}
+}
+
+// BenchmarkSessionUpdate is the tentpole acceptance benchmark: sustained
+// ≤8-fact updates over a 2000-row base with three standing queries.
+// "session" advances one persistent session per step (maintained
+// violations, seeded re-enumeration, prepared-query patching); "scratch"
+// mutates a plain instance and recomputes every answer with fresh
+// ConsistentAnswers calls, which is what callers had to do before the
+// session layer. The top-level pair runs the mixed stream; the
+// relevant-only pair isolates the worst case where every update
+// invalidates the repair cache.
+func BenchmarkSessionUpdate(b *testing.B) {
+	d, set := sessionBenchDB()
+	queries := sessionBenchQueries()
+	opts := core.NewOptions()
+
+	sessionSide := func(deltas []relational.Delta) func(b *testing.B) {
+		return func(b *testing.B) {
+			s := session.New(d.Clone(), set, opts)
+			for _, q := range queries {
+				if _, err := s.Prepare(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Apply(deltas[i%len(deltas)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	scratchSide := func(deltas []relational.Delta) func(b *testing.B) {
+		return func(b *testing.B) {
+			cur := d.Clone()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dl := deltas[i%len(deltas)]
+				for _, f := range dl.Removed {
+					cur.Delete(f)
+				}
+				for _, f := range dl.Added {
+					cur.Insert(f)
+				}
+				for _, q := range queries {
+					if _, err := core.ConsistentAnswers(cur, set, q, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+
+	mixed := sessionBenchDeltas()
+	relevant := sessionRelevantDeltas()
+	b.Run("session", sessionSide(mixed[:]))
+	b.Run("scratch", scratchSide(mixed[:]))
+	b.Run("relevant-only/session", sessionSide(relevant[:]))
+	b.Run("relevant-only/scratch", scratchSide(relevant[:]))
+}
+
+// BenchmarkSessionPreparedQuery isolates the query half: answering on a
+// warm session (cached repair set, anchored base evaluations) vs a fresh
+// ConsistentAnswers that rebuilds everything per call.
+func BenchmarkSessionPreparedQuery(b *testing.B) {
+	d, set := sessionBenchDB()
+	q := parser.MustQuery(`q(Id) :- student(Id, Name).`)
+	opts := core.NewOptions()
+
+	b.Run("session", func(b *testing.B) {
+		s := session.New(d.Clone(), set, opts)
+		if _, err := s.Answer(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ans, err := s.Answer(q)
+			if err != nil || len(ans.Tuples) != 998 {
+				b.Fatalf("answers=%d err=%v", len(ans.Tuples), err)
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ans, err := core.ConsistentAnswers(d, set, q, opts)
+			if err != nil || len(ans.Tuples) != 998 {
+				b.Fatalf("answers=%d err=%v", len(ans.Tuples), err)
 			}
 		}
 	})

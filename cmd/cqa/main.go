@@ -9,6 +9,12 @@
 //	cqa -db db.facts -ic constraints.ic repairs [-classic] [-engine search|program] [-workers n]
 //	cqa -db db.facts -ic constraints.ic answers -query query.q [-engine search|program|cautious] [-workers n]
 //	cqa -db db.facts -ic constraints.ic semantics
+//	cqa -db db.facts -ic constraints.ic -session script.txt [-engine ...] [-workers n]
+//
+// -session runs a line-oriented update script (query / insert / delete
+// commands) against one persistent session: standing queries are prepared
+// once and each update advances the shared repair state in O(|Δ|),
+// printing the answer diffs it causes (see internal/session).
 //
 // -workers parallelizes the chosen engine: the search engine's state
 // expansion pool, or the program engines' grounding and per-component
@@ -54,6 +60,7 @@ func run(args []string) (retErr error) {
 	dbArg := fs.String("db", "", "database instance (file path or inline facts)")
 	icArg := fs.String("ic", "", "integrity constraints (file path or inline)")
 	queryArg := fs.String("query", "", "query (file path or inline), for the answers command")
+	sessionArg := fs.String("session", "", "session update script (file of query/insert/delete lines)")
 	engine := fs.String("engine", "search", "repair engine: search | program | cautious (answers only)")
 	classic := fs.Bool("classic", false, "use the classic [2] repair semantics (repairs command, search engine)")
 	workers := fs.Int("workers", 1, "parallel workers for the selected engine (>= 1)")
@@ -71,24 +78,32 @@ func run(args []string) (retErr error) {
 			retErr = perr
 		}
 	}()
-	if fs.NArg() != 1 {
-		return fmt.Errorf("expected exactly one command: check | repairs | answers | semantics")
+	cmd := ""
+	switch {
+	case *sessionArg != "":
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-session is a command of its own: drop %q", fs.Arg(0))
+		}
+		cmd = "session"
+	case fs.NArg() != 1:
+		return fmt.Errorf("expected exactly one command: check | repairs | answers | semantics (or -session script)")
+	default:
+		cmd = fs.Arg(0)
 	}
-	cmd := fs.Arg(0)
 
 	switch *engine {
 	case "search", "program", "cautious":
 	default:
 		return fmt.Errorf("unknown -engine %q: want search, program, or cautious", *engine)
 	}
-	if *engine != "search" && cmd != "repairs" && cmd != "answers" {
-		return fmt.Errorf("-engine only applies to the repairs and answers commands")
+	if *engine != "search" && cmd != "repairs" && cmd != "answers" && cmd != "session" {
+		return fmt.Errorf("-engine only applies to the repairs, answers, and session commands")
 	}
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
 	}
-	if *workers > 1 && cmd != "repairs" && cmd != "answers" {
-		return fmt.Errorf("-workers only applies to the repairs and answers commands")
+	if *workers > 1 && cmd != "repairs" && cmd != "answers" && cmd != "session" {
+		return fmt.Errorf("-workers only applies to the repairs, answers, and session commands")
 	}
 	if *classic && cmd != "repairs" {
 		return fmt.Errorf("-classic only applies to the repairs command")
@@ -121,6 +136,8 @@ func run(args []string) (retErr error) {
 		return cmdAnswers(d, set, q, *engine, *workers)
 	case "semantics":
 		return cmdSemantics(d, set)
+	case "session":
+		return cmdSession(d, set, *sessionArg, *engine, *workers)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

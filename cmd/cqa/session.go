@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/session"
+)
+
+// cmdSession runs a -session script: a line-oriented file of
+//
+//	query  q(V) :- s(U, V).
+//	insert r(a, b). r(a, c).
+//	delete r(a, b).
+//
+// driving one persistent session. Each query line registers (or re-prints)
+// a standing query; each insert/delete applies one delta in O(|Δ|) and
+// prints the update summary followed by the answer diffs of every standing
+// query whose certain answers changed. Blank lines and #-comments are
+// skipped.
+func cmdSession(d *relational.Instance, set *constraint.Set, script string, engine string, workers int) error {
+	opts := core.NewOptions()
+	switch engine {
+	case "search":
+		opts.Repair.Workers = workers
+	case "program":
+		opts.Engine = core.EngineProgram
+		opts.Stable.Workers = workers
+		opts.Ground.Workers = workers
+	case "cautious":
+		opts.Engine = core.EngineProgramCautious
+		opts.Stable.Workers = workers
+		opts.Ground.Workers = workers
+	default:
+		return fmt.Errorf("unknown -engine %q: want search, program, or cautious", engine)
+	}
+	data, err := os.ReadFile(script)
+	if err != nil {
+		return fmt.Errorf("loading -session script: %w", err)
+	}
+
+	s := session.New(d, set, opts)
+	fmt.Printf("session: %d facts, %d constraints, engine %s\n",
+		d.Len(), len(set.ICs)+len(set.NNCs), engine)
+
+	// Standing queries in registration order, with their pending
+	// subscription diffs collected across the enclosing Apply.
+	type standing struct {
+		src  string
+		q    *query.Q
+		p    *session.Prepared
+		diff *session.QueryUpdate
+	}
+	var queries []*standing
+	byKey := map[string]*standing{}
+
+	for ln, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		verb, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch verb {
+		case "query":
+			q, err := parser.Query(rest)
+			if err != nil {
+				return fmt.Errorf("line %d: parsing query: %w", ln+1, err)
+			}
+			st, seen := byKey[q.String()]
+			if !seen {
+				p, err := s.Prepare(q)
+				if err != nil {
+					return fmt.Errorf("line %d: %w", ln+1, err)
+				}
+				st = &standing{src: rest, q: q, p: p}
+				st.p.Subscribe(func(u session.QueryUpdate) { st.diff = &u })
+				byKey[q.String()] = st
+				queries = append(queries, st)
+			}
+			fmt.Printf("query %s\n", q)
+			if q.IsBoolean() {
+				fmt.Printf("  consistent answer: %v\n", st.p.Boolean())
+				continue
+			}
+			ans := st.p.Answers()
+			fmt.Printf("  consistent answers: %d\n", len(ans))
+			for _, t := range ans {
+				fmt.Println("    " + t.String())
+			}
+		case "insert", "delete":
+			inst, err := parser.Instance(rest)
+			if err != nil {
+				return fmt.Errorf("line %d: parsing facts: %w", ln+1, err)
+			}
+			var dl relational.Delta
+			if verb == "insert" {
+				dl.Added = inst.Facts()
+			} else {
+				dl.Removed = inst.Facts()
+			}
+			res, err := s.Apply(dl)
+			if err != nil {
+				return fmt.Errorf("line %d: applying update: %w", ln+1, err)
+			}
+			fmt.Printf("%s %s\n", verb, rest)
+			if res.Applied.Size() == 0 {
+				fmt.Println("  no effective change")
+				continue
+			}
+			fmt.Printf("  applied %+d/-%d facts, constraint-relevant: %v\n",
+				len(res.Applied.Added), len(res.Applied.Removed), res.ConstraintRelevant)
+			consistent := "consistent"
+			if !s.Consistent() {
+				consistent = fmt.Sprintf("INCONSISTENT (%d violations)", len(s.Violations()))
+			}
+			fmt.Printf("  now %s; queries refreshed %d, skipped %d\n",
+				consistent, res.QueriesRefreshed, res.QueriesSkipped)
+			for _, st := range queries {
+				u := st.diff
+				st.diff = nil
+				if u == nil {
+					continue
+				}
+				if st.q.IsBoolean() {
+					fmt.Printf("  %s -> %v\n", st.q, u.Boolean)
+					continue
+				}
+				var parts []string
+				for _, t := range u.Added {
+					parts = append(parts, "+"+t.String())
+				}
+				for _, t := range u.Removed {
+					parts = append(parts, "-"+t.String())
+				}
+				fmt.Printf("  %s -> %s\n", st.q, strings.Join(parts, " "))
+			}
+		default:
+			return fmt.Errorf("line %d: unknown command %q: want query, insert, or delete", ln+1, verb)
+		}
+	}
+	return nil
+}

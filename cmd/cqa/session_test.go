@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSessionScript(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "script.txt")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSessionCommandGolden pins the full -session transcript for a scripted
+// update sequence on the shared fixture, for each engine: standing-query
+// registration, O(|Δ|) applies with their summaries, and the pushed answer
+// diffs. The golden text is engine-independent by construction (certain
+// answers are engine-independent, and the summary lines print no
+// engine-specific diagnostics).
+func TestSessionCommandGolden(t *testing.T) {
+	db, ic, _ := writeFixtures(t)
+	script := writeSessionScript(t, `
+		# standing queries over the inconsistent fixture
+		query q(V) :- s(U, V).
+		query q :- r(a, b).
+
+		# unconstrained relation: fast path, nothing refreshed
+		insert t(x, y).
+
+		# resolve the key conflict in favour of r(a, b)
+		delete r(a, c).
+
+		# no-op: already gone
+		delete r(a, c).
+
+		query q(V) :- s(U, V).
+	`)
+	const golden = `session: 4 facts, 3 constraints, engine %s
+query q(V) :- s(U,V).
+  consistent answers: 1
+    (a)
+query q() :- r(a,b).
+  consistent answer: false
+insert t(x, y).
+  applied +1/-0 facts, constraint-relevant: false
+  now INCONSISTENT (3 violations); queries refreshed 0, skipped 2
+delete r(a, c).
+  applied +0/-1 facts, constraint-relevant: true
+  now INCONSISTENT (1 violations); queries refreshed 2, skipped 0
+  q() :- r(a,b). -> true
+delete r(a, c).
+  no effective change
+query q(V) :- s(U,V).
+  consistent answers: 1
+    (a)
+`
+	for _, engine := range []string{"search", "program", "cautious"} {
+		out, err := capture(t, func() error {
+			return run([]string{"-db", db, "-ic", ic, "-engine", engine, "-session", script})
+		})
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		want := strings.Replace(golden, "%s", engine, 1)
+		if out != want {
+			t.Errorf("engine %s transcript differs:\n--- got ---\n%s--- want ---\n%s", engine, out, want)
+		}
+	}
+}
+
+// TestSessionWorkersDeterministic extends the CLI determinism pin to the
+// session transcript.
+func TestSessionWorkersDeterministic(t *testing.T) {
+	db, ic, _ := writeFixtures(t)
+	script := writeSessionScript(t, `
+		query q(V) :- s(U, V).
+		insert r(b, b). s(g, b).
+		delete r(a, b).
+		query q(X, Y) :- r(X, Y).
+	`)
+	for _, engine := range []string{"search", "program", "cautious"} {
+		args := []string{"-db", db, "-ic", ic, "-engine", engine, "-session", script}
+		seq, err := capture(t, func() error { return run(args) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := capture(t, func() error { return run(append([]string{"-workers", "4"}, args...)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != par {
+			t.Errorf("engine %s: workers=4 session transcript differs:\n--- seq ---\n%s--- par ---\n%s", engine, seq, par)
+		}
+	}
+}
+
+// TestSessionErrorPaths pins the script-level and flag-level failures.
+func TestSessionErrorPaths(t *testing.T) {
+	db, ic, _ := writeFixtures(t)
+	bad := func(src string) string { return writeSessionScript(t, src) }
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"session with positional command",
+			[]string{"-db", db, "-ic", ic, "-session", bad("query q :- r(a, b)."), "check"},
+			"-session is a command"},
+		{"missing script file",
+			[]string{"-db", db, "-ic", ic, "-session", filepath.Join(t.TempDir(), "nope.txt")},
+			"loading -session script"},
+		{"unknown verb",
+			[]string{"-db", db, "-ic", ic, "-session", bad("upsert r(a, b).")},
+			`unknown command "upsert"`},
+		{"bad fact",
+			[]string{"-db", db, "-ic", ic, "-session", bad("insert r(X).")},
+			"parsing facts"},
+		{"bad query",
+			[]string{"-db", db, "-ic", ic, "-session", bad("query q( :- .")},
+			"parsing query"},
+	}
+	for _, tc := range cases {
+		_, err := capture(t, func() error { return run(tc.args) })
+		if err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error", tc.name, tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	repairgen -db db.facts -ic constraints.ic [-variant corrected] [-format dlv] [-ground]
+//	repairgen -db db.facts -updates n [-seed s]
+//
+// -updates switches to the update-script generator: instead of a repair
+// program it emits n randomized insert/delete lines (cqa -session syntax)
+// over the instance's schemas and active domain, for the session
+// differential and bench suites. -ic is not needed in this mode.
 package main
 
 import (
@@ -33,23 +39,31 @@ func run(args []string) error {
 	variantArg := fs.String("variant", "paper", "program variant: paper | corrected")
 	format := fs.String("format", "native", "output format: native | dlv")
 	groundOut := fs.Bool("ground", false, "also print the ground program and its stats")
+	updates := fs.Int("updates", 0, "emit a randomized session update script of this many lines instead of a program")
+	seedArg := fs.Int64("seed", 1, "random seed for -updates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dbArg == "" || *icArg == "" {
+	if *updates < 0 {
+		return fmt.Errorf("-updates must be >= 0 (got %d)", *updates)
+	}
+	if *dbArg == "" || (*icArg == "" && *updates == 0) {
 		return fmt.Errorf("-db and -ic are required")
 	}
 	dSrc, err := loadText(*dbArg)
 	if err != nil {
 		return err
 	}
-	icSrc, err := loadText(*icArg)
-	if err != nil {
-		return err
-	}
 	d, err := parser.Instance(dSrc)
 	if err != nil {
 		return fmt.Errorf("parsing -db: %w", err)
+	}
+	if *updates > 0 {
+		return emitUpdates(d, *updates, *seedArg)
+	}
+	icSrc, err := loadText(*icArg)
+	if err != nil {
+		return err
 	}
 	set, err := parser.Constraints(icSrc)
 	if err != nil {

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/parser"
+	"repro/internal/relational"
+	"repro/internal/value"
+)
+
+// poolCap bounds the enumerated fact pool; beyond it wide schemas would
+// make script generation itself the bottleneck.
+const poolCap = 50000
+
+// emitUpdates prints a randomized session update script: n insert/delete
+// lines in the syntax cqa -session consumes. Facts are drawn from the
+// closed pool of the instance's relation schemas over its active domain
+// plus null; a simulated fact set keeps the script well-formed (deletes
+// only present facts, inserts only absent ones), so every line is an
+// effective update. Deterministic for a fixed (-db, -updates, -seed)
+// triple.
+func emitUpdates(d *relational.Instance, n int, seed int64) error {
+	pool := updatePool(d)
+	if len(pool) == 0 {
+		return fmt.Errorf("-updates needs a non-empty instance to derive a fact pool from")
+	}
+	have := map[string]bool{}
+	d.ForEach(func(f relational.Fact) bool {
+		have[f.Key()] = true
+		return true
+	})
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Printf("# %d updates over %d pool facts (seed %d)\n", n, len(pool), seed)
+	for i := 0; i < n; i++ {
+		f := pool[rng.Intn(len(pool))]
+		verb := "insert"
+		if have[f.Key()] {
+			// Bias towards keeping the instance populated: a touched
+			// present fact is usually deleted, but a re-roll now and then
+			// keeps long scripts from draining small pools.
+			if rng.Intn(4) == 0 {
+				i--
+				continue
+			}
+			verb = "delete"
+		}
+		have[f.Key()] = verb == "insert"
+		fmt.Printf("%s %s.\n", verb, renderFact(f))
+	}
+	return nil
+}
+
+// updatePool enumerates facts over the instance's relation schemas with
+// arguments from the active domain extended with null, stopping at
+// poolCap.
+func updatePool(d *relational.Instance) []relational.Fact {
+	vals := d.ActiveDomain()
+	hasNull := false
+	for _, v := range vals {
+		if v.IsNull() {
+			hasNull = true
+			break
+		}
+	}
+	if !hasNull {
+		vals = append(vals, value.Null())
+	}
+	var pool []relational.Fact
+	args := make([]value.V, 0, 8)
+	var expand func(rk relational.RelKey)
+	expand = func(rk relational.RelKey) {
+		if len(pool) >= poolCap {
+			return
+		}
+		if len(args) == rk.Arity {
+			// relational.F keeps the slice, so detach it from the shared
+			// recursion buffer.
+			own := make([]value.V, len(args))
+			copy(own, args)
+			pool = append(pool, relational.F(rk.Pred, own...))
+			return
+		}
+		for _, v := range vals {
+			args = append(args, v)
+			expand(rk)
+			args = args[:len(args)-1]
+		}
+	}
+	for _, rk := range d.RelKeys() {
+		expand(rk)
+	}
+	return pool
+}
+
+func renderFact(f relational.Fact) string {
+	if len(f.Args) == 0 {
+		return f.Pred
+	}
+	parts := make([]string, len(f.Args))
+	for i, v := range f.Args {
+		parts[i] = parser.FormatValue(v)
+	}
+	return f.Pred + "(" + strings.Join(parts, ", ") + ")"
+}

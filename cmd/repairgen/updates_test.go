@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/relational"
+)
+
+// TestUpdatesScript pins the generator contract: exactly n lines of
+// well-formed insert/delete commands (deletes of present facts, inserts of
+// absent ones, tracked through the script), deterministic per seed.
+func TestUpdatesScript(t *testing.T) {
+	db, _ := fixtures(t)
+	out, err := capture(t, func() error {
+		return run([]string{"-db", db, "-updates", "40", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := capture(t, func() error {
+		return run([]string{"-db", db, "-updates", "40", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Fatal("same seed produced different scripts")
+	}
+	other, err := capture(t, func() error {
+		return run([]string{"-db", db, "-updates", "40", "-seed", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == other {
+		t.Error("different seeds produced identical scripts")
+	}
+
+	have := map[string]bool{}
+	base := parser.MustInstance(`r(a, b). r(a, c). s(e, f).`)
+	base.ForEach(func(f relational.Fact) bool {
+		have[f.Key()] = true
+		return true
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "#") {
+		t.Fatalf("missing header comment: %q", lines[0])
+	}
+	body := lines[1:]
+	if len(body) != 40 {
+		t.Fatalf("got %d update lines, want 40", len(body))
+	}
+	for _, line := range body {
+		verb, rest, ok := strings.Cut(line, " ")
+		if !ok || (verb != "insert" && verb != "delete") {
+			t.Fatalf("malformed line %q", line)
+		}
+		inst, err := parser.Instance(rest)
+		if err != nil {
+			t.Fatalf("line %q does not parse as a fact: %v", line, err)
+		}
+		fs := inst.Facts()
+		if len(fs) != 1 {
+			t.Fatalf("line %q holds %d facts, want 1", line, len(fs))
+		}
+		f := fs[0]
+		if verb == "delete" && !have[f.Key()] {
+			t.Fatalf("delete of absent fact: %q", line)
+		}
+		if verb == "insert" && have[f.Key()] {
+			t.Fatalf("insert of present fact: %q", line)
+		}
+		have[f.Key()] = verb == "insert"
+	}
+}
+
+func TestUpdatesErrors(t *testing.T) {
+	db, _ := fixtures(t)
+	for _, args := range [][]string{
+		{"-db", db, "-updates", "-1"}, // negative count
+		{"-updates", "5"},             // missing -db
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -4,6 +4,13 @@
 // repair of D; for boolean queries the consistent answer is yes iff the
 // query holds in every repair.
 //
+// Since the session refactor the engines live in internal/session: a
+// Session owns the maintained violation lists, repair cache, translation
+// and prepared queries for one (D, IC) pair, and every one-shot entry
+// point here is a thin adapter over a throwaway session. Callers that
+// answer more than once against the same instance should hold a
+// session.Session instead and Apply updates to it.
+//
 // Two interchangeable engines are provided, mirroring the two halves of the
 // paper:
 //
@@ -20,108 +27,40 @@
 package core
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/constraint"
-	"repro/internal/ground"
 	"repro/internal/nullsem"
 	"repro/internal/query"
 	"repro/internal/relational"
-	"repro/internal/repair"
-	"repro/internal/repairprog"
-	"repro/internal/stable"
+	"repro/internal/session"
 )
 
-// Engine selects how repairs are produced.
-type Engine uint8
+// Engine selects how repairs are produced. See session.Engine.
+type Engine = session.Engine
 
 const (
 	// EngineSearch uses the violation-driven repair search.
-	EngineSearch Engine = iota
+	EngineSearch = session.EngineSearch
 	// EngineProgram uses the Definition 9 repair program and its stable
 	// models, materializing each repair and evaluating the query on it.
-	EngineProgram
-	// EngineProgramCautious runs the paper's Section 5 pipeline
-	// end-to-end: the query is compiled to rules over the t**-annotated
-	// predicates, appended to the repair program, and the consistent
-	// answers are the cautious (certain) consequences of the combined
-	// program — no repair is ever materialized.
-	EngineProgramCautious
+	EngineProgram = session.EngineProgram
+	// EngineProgramCautious computes the consistent answers as the
+	// cautious consequences of the repair program extended with the query
+	// rules — no repair is ever materialized.
+	EngineProgramCautious = session.EngineProgramCautious
 )
 
-func (e Engine) String() string {
-	switch e {
-	case EngineProgram:
-		return "program"
-	case EngineProgramCautious:
-		return "program-cautious"
-	default:
-		return "search"
-	}
-}
+// Options configures consistent query answering. See session.Options.
+type Options = session.Options
 
-// Options configures consistent query answering.
-type Options struct {
-	Engine Engine
-	// Variant selects the repair-program flavour for EngineProgram.
-	// The zero value is repairprog.VariantPaper; NewOptions defaults to
-	// the corrected variant, which is the one matching Theorem 4 on all
-	// inputs.
-	Variant repairprog.Variant
-	// Repair configures the search engine.
-	Repair repair.Options
-	// Stable configures the model enumeration.
-	Stable stable.Options
-	// Ground configures the grounding of the repair program (worker pool,
-	// naive-fixpoint ablation). The answers are identical for every
-	// setting.
-	Ground ground.Options
-}
+// Answer is the result of consistent query answering. See session.Answer.
+type Answer = session.Answer
 
 // NewOptions returns the default options: search engine, corrected
 // program variant.
 func NewOptions() Options {
-	return Options{Variant: repairprog.VariantCorrected}
-}
-
-// Answer is the result of consistent query answering.
-type Answer struct {
-	// Tuples are the certain answers (sorted, distinct); nil for boolean
-	// queries.
-	Tuples []relational.Tuple
-	// Boolean is the certain answer of a boolean query.
-	Boolean bool
-	// NumRepairs is the number of repairs inspected. After a short-circuit
-	// it is 1: the confirmed-minimal counterexample is the only candidate
-	// established as a repair when the search stops.
-	NumRepairs int
-	// StatesExplored counts the search states visited when the search
-	// engine produced the answer (0 for the program engines). After a
-	// short-circuit with Workers <= 1 it is strictly below the
-	// full-enumeration count; parallel cancellation is best-effort, so
-	// in-flight workers may have admitted further states by the time the
-	// stop propagates.
-	StatesExplored int
-	// ShortCircuited reports that the engine stopped at the first
-	// counterexample instead of enumerating exhaustively. Only boolean
-	// queries short-circuit, and only when the certain answer is no: the
-	// search engine stops at the first confirmed-minimal falsifying leaf,
-	// and the program engines stop at the first stable model whose induced
-	// repair (EngineProgram) or answer-atom set (EngineProgramCautious)
-	// falsifies the query — a stable model is a repair outright
-	// (Theorem 4), so no certificate is needed. After a program-engine
-	// short-circuit NumRepairs counts the distinct repairs seen up to and
-	// including the counterexample.
-	//
-	// Boolean and Tuples are identical for every Repair.Workers and
-	// Stable.Workers value; NumRepairs, StatesExplored and ShortCircuited
-	// are diagnostics that are deterministic for the program engines and
-	// for search Workers <= 1, but can vary with scheduling for larger
-	// search worker counts (leaf arrival order decides which falsifying
-	// candidates spend the certificate budget).
-	ShortCircuited bool
+	return session.NewOptions()
 }
 
 // IsConsistent reports D |=_N IC.
@@ -131,303 +70,16 @@ func IsConsistent(d *relational.Instance, set *constraint.Set) bool {
 
 // RepairsOf produces the repair set with the selected engine.
 func RepairsOf(d *relational.Instance, set *constraint.Set, opts Options) ([]*relational.Instance, error) {
-	switch opts.Engine {
-	case EngineProgram, EngineProgramCautious:
-		tr, err := repairprog.Build(d, set, opts.Variant)
-		if err != nil {
-			return nil, err
-		}
-		tr.GroundOptions = opts.Ground
-		insts, _, err := tr.StableRepairs(opts.Stable)
-		return insts, err
-	default:
-		res, err := repair.Repairs(d, set, opts.Repair)
-		if err != nil {
-			return nil, err
-		}
-		return res.Repairs, nil
-	}
+	return session.New(d, set, opts).Repairs()
 }
 
 // ConsistentAnswers computes the consistent answers to q on d wrt set.
 //
 // With the search engine the answer is computed incrementally on the repair
-// stream (see searchAnswers): boolean certain answers short-circuit the
-// whole enumeration at the first confirmed-minimal counterexample.
+// stream: boolean certain answers short-circuit the whole enumeration at
+// the first confirmed-minimal counterexample.
 func ConsistentAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
-	if err := q.Validate(); err != nil {
-		return Answer{}, err
-	}
-	switch opts.Engine {
-	case EngineProgramCautious:
-		return cautiousAnswers(d, set, q, opts)
-	case EngineProgram:
-		return materializedAnswers(d, set, q, opts)
-	default:
-		return searchAnswers(d, set, q, opts)
-	}
-}
-
-// errEmptyRepairSet guards the Proposition 1 invariant.
-var errEmptyRepairSet = fmt.Errorf("core: empty repair set (Proposition 1 guarantees at least one repair; this indicates an engine limitation on this input)")
-
-// maxConfirmAttempts bounds how many falsifying leaves a boolean search
-// answer will try to certify with ConfirmMinimal before falling back to
-// plain full enumeration.
-const maxConfirmAttempts = 8
-
-// searchAnswers implements EngineSearch on the streaming repair search:
-// leaves feed the online ≤_D antichain and the certain answers are the
-// incremental intersection over the candidates that survive the stream.
-//
-// Boolean queries are evaluated eagerly, one evaluation per candidate that
-// enters the surviving set (evaluations of displaced candidates are dropped
-// with them): the moment a falsifying leaf carries a ConfirmMinimal
-// certificate, it is a repair no matter what the rest of the search would
-// find, so the certain answer is already no and the whole search is
-// cancelled. Non-boolean queries can never short-circuit (their NumRepairs
-// is part of the cross-engine contract), so they evaluate only the final
-// survivors — never a displaced candidate.
-func searchAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
-	if !q.IsBoolean() {
-		repairs, stats, err := streamRepairs(d, set, opts)
-		if err != nil {
-			return Answer{}, err
-		}
-		ans := Answer{NumRepairs: len(repairs), StatesExplored: stats.StatesExplored}
-		if ans.Tuples, err = certainTuples(d, repairs, q); err != nil {
-			return Answer{}, err
-		}
-		return ans, nil
-	}
-
-	// One base evaluation of q on D; every leaf is answered by patching
-	// that result along Δ(D, leaf) — O(|Δ|) anchored joins instead of a
-	// full per-leaf evaluation.
-	be, err := query.NewBaseEval(d, q)
-	if err != nil {
-		return Answer{}, err
-	}
-	ac := repair.NewAntichain(d, opts.Repair.Mode)
-	holdsBy := map[*relational.Instance]bool{}
-	short := false
-	// A failed certificate costs up to 2^ConfirmLimit consistency checks
-	// (the falsifying leaf is minimal so far, but its dominator arrives
-	// later), so stop attempting after a few misses: the stream still
-	// completes and the final answer is unchanged.
-	confirmBudget := maxConfirmAttempts
-	stats, err := repair.Enumerate(d, set, opts.Repair, func(leaf *relational.Instance) bool {
-		minimal, displaced := ac.Add(leaf)
-		for _, m := range displaced {
-			delete(holdsBy, m)
-		}
-		if !minimal {
-			return true
-		}
-		holds := len(be.EvalOn(leaf)) > 0
-		holdsBy[leaf] = holds
-		if !holds && confirmBudget > 0 {
-			confirmBudget--
-			if repair.ConfirmMinimal(d, leaf, set, opts.Repair) {
-				short = true
-				return false
-			}
-		}
-		return true
-	})
-	if err != nil {
-		return Answer{}, err
-	}
-	ans := Answer{StatesExplored: stats.StatesExplored}
-	if short {
-		ans.ShortCircuited = true
-		// Exactly one repair — the confirmed counterexample — has been
-		// established; report that, deterministically across worker
-		// counts (the surviving-candidate count at the cancellation
-		// point is scheduling-dependent for Workers > 1).
-		ans.NumRepairs = 1
-		return ans, nil
-	}
-	if stats.Leaves == 0 {
-		return Answer{}, errEmptyRepairSet
-	}
-	repairs, _ := ac.Results()
-	ans.NumRepairs = len(repairs)
-	ans.Boolean = true
-	for _, r := range repairs {
-		if !holdsBy[r] {
-			ans.Boolean = false
-			break
-		}
-	}
-	return ans, nil
-}
-
-// streamRepairs materializes the repair set through the streaming search and
-// online antichain, returning the survivors in canonical order.
-func streamRepairs(d *relational.Instance, set *constraint.Set, opts Options) ([]*relational.Instance, repair.Stats, error) {
-	ac := repair.NewAntichain(d, opts.Repair.Mode)
-	stats, err := repair.Enumerate(d, set, opts.Repair, func(leaf *relational.Instance) bool {
-		ac.Add(leaf)
-		return true
-	})
-	if err != nil {
-		return nil, repair.Stats{}, err
-	}
-	if stats.Leaves == 0 {
-		return nil, repair.Stats{}, errEmptyRepairSet
-	}
-	repairs, _ := ac.Results()
-	return repairs, stats, nil
-}
-
-// materializedAnswers implements EngineProgram on the stable-model stream:
-// each distinct induced repair is evaluated as its first model arrives. A
-// boolean query short-circuits at the first falsifying repair — every
-// stable model of Π(D, IC) induces a repair (Theorem 4), so the certain
-// answer is already no and the rest of the enumeration is cancelled.
-// Non-boolean queries enumerate fully (their NumRepairs is part of the
-// cross-engine differential contract) and intersect per-repair evaluations.
-func materializedAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
-	if !q.IsBoolean() {
-		repairs, err := RepairsOf(d, set, opts)
-		if err != nil {
-			return Answer{}, err
-		}
-		if len(repairs) == 0 {
-			return Answer{}, errEmptyRepairSet
-		}
-		ans := Answer{NumRepairs: len(repairs)}
-		if ans.Tuples, err = certainTuples(d, repairs, q); err != nil {
-			return Answer{}, err
-		}
-		return ans, nil
-	}
-	tr, err := repairprog.Build(d, set, opts.Variant)
-	if err != nil {
-		return Answer{}, err
-	}
-	tr.GroundOptions = opts.Ground
-	be, err := query.NewBaseEval(d, q)
-	if err != nil {
-		return Answer{}, err
-	}
-	seen := relational.NewInstanceSet()
-	holds := true
-	short := false
-	if err := tr.StreamRepairs(opts.Stable, func(inst *relational.Instance, delta relational.Delta, _ stable.Model) bool {
-		if !seen.Add(inst) {
-			return true
-		}
-		if len(be.EvalDelta(inst, delta)) == 0 {
-			holds = false
-			short = true
-			return false
-		}
-		return true
-	}); err != nil {
-		return Answer{}, err
-	}
-	if seen.Len() == 0 {
-		return Answer{}, errEmptyRepairSet
-	}
-	return Answer{NumRepairs: seen.Len(), Boolean: holds, ShortCircuited: short}, nil
-}
-
-// certainTuples intersects the answers of q across the repairs, breaking off
-// as soon as the intersection empties. q is evaluated in full once, on the
-// original instance d; each repair's answer set is then computed by patching
-// that base result along Δ(d, repair), so k repairs cost one evaluation plus
-// k·O(|Δ|) anchored joins rather than k full joins. Answer sets arrive
-// sorted (Tuple.Compare), so the running intersection is a linear merge with
-// no per-repair key maps.
-func certainTuples(d *relational.Instance, repairs []*relational.Instance, q *query.Q) ([]relational.Tuple, error) {
-	be, err := query.NewBaseEval(d, q)
-	if err != nil {
-		return nil, err
-	}
-	var certain []relational.Tuple
-	for i, r := range repairs {
-		tuples := be.EvalOn(r)
-		if i == 0 {
-			certain = tuples
-			continue
-		}
-		certain = intersectSorted(certain, tuples)
-		if len(certain) == 0 {
-			break
-		}
-	}
-	return certain, nil
-}
-
-// intersectSorted intersects two Compare-sorted distinct tuple lists with a
-// two-pointer walk, preserving order.
-func intersectSorted(a, b []relational.Tuple) []relational.Tuple {
-	out := a[:0]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch c := a[i].Compare(b[j]); {
-		case c < 0:
-			i++
-		case c > 0:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	if len(out) == 0 {
-		return nil
-	}
-	return out
-}
-
-// deltaKey is a canonical encoding of a repair delta (halves sorted by the
-// Delta contract): two repairs of one base coincide iff their keys do.
-func deltaKey(dl relational.Delta) string {
-	var b strings.Builder
-	for _, f := range dl.Removed {
-		b.WriteByte('-')
-		b.WriteString(f.Key())
-		b.WriteByte(0)
-	}
-	for _, f := range dl.Added {
-		b.WriteByte('+')
-		b.WriteString(f.Key())
-		b.WriteByte(0)
-	}
-	return b.String()
-}
-
-// sortedTuples flattens a keyed tuple set into Compare order.
-func sortedTuples(m map[string]relational.Tuple) []relational.Tuple {
-	if len(m) == 0 {
-		return nil
-	}
-	out := make([]relational.Tuple, 0, len(m))
-	for _, t := range m {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out
-}
-
-// cautiousAnswers implements EngineProgramCautious: cautious reasoning over
-// the stable models of Π(D, IC) ∪ Π(q), computed on the model stream. The
-// certain answers are the running intersection of each model's answer
-// atoms; a boolean query short-circuits the moment a model lacks the answer
-// atom — that model witnesses a repair falsifying the query, so the certain
-// answer is already no and the enumeration is cancelled. Non-boolean
-// queries enumerate fully: NumRepairs (the distinct induced repairs) is
-// part of the cross-engine differential contract.
-func cautiousAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
-	tr, err := cautiousTranslation(d, set, opts)
-	if err != nil {
-		return Answer{}, err
-	}
-	return cautiousQuery(tr, q, opts)
+	return session.New(d, set, opts).Answer(q)
 }
 
 // CautiousMany computes the consistent answers of several queries over one
@@ -441,97 +93,16 @@ func CautiousMany(d *relational.Instance, set *constraint.Set, queries []*query.
 	if len(queries) == 0 {
 		return nil, nil
 	}
-	tr, err := cautiousTranslation(d, set, opts)
-	if err != nil {
-		return nil, err
-	}
+	opts.Engine = EngineProgramCautious
+	s := session.New(d, set, opts)
 	out := make([]Answer, len(queries))
+	var err error
 	for i, q := range queries {
-		if err := q.Validate(); err != nil {
-			return nil, err
-		}
-		if out[i], err = cautiousQuery(tr, q, opts); err != nil {
+		if out[i], err = s.Answer(q); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
-}
-
-// cautiousTranslation builds the pruned repair program one cautious session
-// shares across its queries.
-func cautiousTranslation(d *relational.Instance, set *constraint.Set, opts Options) (*repairprog.Translation, error) {
-	tr, err := repairprog.BuildWith(d, set, repairprog.BuildOptions{
-		Variant:            opts.Variant,
-		PruneUnconstrained: true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	tr.GroundOptions = opts.Ground
-	return tr, nil
-}
-
-// cautiousQuery answers one query over the translation's cached base
-// grounding: the query rules are ground against the retained possible-set
-// snapshot (no re-grounding, no Facts/Rules copy), and the stable models of
-// the extended program drive the cautious intersection.
-func cautiousQuery(tr *repairprog.Translation, q *query.Q, opts Options) (Answer, error) {
-	gp, err := tr.GroundWithQuery(q)
-	if err != nil {
-		return Answer{}, err
-	}
-
-	boolean := q.IsBoolean()
-	emptyKey := relational.Tuple{}.Key()
-	// The distinct-repair count (part of the cross-engine contract) needs
-	// no materialized instances: every repair is determined by its delta
-	// against the shared base, so a canonical delta-key set dedups in
-	// O(|Δ|) per model with no instance build at all.
-	reader := tr.NewModelReader(gp)
-	repairSeen := map[string]bool{}
-	certain := map[string]relational.Tuple{}
-	first := true
-	short := false
-	if err := stable.Enumerate(gp, opts.Stable, func(m stable.Model) bool {
-		repairSeen[deltaKey(reader.Delta(m))] = true
-		here := map[string]relational.Tuple{}
-		for _, id := range m {
-			f := gp.Atoms[id]
-			if f.Pred == repairprog.AnswerPred {
-				here[f.Args.Key()] = f.Args
-			}
-		}
-		if first {
-			first = false
-			certain = here
-		} else {
-			for k := range certain {
-				if _, ok := here[k]; !ok {
-					delete(certain, k)
-				}
-			}
-		}
-		if boolean {
-			if _, ok := certain[emptyKey]; !ok {
-				short = true
-				return false
-			}
-		}
-		return true
-	}); err != nil {
-		return Answer{}, err
-	}
-	if first {
-		return Answer{}, fmt.Errorf("core: the repair program has no stable model")
-	}
-
-	ans := Answer{NumRepairs: len(repairSeen), ShortCircuited: short}
-	if boolean {
-		_, ans.Boolean = certain[emptyKey]
-		return ans, nil
-	}
-	ans.Tuples = sortedTuples(certain)
-	return ans, nil
 }
 
 // PossibleAnswers returns the tuples answering q in at least one repair
@@ -543,51 +114,19 @@ func cautiousQuery(tr *repairprog.Translation, q *query.Q, opts Options) (Answer
 // model arrives; a boolean query cancels the enumeration at the first
 // repair satisfying it (its possible answer can only be yes from then on).
 func PossibleAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) ([]relational.Tuple, error) {
-	if opts.Engine != EngineSearch {
-		return possibleProgramAnswers(d, set, q, opts)
-	}
-	repairs, _, err := streamRepairs(d, set, opts)
-	if err != nil {
-		return nil, err
-	}
-	be, err := query.NewBaseEval(d, q)
-	if err != nil {
-		return nil, err
-	}
-	seen := map[string]relational.Tuple{}
-	for _, r := range repairs {
-		for _, t := range be.EvalOn(r) {
-			seen[t.Key()] = t
-		}
-	}
-	return sortedTuples(seen), nil
+	return session.New(d, set, opts).Possible(q)
 }
 
-// possibleProgramAnswers unions per-repair answers over the stable-model
-// stream of Π(D, IC).
-func possibleProgramAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) ([]relational.Tuple, error) {
-	tr, err := repairprog.Build(d, set, opts.Variant)
-	if err != nil {
-		return nil, err
+// sortedTuples flattens a keyed tuple set into Compare order. Retained for
+// the reference implementations in the differential tests.
+func sortedTuples(m map[string]relational.Tuple) []relational.Tuple {
+	if len(m) == 0 {
+		return nil
 	}
-	tr.GroundOptions = opts.Ground
-	be, err := query.NewBaseEval(d, q)
-	if err != nil {
-		return nil, err
+	out := make([]relational.Tuple, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
 	}
-	boolean := q.IsBoolean()
-	seenRepair := relational.NewInstanceSet()
-	seen := map[string]relational.Tuple{}
-	if err := tr.StreamRepairs(opts.Stable, func(inst *relational.Instance, delta relational.Delta, _ stable.Model) bool {
-		if !seenRepair.Add(inst) {
-			return true
-		}
-		for _, t := range be.EvalDelta(inst, delta) {
-			seen[t.Key()] = t
-		}
-		return !(boolean && len(seen) > 0)
-	}); err != nil {
-		return nil, err
-	}
-	return sortedTuples(seen), nil
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
 }

@@ -76,6 +76,10 @@ func NewBaseEval(base *relational.Instance, q *Q) (*BaseEval, error) {
 // mutate).
 func (be *BaseEval) BaseAnswers() []relational.Tuple { return be.tuples }
 
+// BaseKeys returns the tuple keys aligned with BaseAnswers (shared; callers
+// must not mutate).
+func (be *BaseEval) BaseKeys() []string { return be.tupleKeys }
+
 // EvalOn returns the answers of the query on r, computed by patching the
 // base answers along Δ(base, r). The result equals Eval(r, q) — same
 // tuples, same order. When r is an overlay view of the base's engine (a
@@ -84,11 +88,21 @@ func (be *BaseEval) EvalOn(r *relational.Instance) []relational.Tuple {
 	return be.EvalDelta(r, relational.Diff(be.base, r))
 }
 
-// EvalDelta is EvalOn with a precomputed delta = Δ(base, r): Removed holds
-// base facts absent from r, Added the facts of r absent from the base.
-func (be *BaseEval) EvalDelta(r *relational.Instance, delta relational.Delta) []relational.Tuple {
+// DiffOn computes the patch of the base answers for r without building the
+// merged answer list: fresh holds the answers on r that are not base answers
+// (keyed by tuple key), lost the keys of base answers that do not survive on
+// r. ans(r) = (base answers − lost) ∪ fresh. Callers that only need how r's
+// answers differ from the base — certain-answer intersection across a repair
+// set, for one — avoid the O(|base answers|) merge EvalDelta pays per call.
+func (be *BaseEval) DiffOn(r *relational.Instance) (fresh map[string]relational.Tuple, lost map[string]bool) {
+	return be.DiffDelta(r, relational.Diff(be.base, r))
+}
+
+// DiffDelta is DiffOn with a precomputed delta = Δ(base, r). Either result
+// map may be nil when empty.
+func (be *BaseEval) DiffDelta(r *relational.Instance, delta relational.Delta) (fresh map[string]relational.Tuple, lost map[string]bool) {
 	if delta.Size() == 0 {
-		return append([]relational.Tuple(nil), be.tuples...)
+		return nil, nil
 	}
 	gained := map[string]relational.Tuple{}
 	cands := map[string]relational.Tuple{}
@@ -96,7 +110,6 @@ func (be *BaseEval) EvalDelta(r *relational.Instance, delta relational.Delta) []
 		be.gainedFrom(r, c, be.pos[ci], delta, gained)
 		be.lostCandidates(c, be.pos[ci], delta, cands)
 	}
-	var lost map[string]bool
 	for k, t := range cands {
 		if _, inBase := be.keys[k]; !inBase {
 			continue // the candidate assignment never produced a base answer
@@ -111,14 +124,30 @@ func (be *BaseEval) EvalDelta(r *relational.Instance, delta relational.Delta) []
 			lost[k] = true
 		}
 	}
+	for k, t := range gained {
+		if _, inBase := be.keys[k]; !inBase {
+			if fresh == nil {
+				fresh = map[string]relational.Tuple{}
+			}
+			fresh[k] = t
+		}
+	}
+	return fresh, lost
+}
+
+// EvalDelta is EvalOn with a precomputed delta = Δ(base, r): Removed holds
+// base facts absent from r, Added the facts of r absent from the base.
+func (be *BaseEval) EvalDelta(r *relational.Instance, delta relational.Delta) []relational.Tuple {
+	if delta.Size() == 0 {
+		return append([]relational.Tuple(nil), be.tuples...)
+	}
+	freshByKey, lost := be.DiffDelta(r, delta)
 	// The base answers are already sorted; only the (small) genuinely new
 	// tuples need sorting, and the result is a linear merge — no O(n log n)
 	// re-sort per repair.
-	fresh := make([]relational.Tuple, 0, len(gained))
-	for k, t := range gained {
-		if _, inBase := be.keys[k]; !inBase {
-			fresh = append(fresh, t)
-		}
+	fresh := make([]relational.Tuple, 0, len(freshByKey))
+	for _, t := range freshByKey {
+		fresh = append(fresh, t)
 	}
 	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Compare(fresh[j]) < 0 })
 	out := make([]relational.Tuple, 0, len(be.tuples)+len(fresh))

@@ -80,6 +80,26 @@ func (q *Q) String() string {
 // IsBoolean reports whether the query has no answer variables.
 func (q *Q) IsBoolean() bool { return len(q.Head) == 0 }
 
+// Preds returns the sorted, deduplicated predicate names the query
+// mentions (positive and negated literals across all disjuncts). A base
+// update touching none of them cannot change the query's answers on any
+// fixed instance, which is what lets a session skip re-evaluating
+// standing queries unaffected by a delta.
+func (q *Q) Preds() []string {
+	seen := map[string]bool{}
+	for _, d := range q.Disjuncts {
+		for _, l := range d.Lits {
+			seen[l.Atom.Pred] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Validate checks safety: in every disjunct, each head variable, negated
 // variable and builtin variable must occur in a positive literal.
 func (q *Q) Validate() error {

@@ -1,0 +1,134 @@
+package relational
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// This file pins the sharing mechanics behind Clone: after a clone the two
+// views reference the same per-relation delta objects and a writer copies
+// only the relation it touches, so cloning is O(#touched relations) and
+// mutations never leak across views. It also differential-tests the
+// delta-based Compare fast path for shared-engine overlays against the
+// generic merged-list comparison.
+
+// TestCloneSharesUntouchedDeltas asserts the copy-on-write contract
+// directly on the representation: cloned views share delta objects until
+// one of them writes, and only the written relation is copied.
+func TestCloneSharesUntouchedDeltas(t *testing.T) {
+	d := NewInstance(
+		F("p", value.Str("a")),
+		F("q", value.Str("b")),
+	)
+	d.Clone() // freeze and demote to overlay
+	d.Insert(F("p", value.Str("x")))
+	d.Delete(F("q", value.Str("b")))
+
+	c := d.Clone()
+	pk, qk := RelKey{"p", 1}, RelKey{"q", 1}
+	if d.deltas[pk] != c.deltas[pk] || d.deltas[qk] != c.deltas[qk] {
+		t.Fatal("clone must share delta objects until a write")
+	}
+	if !d.deltas[pk].shared.Load() || !d.deltas[qk].shared.Load() {
+		t.Fatal("shared flag not set on cloned deltas")
+	}
+
+	c.Insert(F("p", value.Str("y")))
+	if d.deltas[pk] == c.deltas[pk] {
+		t.Fatal("write through a shared delta must copy it first")
+	}
+	if d.deltas[qk] != c.deltas[qk] {
+		t.Fatal("untouched relation was copied")
+	}
+	if d.Has(F("p", value.Str("y"))) {
+		t.Fatal("write leaked into the sibling view")
+	}
+	if !c.Has(F("p", value.Str("x"))) || c.Has(F("q", value.Str("b"))) {
+		t.Fatal("copied delta lost the pre-clone edits")
+	}
+
+	// The sibling's own later write must also copy: its map entry still
+	// points at the shared object.
+	d.Insert(F("p", value.Str("z")))
+	if c.Has(F("p", value.Str("z"))) {
+		t.Fatal("sibling write leaked into the clone")
+	}
+}
+
+// TestCompareSharedMatchesGeneric differential-tests the shared-engine
+// Compare fast path: random overlay pairs of one frozen base must order
+// exactly as the generic sorted-fact-list comparison, including prefix
+// cases where one view is a strict prefix of the other.
+func TestCompareSharedMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	genericCompare := func(a, b *Instance) int {
+		fa, fb := SortFacts(a.Facts()), SortFacts(b.Facts())
+		for i := 0; i < len(fa) && i < len(fb); i++ {
+			if c := fa[i].Compare(fb[i]); c != 0 {
+				return c
+			}
+		}
+		switch {
+		case len(fa) < len(fb):
+			return -1
+		case len(fa) > len(fb):
+			return 1
+		}
+		return 0
+	}
+	for round := 0; round < 200; round++ {
+		base := randInstance(rng, 2+rng.Intn(20))
+		a, b := base.Clone(), base.Clone()
+		for _, v := range []*Instance{a, b} {
+			for k := 0; k < rng.Intn(6); k++ {
+				f := randFact(rng)
+				if rng.Intn(2) == 0 {
+					v.Insert(f)
+				} else {
+					v.Delete(f)
+				}
+			}
+			// Bias towards prefix relationships: sometimes drop the
+			// largest facts of the view.
+			if rng.Intn(3) == 0 {
+				fs := SortFacts(v.Facts())
+				for k := len(fs) - 1; k >= 0 && k >= len(fs)-2; k-- {
+					v.Delete(fs[k])
+				}
+			}
+		}
+		want := genericCompare(a, b)
+		if got := a.Compare(b); got != want {
+			t.Fatalf("round %d: Compare = %d, generic = %d\na = %v\nb = %v",
+				round, got, want, a.Facts(), b.Facts())
+		}
+		if got := b.Compare(a); got != -want {
+			t.Fatalf("round %d: Compare not antisymmetric", round)
+		}
+	}
+}
+
+// TestDeltaCacheInvalidation pins the gen-guarded Delta cache: repeated
+// calls return the cached snapshot, mutations invalidate it, and
+// flattening drops it along with the overlay.
+func TestDeltaCacheInvalidation(t *testing.T) {
+	d := NewInstance(F("p", value.Str("a")))
+	d.Clone()
+	d.Insert(F("p", value.Str("b")))
+
+	d1 := d.Delta()
+	d2 := d.Delta()
+	if len(d1.Added) != 1 || len(d2.Added) != 1 {
+		t.Fatalf("Delta = %v / %v, want one addition", d1, d2)
+	}
+	d.Insert(F("p", value.Str("c")))
+	d3 := d.Delta()
+	if len(d3.Added) != 2 {
+		t.Fatalf("Delta after second insert = %v, want two additions", d3)
+	}
+	if len(d1.Added) != 1 {
+		t.Fatal("earlier Delta snapshot was mutated by the rebuild")
+	}
+}

@@ -1,0 +1,80 @@
+package relational
+
+// DeltaFingerprint hashes a delta's content. Both halves must be sorted
+// (the Delta contract), so equal deltas always fingerprint equally; the
+// removal/addition tags keep {−f} and {+f} apart.
+func DeltaFingerprint(dl Delta) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+		remTag   = 0x9e3779b97f4a7c15
+		addTag   = 0xc2b2ae3d27d4eb4f
+	)
+	h := uint64(offset64)
+	mix := func(tag uint64, fs []Fact) {
+		for _, f := range fs {
+			h ^= tag ^ factHash(f)
+			h *= prime64
+		}
+	}
+	mix(remTag, dl.Removed)
+	mix(addTag, dl.Added)
+	return h
+}
+
+// DeltaSet deduplicates deltas by fingerprint with exact confirmation on
+// collision, mirroring InstanceSet: no per-delta key strings are built, so
+// membership tests on hot paths (cautious model streams) cost a hash plus,
+// rarely, a fact-by-fact comparison.
+type DeltaSet struct {
+	buckets map[uint64][]Delta
+	n       int
+}
+
+// NewDeltaSet returns an empty set.
+func NewDeltaSet() *DeltaSet {
+	return &DeltaSet{buckets: make(map[uint64][]Delta)}
+}
+
+// Add inserts dl (whose halves must be sorted) and reports whether it was
+// not already present.
+func (s *DeltaSet) Add(dl Delta) bool {
+	fp := DeltaFingerprint(dl)
+	for _, have := range s.buckets[fp] {
+		if deltasEqual(have, dl) {
+			return false
+		}
+	}
+	s.buckets[fp] = append(s.buckets[fp], dl)
+	s.n++
+	return true
+}
+
+// Has reports whether dl (sorted halves) is in the set.
+func (s *DeltaSet) Has(dl Delta) bool {
+	for _, have := range s.buckets[DeltaFingerprint(dl)] {
+		if deltasEqual(have, dl) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct deltas added.
+func (s *DeltaSet) Len() int { return s.n }
+
+func deltasEqual(a, b Delta) bool {
+	return factsEqual(a.Removed, b.Removed) && factsEqual(a.Added, b.Added)
+}
+
+func factsEqual(a, b []Fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -3,6 +3,7 @@ package relational
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -38,9 +39,13 @@ type Instance struct {
 
 	deltaN int // total entries across all delta maps; triggers flattening
 
-	gen        int // bumped on every mutation; guards factsCache
+	gen        int // bumped on every mutation; guards factsCache and deltaCache
 	factsCache []Fact
 	factsGen   int
+
+	deltaCache Delta // sorted overlay delta, rebuilt when deltaGen falls behind
+	deltaGen   int
+	deltaOK    bool
 }
 
 // delta is the overlay Δ of one relation: added tuples (with their insertion
@@ -53,6 +58,15 @@ type delta struct {
 	addOrder []string
 	addN     int
 	del      map[string]Tuple
+
+	// shared is set when a Clone makes a second view reference this object
+	// (the clone shallow-copies the rk -> *delta map). A shared delta is
+	// immutable: writers copy it first (deltaFor). The flag never reverts —
+	// a copy starts private — so a true value is stable, while false
+	// implies a single referencing view. It is atomic because concurrent
+	// Clones of one instance are allowed (reads of a frozen view), and
+	// each would publish the flag.
+	shared atomic.Bool
 }
 
 func newDelta() *delta {
@@ -86,12 +100,23 @@ func NewInstance(facts ...Fact) *Instance {
 
 func (d *Instance) overlay() bool { return d.deltas != nil }
 
+// deltaFor returns the relation's delta for writing: a missing entry is
+// allocated when create is set, and an entry shared with another view (see
+// Clone) is copied first, so mutations never leak across views.
 func (d *Instance) deltaFor(rk RelKey, create bool) *delta {
 	dl, ok := d.deltas[rk]
-	if !ok && create {
+	if !ok {
+		if !create {
+			return nil
+		}
 		dl = newDelta()
 		d.deltas[rk] = dl
 		d.dorder = append(d.dorder, rk)
+		return dl
+	}
+	if dl.shared.Load() {
+		dl = dl.clone()
+		d.deltas[rk] = dl
 	}
 	return dl
 }
@@ -111,7 +136,7 @@ func (d *Instance) Insert(f Fact) bool {
 	key := f.Args.Key()
 	if dl := d.deltas[rk]; dl != nil {
 		if t, ok := dl.del[key]; ok { // restore a deleted base fact
-			delete(dl.del, key)
+			delete(d.deltaFor(rk, false).del, key)
 			d.deltaN--
 			d.size++
 			d.fp ^= factHash(Fact{Pred: f.Pred, Args: t})
@@ -157,6 +182,7 @@ func (d *Instance) Delete(f Fact) bool {
 	key := f.Args.Key()
 	if dl := d.deltas[rk]; dl != nil {
 		if t, ok := dl.add[key]; ok && t != nil {
+			dl = d.deltaFor(rk, false)
 			dl.add[key] = nil // tombstone; the addOrder slot stays unique
 			dl.addN--
 			d.deltaN--
@@ -207,6 +233,7 @@ func (d *Instance) maybeFlatten() {
 	d.size, d.fp = eng.size, eng.fp
 	d.gen++
 	d.factsCache = nil
+	d.deltaCache, d.deltaOK = Delta{}, false
 }
 
 // Has reports membership.
@@ -365,6 +392,12 @@ func (d *Instance) Facts() []Fact {
 // depends on process-wide interning history — this order is stable across
 // runs, so it is what deterministic output (repair listings) sorts by.
 func (d *Instance) Compare(e *Instance) int {
+	if d == e {
+		return 0
+	}
+	if d.overlay() && e.overlay() && d.eng == e.eng {
+		return d.compareShared(e)
+	}
 	fa, fb := d.sortedFacts(), e.sortedFacts()
 	for i := 0; i < len(fa) && i < len(fb); i++ {
 		if c := fa[i].Compare(fb[i]); c != 0 {
@@ -379,6 +412,80 @@ func (d *Instance) Compare(e *Instance) int {
 	default:
 		return 0
 	}
+}
+
+// compareShared orders two overlay views of one engine from their deltas
+// alone, in O(|Δ| log |D|) instead of the O(|D|) merged-list walk. The two
+// sorted fact sequences agree on every fact below the minimal fact f* whose
+// membership differs (any such fact is in one of the deltas), so the
+// comparison is decided at f*'s position: the view containing f* is smaller,
+// unless the other view has no fact above f* at all — then it is a strict
+// prefix and orders first.
+func (d *Instance) compareShared(e *Instance) int {
+	da, db := d.Delta().Facts(), e.Delta().Facts()
+	i, j := 0, 0
+	for i < len(da) || j < len(db) {
+		var f Fact
+		switch {
+		case i >= len(da):
+			f = db[j]
+			j++
+		case j >= len(db):
+			f = da[i]
+			i++
+		default:
+			if c := da[i].Compare(db[j]); c <= 0 {
+				f = da[i]
+				i++
+				if c == 0 {
+					j++
+				}
+			} else {
+				f = db[j]
+				j++
+			}
+		}
+		inD, inE := d.Has(f), e.Has(f)
+		if inD == inE {
+			continue
+		}
+		other, sign := e, -1
+		if inE {
+			other, sign = d, 1
+		}
+		if other.hasFactAbove(f) {
+			return sign
+		}
+		return -sign
+	}
+	return 0
+}
+
+// hasFactAbove reports whether the instance contains any fact strictly
+// greater than f under Fact.Compare. Overlay-cheap: a binary search into the
+// shared engine's sorted facts plus a walk over the (small) removed set.
+func (d *Instance) hasFactAbove(f Fact) bool {
+	dl := d.Delta()
+	for k := len(dl.Added) - 1; k >= 0; k-- {
+		if dl.Added[k].Compare(f) > 0 {
+			return true
+		}
+	}
+	base := d.eng.sortedFacts()
+	idx := sort.Search(len(base), func(i int) bool { return base[i].Compare(f) > 0 })
+	ri := sort.Search(len(dl.Removed), func(i int) bool { return dl.Removed[i].Compare(f) > 0 })
+	for idx < len(base) {
+		for ri < len(dl.Removed) && dl.Removed[ri].Compare(base[idx]) < 0 {
+			ri++
+		}
+		if ri < len(dl.Removed) && dl.Removed[ri].Compare(base[idx]) == 0 {
+			ri++
+			idx++
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 // Relation returns the sorted tuples of the given predicate with the given
@@ -465,8 +572,10 @@ func (d *Instance) Freeze() {
 	d.size, d.fp = d.eng.size, d.eng.fp
 }
 
-// Clone returns an independent copy of the instance in O(|Δ|): the physical
-// base is shared (and frozen) and only the overlay deltas are copied.
+// Clone returns an independent copy of the instance in O(#touched
+// relations): the physical base is shared (and frozen) and the overlay
+// deltas are shared copy-on-write — both views mark every entry as borrowed
+// and copy a relation's delta only when they first write to it.
 func (d *Instance) Clone() *Instance {
 	if !d.overlay() {
 		// First clone: freeze the engine and demote the owner to an
@@ -483,7 +592,13 @@ func (d *Instance) Clone() *Instance {
 		deltaN: d.deltaN,
 	}
 	for rk, dl := range d.deltas {
-		c.deltas[rk] = dl.clone()
+		// The load-then-store keeps already-shared deltas' cache lines
+		// clean; the idempotent store is what makes concurrent Clones of
+		// one (frozen, read-only) view race-free.
+		if !dl.shared.Load() {
+			dl.shared.Store(true)
+		}
+		c.deltas[rk] = dl
 	}
 	return c
 }
@@ -626,12 +741,17 @@ func fits(pos []int, arity int) bool {
 // empty — the base *is* the instance. The cost is O(|Δ|), independent of the
 // instance size, which is what lets downstream layers (Δ-seeded constraint
 // probes, base-anchored query patching) see what changed instead of
-// re-scanning everything.
+// re-scanning everything. The result is cached until the next mutation and
+// its slices may be shared across calls: treat it as read-only.
 func (d *Instance) Delta() Delta {
-	var dl Delta
 	if !d.overlay() {
-		return dl
+		return Delta{}
 	}
+	if d.deltaOK && d.deltaGen == d.gen {
+		return d.deltaCache
+	}
+	var dl Delta // built fresh, never reusing the previous cache's arrays:
+	// earlier callers may still hold the old snapshot.
 	for _, rk := range d.dorder {
 		deltas := d.deltas[rk]
 		for _, k := range deltas.addOrder {
@@ -645,6 +765,7 @@ func (d *Instance) Delta() Delta {
 	}
 	SortFacts(dl.Added)
 	SortFacts(dl.Removed)
+	d.deltaCache, d.deltaGen, d.deltaOK = dl, d.gen, true
 	return dl
 }
 

@@ -67,6 +67,25 @@ type Options struct {
 	// can pick different (equally valid) violations of the same state, so
 	// the explored fringes diverge while the repair set does not.
 	ScratchProbe bool
+	// Seed, when non-nil, supplies the root instance's complete per-IC
+	// violation lists so the enumeration resumes from maintained state
+	// instead of re-checking every constraint over the whole instance —
+	// the root becomes O(|seed|) like every other node. The lists must be
+	// exactly the violations of each IC on the root (in Set.ICs order);
+	// they are read, never mutated, so a session can hand over the lists
+	// it maintains via nullsem.ICChecker.Update. NNCs are always probed
+	// live at the root (FirstViolationNNC is an indexed scan, and keeping
+	// them out of the seed avoids pinning a second list order). Ignored
+	// under ScratchProbe. Repairs/Deltas are unaffected by seeding; root
+	// StatesExplored/Leaves diagnostics match an unseeded run whenever
+	// the seed lists are in the checkers' own Violations order.
+	Seed *Seed
+}
+
+// Seed is resumable enumeration state: the root's complete violation lists,
+// one per IC in Set.ICs order. See Options.Seed.
+type Seed struct {
+	Viols [][]nullsem.Violation
 }
 
 // DefaultMaxStates bounds the search space when Options.MaxStates is 0.
@@ -227,6 +246,9 @@ func enumerate(d *relational.Instance, set *constraint.Set, opts Options, adomIC
 	if workers < 1 {
 		workers = 1
 	}
+	if opts.Seed != nil && len(opts.Seed.Viols) != len(set.ICs) {
+		return Stats{}, fmt.Errorf("repair: seed has %d violation lists for %d ICs", len(opts.Seed.Viols), len(set.ICs))
+	}
 	sem := nullsem.NullAware
 	insertDomain := []value.V{value.Null()}
 	if opts.Mode == Classic {
@@ -263,6 +285,7 @@ func enumerate(d *relational.Instance, set *constraint.Set, opts Options, adomIC
 		for i, ic := range set.ICs {
 			s.checkers[i] = nullsem.NewICChecker(ic, sem)
 		}
+		s.seed = opts.Seed
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if s.admit(d) {
@@ -362,6 +385,7 @@ type searcher struct {
 	adomICs      map[string]bool
 	checkers     []*nullsem.ICChecker // cached per-IC analysis (incremental probe)
 	scratchProbe bool
+	seed         *Seed // root violation lists handed in by a session, if any
 
 	memo      *stateMemo
 	visited   atomic.Int64
@@ -566,6 +590,25 @@ func (s *searcher) probe(nd node) (*nullsem.Violation, *nullsem.NNCViolation, *p
 	d := nd.inst
 	nIC := len(s.set.ICs)
 	sat := newBitset(nIC + len(s.set.NNCs))
+	if nd.snap == nil && s.seed != nil {
+		// Resume from maintained root state: the seed lists stand in for
+		// the scratch ck.Violations(d) calls; NNCs are still probed live.
+		for i := range s.set.ICs {
+			vs := s.seed.Viols[i]
+			if len(vs) == 0 {
+				sat.set(i)
+				continue
+			}
+			return &vs[0], nil, &probeSnap{sat: sat, violIC: i, viols: vs}, true
+		}
+		for j, n := range s.set.NNCs {
+			if f, found := nullsem.FirstViolationNNC(d, n); found {
+				return nil, &nullsem.NNCViolation{NNC: n, Fact: f}, &probeSnap{sat: sat, violIC: -1}, true
+			}
+			sat.set(nIC + j)
+		}
+		return nil, nil, nil, false
+	}
 	var delta relational.Delta
 	if nd.snap != nil {
 		if nd.del {

@@ -409,6 +409,52 @@ func (tr *Translation) StreamRepairs(opts stable.Options, yield func(inst *relat
 	})
 }
 
+// AffectedBy reports whether a base update invalidates this translation:
+// true iff some changed fact belongs to an annotated relation, whose facts
+// are compiled into the program (rule 1) and its cached grounding. For an
+// unpruned translation every relation is annotated, so any non-empty delta
+// invalidates it; a pruned translation survives updates that touch only
+// passthrough (unconstrained) relations.
+func (tr *Translation) AffectedBy(delta relational.Delta) bool {
+	touched := func(fs []relational.Fact) bool {
+		for _, f := range fs {
+			if tr.annotates(f.Pred) {
+				return true
+			}
+		}
+		return false
+	}
+	return touched(delta.Removed) || touched(delta.Added)
+}
+
+// Rebase swaps the translation's base for newBase, where delta is the
+// change between the two. It refuses (returns false) when AffectedBy(delta)
+// — the compiled program would be stale — and otherwise repoints the base
+// and registers any newly appearing relations as passthrough, leaving the
+// program and its cached grounding intact.
+//
+// After a rebase, repair streams are coherent: ModelReader rebuilds its
+// edit lists from the current base per call, edits touch only annotated
+// relations, and passthrough facts ride the new base. The one stale
+// surface is GroundWithQuery: query rules mentioning a drifted passthrough
+// relation ground its atoms against the retained snapshot, so callers must
+// track which passthrough relations have drifted since Build and rebuild
+// the translation before compiling such a query.
+func (tr *Translation) Rebase(newBase *relational.Instance, delta relational.Delta) bool {
+	if tr.AffectedBy(delta) {
+		return false
+	}
+	tr.base = newBase
+	if tr.passthrough != nil {
+		for _, f := range delta.Added {
+			if !tr.annotates(f.Pred) {
+				tr.passthrough[f.Pred] = true
+			}
+		}
+	}
+	return true
+}
+
 // BaseGrounding grounds Π(D, IC) once per Translation and caches the
 // result; every repair stream and query of the translation shares it. The
 // returned program retains its grounding snapshot, so per-query rules can

@@ -1,0 +1,813 @@
+// Package session turns one-shot consistent query answering into a
+// persistent service primitive. A Session owns a (D, IC) pair — a frozen
+// base anchor with a mutable head (relational.Head), the constraint set,
+// the maintained per-IC violation lists, the cached repair set with its
+// aligned deltas and fingerprint posting lists, the cached repair-program
+// translation (whose base grounding repairprog.Translation retains), and a
+// set of prepared standing queries with their query.BaseEval plans.
+//
+// Session.Apply(delta) advances all of that in O(|Δ|) instead of O(|D|):
+// nullsem.ICChecker.Update moves each violation list across the delta;
+// constraint-irrelevant updates rebase the cached repairs verbatim (their
+// deltas are provably unchanged — every repair-delta fact mentions a
+// constraint predicate, so a repair of the old head ± the update is a
+// repair of the new head); constraint-relevant updates invalidate exactly
+// the cached repairs whose deltas intersect the update (fingerprint
+// posting lists over the antichain results) and re-enumerate with the
+// maintained violation lists seeded into the search root (repair.Seed), so
+// even the "from scratch" path never re-checks a constraint over the whole
+// instance; and each prepared query is re-answered by patching its base
+// evaluation along the per-repair deltas, with changed-answer diffs pushed
+// to Subscribe callbacks.
+//
+// The one-shot entry points in internal/core are thin adapters over a
+// throwaway Session, so every engine — search, program, cautious — runs on
+// this machinery whether or not the caller keeps the session.
+package session
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/ground"
+	"repro/internal/nullsem"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/repair"
+	"repro/internal/repairprog"
+	"repro/internal/stable"
+)
+
+// Engine selects how repairs are produced.
+type Engine uint8
+
+const (
+	// EngineSearch uses the violation-driven repair search.
+	EngineSearch Engine = iota
+	// EngineProgram uses the Definition 9 repair program and its stable
+	// models, materializing each repair and evaluating the query on it.
+	EngineProgram
+	// EngineProgramCautious runs the paper's Section 5 pipeline
+	// end-to-end: the query is compiled to rules over the t**-annotated
+	// predicates, appended to the repair program, and the consistent
+	// answers are the cautious (certain) consequences of the combined
+	// program — no repair is ever materialized.
+	EngineProgramCautious
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineProgram:
+		return "program"
+	case EngineProgramCautious:
+		return "program-cautious"
+	default:
+		return "search"
+	}
+}
+
+// Options configures consistent query answering.
+type Options struct {
+	Engine Engine
+	// Variant selects the repair-program flavour for EngineProgram.
+	// The zero value is repairprog.VariantPaper; NewOptions defaults to
+	// the corrected variant, which is the one matching Theorem 4 on all
+	// inputs.
+	Variant repairprog.Variant
+	// Repair configures the search engine. Repair.Seed is owned by the
+	// session (it wires its maintained violation lists there); any caller
+	// value is ignored.
+	Repair repair.Options
+	// Stable configures the model enumeration.
+	Stable stable.Options
+	// Ground configures the grounding of the repair program (worker pool,
+	// naive-fixpoint ablation). The answers are identical for every
+	// setting.
+	Ground ground.Options
+}
+
+// NewOptions returns the default options: search engine, corrected
+// program variant.
+func NewOptions() Options {
+	return Options{Variant: repairprog.VariantCorrected}
+}
+
+// Answer is the result of consistent query answering.
+type Answer struct {
+	// Tuples are the certain answers (sorted, distinct); nil for boolean
+	// queries.
+	Tuples []relational.Tuple
+	// Boolean is the certain answer of a boolean query.
+	Boolean bool
+	// NumRepairs is the number of repairs inspected. After a short-circuit
+	// it is 1: the confirmed-minimal counterexample is the only candidate
+	// established as a repair when the search stops.
+	NumRepairs int
+	// StatesExplored counts the search states visited when the search
+	// engine produced the answer (0 for the program engines). After a
+	// short-circuit with Workers <= 1 it is strictly below the
+	// full-enumeration count; parallel cancellation is best-effort, so
+	// in-flight workers may have admitted further states by the time the
+	// stop propagates.
+	StatesExplored int
+	// ShortCircuited reports that the engine stopped at the first
+	// counterexample instead of enumerating exhaustively. Only boolean
+	// queries short-circuit, and only when the certain answer is no: the
+	// search engine stops at the first confirmed-minimal falsifying leaf,
+	// and the program engines stop at the first stable model whose induced
+	// repair (EngineProgram) or answer-atom set (EngineProgramCautious)
+	// falsifies the query — a stable model is a repair outright
+	// (Theorem 4), so no certificate is needed. After a program-engine
+	// short-circuit NumRepairs counts the distinct repairs seen up to and
+	// including the counterexample.
+	//
+	// Boolean and Tuples are identical for every Repair.Workers and
+	// Stable.Workers value; NumRepairs, StatesExplored and ShortCircuited
+	// are diagnostics that are deterministic for the program engines and
+	// for search Workers <= 1, but can vary with scheduling for larger
+	// search worker counts (leaf arrival order decides which falsifying
+	// candidates spend the certificate budget). A session answering from
+	// its cached repair set reports the full-enumeration diagnostics of
+	// the run that filled the cache, never a short-circuit.
+	ShortCircuited bool
+}
+
+// rebaseThreshold is the head drift at which a session re-anchors. It must
+// stay below the Instance overlay-flattening threshold (256): once the live
+// head flattens to a private engine, clones stop sharing the anchor's
+// engine and every Diff against the anchor degrades from O(|Δ|) to a full
+// scan. Re-anchoring earlier keeps that path permanently fast at an O(|D|)
+// cost amortized over rebaseThreshold updates.
+const rebaseThreshold = 128
+
+// maxConfirmAttempts bounds how many falsifying leaves a boolean search
+// answer will try to certify with ConfirmMinimal before falling back to
+// plain full enumeration.
+const maxConfirmAttempts = 8
+
+// errEmptyRepairSet guards the Proposition 1 invariant.
+var errEmptyRepairSet = fmt.Errorf("cqa: empty repair set (Proposition 1 guarantees at least one repair; this indicates an engine limitation on this input)")
+
+// Session is a persistent (D, IC) pair with maintained CQA state. It is
+// not safe for concurrent use; a server wraps one session per client (or
+// shards) rather than sharing one across goroutines.
+type Session struct {
+	set  *constraint.Set
+	opts Options
+	head *relational.Head
+	// icPreds are the predicate names mentioned by any constraint
+	// (IC bodies and heads plus NNCs). An update touching none of them is
+	// constraint-irrelevant: violations and repair deltas are provably
+	// unchanged under the null-based semantics.
+	icPreds map[string]bool
+
+	// Maintained violation state (lazy; advanced by Apply once computed).
+	checkers []*nullsem.ICChecker
+	viols    [][]nullsem.Violation
+	violsOK  bool
+
+	// Cached repair set: instances in content-canonical order, deltas
+	// aligned, posting lists mapping fact hashes to the indices of repairs
+	// whose delta contains a fact with that hash.
+	repairsOK   bool
+	repairs     []*relational.Instance
+	deltas      []relational.Delta
+	post        map[uint64][]int
+	searchStats repair.Stats
+
+	// Cached repair-program translation (program engines): pruned for the
+	// cautious engine, full otherwise. trDirty tracks passthrough
+	// relations that drifted since the translation was built — the one
+	// surface repairprog.Translation.Rebase cannot keep coherent is
+	// query-rule grounding over drifted passthrough relations, so cautious
+	// queries mentioning a dirty relation rebuild the translation first.
+	tr      *repairprog.Translation
+	trDirty map[string]bool
+
+	prepared []*Prepared
+}
+
+// New creates a session over d and set. d is frozen and must not be
+// mutated by the caller afterwards; all updates go through Apply. State is
+// materialized lazily, so a session used for a single cautious query never
+// runs the repair search, and vice versa.
+func New(d *relational.Instance, set *constraint.Set, opts Options) *Session {
+	opts.Repair.Seed = nil
+	s := &Session{
+		set:     set,
+		opts:    opts,
+		head:    relational.NewHead(d),
+		icPreds: map[string]bool{},
+	}
+	for _, ps := range set.Preds() {
+		s.icPreds[ps.Name] = true
+	}
+	return s
+}
+
+// Current returns the live instance. Read-only: mutate through Apply.
+func (s *Session) Current() *relational.Instance { return s.head.Current() }
+
+// Set returns the session's constraint set.
+func (s *Session) Set() *constraint.Set { return s.set }
+
+// Options returns the session's options.
+func (s *Session) Options() Options { return s.opts }
+
+// ApplyResult summarizes what one Apply did.
+type ApplyResult struct {
+	// Applied is the effective delta: the facts whose presence actually
+	// changed (no-op inserts/deletes are dropped).
+	Applied relational.Delta
+	// ConstraintRelevant reports whether the update touched a constraint
+	// predicate (always true for effective updates in classic mode, where
+	// the irrelevance theorem does not hold — insertion candidates come
+	// from the active domain, which any fact can extend).
+	ConstraintRelevant bool
+	// RepairsSurvived / RepairsInvalidated classify the cached repair set:
+	// on a constraint-irrelevant update every cached repair survives with
+	// its delta intact; on a relevant update the repairs whose deltas
+	// intersect the update are invalidated outright, and a survivor is a
+	// retained candidate whose delta reappears verbatim in the
+	// re-enumeration. Both are 0 when no repair cache existed.
+	RepairsSurvived, RepairsInvalidated int
+	// Reenumerated reports that the update forced a (seeded) re-enumeration
+	// of the repair set during this Apply. False when the cache was
+	// rebased, dropped for lazy recomputation, or absent.
+	Reenumerated bool
+	// QueriesRefreshed / QueriesSkipped count the prepared queries that
+	// were re-answered vs. skipped because the update could not change
+	// their answers (constraint-irrelevant and touching none of the
+	// query's predicates).
+	QueriesRefreshed, QueriesSkipped int
+}
+
+// Apply advances the session across delta. Violation lists move in
+// O(|Δ|·cost(IC)) via ICChecker.Update; the repair cache is rebased
+// (irrelevant update) or selectively invalidated and re-enumerated from
+// the maintained violation seed (relevant update); prepared queries whose
+// predicates the update cannot reach are skipped, the rest are re-answered
+// by patching their base evaluations per repair, with changed-answer diffs
+// delivered to Subscribe callbacks before Apply returns.
+func (s *Session) Apply(delta relational.Delta) (ApplyResult, error) {
+	eff := s.head.Apply(delta)
+	res := ApplyResult{Applied: eff}
+	if eff.Size() == 0 {
+		return res, nil
+	}
+	relevant := s.touchesConstraints(eff)
+	if s.opts.Repair.Mode == repair.Classic {
+		// The irrelevance theorem is null-based: classic insertion
+		// candidates range over the active domain, which any fact extends.
+		relevant = true
+	}
+	res.ConstraintRelevant = relevant
+
+	// Violations: advance only the checkers whose constraint shares a
+	// changed predicate; the rest are untouched by construction.
+	if s.violsOK {
+		cur := s.head.Current()
+		for i, ck := range s.checkers {
+			if checkerTouched(ck, eff) {
+				s.viols[i] = ck.Update(cur, s.viols[i], eff)
+			}
+		}
+	}
+
+	// Translation: drop when the compiled program went stale, otherwise
+	// rebase and remember which passthrough relations drifted.
+	if s.tr != nil {
+		if s.tr.AffectedBy(eff) {
+			s.tr, s.trDirty = nil, nil
+		} else {
+			s.tr.Rebase(s.head.Current(), eff)
+			if s.trDirty == nil {
+				s.trDirty = map[string]bool{}
+			}
+			for _, f := range eff.Facts() {
+				s.trDirty[f.Pred] = true
+			}
+		}
+	}
+
+	// Repair cache.
+	var retained []relational.Delta
+	if s.repairsOK {
+		if !relevant {
+			s.rebaseRepairs()
+			res.RepairsSurvived = len(s.repairs)
+		} else {
+			touched := s.touchedRepairs(eff)
+			res.RepairsInvalidated = len(touched)
+			for i, dl := range s.deltas {
+				if !touched[i] {
+					retained = append(retained, dl)
+				}
+			}
+			s.dropRepairs()
+		}
+	}
+
+	if s.head.Drift() > rebaseThreshold {
+		if err := s.reanchor(); err != nil {
+			return res, err
+		}
+	}
+
+	// Prepared queries. Refreshing needs the repair set for the
+	// non-cautious engines, so a relevant update re-enumerates here
+	// (seeded from the maintained violation lists).
+	for _, p := range s.prepared {
+		if !relevant && !p.touches(eff) {
+			res.QueriesSkipped++
+			continue
+		}
+		wasEmpty := !s.repairsOK
+		if err := s.refresh(p); err != nil {
+			return res, err
+		}
+		res.QueriesRefreshed++
+		if wasEmpty && s.repairsOK {
+			res.Reenumerated = true
+		}
+	}
+	if retained != nil && s.repairsOK {
+		res.RepairsSurvived = s.countRetained(retained)
+	}
+	return res, nil
+}
+
+// touchesConstraints reports whether any changed fact belongs to a
+// constraint predicate.
+func (s *Session) touchesConstraints(eff relational.Delta) bool {
+	for _, f := range eff.Removed {
+		if s.icPreds[f.Pred] {
+			return true
+		}
+	}
+	for _, f := range eff.Added {
+		if s.icPreds[f.Pred] {
+			return true
+		}
+	}
+	return false
+}
+
+func checkerTouched(ck *nullsem.ICChecker, eff relational.Delta) bool {
+	for _, f := range eff.Removed {
+		if ck.SharesPred(f.Pred) {
+			return true
+		}
+	}
+	for _, f := range eff.Added {
+		if ck.SharesPred(f.Pred) {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureViolations materializes the per-IC violation lists from the
+// current head; Apply keeps them maintained afterwards.
+func (s *Session) ensureViolations() {
+	if s.violsOK {
+		return
+	}
+	if s.checkers == nil {
+		sem := nullsem.NullAware
+		if s.opts.Repair.Mode == repair.Classic {
+			sem = nullsem.ClassicFO
+		}
+		s.checkers = make([]*nullsem.ICChecker, len(s.set.ICs))
+		for i, ic := range s.set.ICs {
+			s.checkers[i] = nullsem.NewICChecker(ic, sem)
+		}
+	}
+	cur := s.head.Current()
+	s.viols = make([][]nullsem.Violation, len(s.checkers))
+	for i, ck := range s.checkers {
+		s.viols[i] = ck.Violations(cur)
+	}
+	s.violsOK = true
+}
+
+// Violations returns the maintained IC violation lists flattened in
+// constraint order. Within one IC the order reflects the update history
+// (survivors first, then violations seeded by later deltas), so it equals
+// a scratch check's list as a set, not necessarily as a sequence. The
+// slice is read-only.
+func (s *Session) Violations() []nullsem.Violation {
+	s.ensureViolations()
+	var out []nullsem.Violation
+	for _, vs := range s.viols {
+		out = append(out, vs...)
+	}
+	return out
+}
+
+// Consistent reports whether the current head satisfies the constraint
+// set, from the maintained violation lists plus an indexed NNC probe.
+func (s *Session) Consistent() bool {
+	s.ensureViolations()
+	for _, vs := range s.viols {
+		if len(vs) > 0 {
+			return false
+		}
+	}
+	cur := s.head.Current()
+	for _, n := range s.set.NNCs {
+		if _, found := nullsem.FirstViolationNNC(cur, n); found {
+			return false
+		}
+	}
+	return true
+}
+
+// seed packages the maintained violation lists for the search root.
+func (s *Session) seed() *repair.Seed {
+	s.ensureViolations()
+	return &repair.Seed{Viols: s.viols}
+}
+
+// ensureRepairs fills the repair cache with the session's engine:
+// the streaming search (seeded from the maintained violation lists) for
+// EngineSearch, the stable models of the cached translation otherwise.
+// An empty result is cached as empty; answer paths enforce Proposition 1.
+func (s *Session) ensureRepairs() error {
+	if s.repairsOK {
+		return nil
+	}
+	switch s.opts.Engine {
+	case EngineProgram, EngineProgramCautious:
+		tr, err := s.translation()
+		if err != nil {
+			return err
+		}
+		insts, _, err := tr.StableRepairs(s.opts.Stable)
+		if err != nil {
+			return err
+		}
+		cur := s.head.Current()
+		s.repairs = insts
+		s.deltas = make([]relational.Delta, len(insts))
+		for i, inst := range insts {
+			s.deltas[i] = relational.Diff(cur, inst)
+		}
+		s.searchStats = repair.Stats{}
+	default:
+		ropts := s.opts.Repair
+		if !ropts.ScratchProbe {
+			ropts.Seed = s.seed()
+		}
+		cur := s.head.Current()
+		ac := repair.NewAntichain(cur, ropts.Mode)
+		stats, err := repair.Enumerate(cur, s.set, ropts, func(leaf *relational.Instance) bool {
+			ac.Add(leaf)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		s.repairs, s.deltas = ac.Results()
+		s.searchStats = stats
+	}
+	s.rebuildPostings()
+	s.repairsOK = true
+	return nil
+}
+
+// Repairs returns the session's repair set in content-canonical order.
+// The instances are shared with the cache: read-only.
+func (s *Session) Repairs() ([]*relational.Instance, error) {
+	if err := s.ensureRepairs(); err != nil {
+		return nil, err
+	}
+	return append([]*relational.Instance(nil), s.repairs...), nil
+}
+
+// Deltas returns Δ(current, repair) aligned with Repairs(). Read-only.
+func (s *Session) Deltas() ([]relational.Delta, error) {
+	if err := s.ensureRepairs(); err != nil {
+		return nil, err
+	}
+	return append([]relational.Delta(nil), s.deltas...), nil
+}
+
+func (s *Session) dropRepairs() {
+	s.repairsOK = false
+	s.repairs, s.deltas, s.post = nil, nil, nil
+	s.searchStats = repair.Stats{}
+}
+
+func (s *Session) rebuildPostings() {
+	s.post = map[uint64][]int{}
+	for i, dl := range s.deltas {
+		for _, f := range dl.Facts() {
+			h := f.Hash()
+			s.post[h] = append(s.post[h], i)
+		}
+	}
+}
+
+// touchedRepairs returns the set of cached repair indices whose delta
+// contains a fact of eff — fingerprint posting lists confirmed by Equal.
+func (s *Session) touchedRepairs(eff relational.Delta) map[int]bool {
+	touched := map[int]bool{}
+	for _, f := range eff.Facts() {
+		for _, i := range s.post[f.Hash()] {
+			if touched[i] {
+				continue
+			}
+			if deltaHasFact(s.deltas[i], f) {
+				touched[i] = true
+			}
+		}
+	}
+	return touched
+}
+
+func deltaHasFact(dl relational.Delta, f relational.Fact) bool {
+	for _, g := range dl.Removed {
+		if g.Equal(f) {
+			return true
+		}
+	}
+	for _, g := range dl.Added {
+		if g.Equal(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// countRetained reports how many retained candidate deltas reappeared
+// verbatim in the fresh repair set.
+func (s *Session) countRetained(retained []relational.Delta) int {
+	have := relational.NewDeltaSet()
+	for _, dl := range s.deltas {
+		have.Add(dl)
+	}
+	n := 0
+	for _, dl := range retained {
+		if have.Has(dl) {
+			n++
+		}
+	}
+	return n
+}
+
+// rebaseRepairs rebuilds the cached repair instances over the advanced
+// head after a constraint-irrelevant update: every delta is provably still
+// exactly a repair delta (each of its facts mentions a constraint
+// predicate, which the update did not touch), so each instance is the new
+// head ± the same delta. Canonical order is re-established — the changed
+// passthrough facts participate in Instance.Compare — and the posting
+// lists are rebuilt over the new indices.
+func (s *Session) rebaseRepairs() {
+	cur := s.head.Current()
+	for i := range s.repairs {
+		r := cur.Clone()
+		for _, f := range s.deltas[i].Removed {
+			r.Delete(f)
+		}
+		for _, f := range s.deltas[i].Added {
+			r.Insert(f)
+		}
+		s.repairs[i] = r
+	}
+	idx := make([]int, len(s.repairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return s.repairs[idx[a]].Compare(s.repairs[idx[b]]) < 0
+	})
+	repairs := make([]*relational.Instance, len(idx))
+	deltas := make([]relational.Delta, len(idx))
+	for at, i := range idx {
+		repairs[at] = s.repairs[i]
+		deltas[at] = s.deltas[i]
+	}
+	s.repairs, s.deltas = repairs, deltas
+	s.rebuildPostings()
+}
+
+// reanchor makes the current head the new anchor (see rebaseThreshold) and
+// re-bases everything anchored to the old one: prepared base evaluations
+// are rebuilt, cached repair instances are recloned from the new anchor's
+// engine, and a surviving translation is repointed.
+func (s *Session) reanchor() error {
+	s.head.Rebase()
+	if s.repairsOK {
+		s.rebaseRepairs()
+	}
+	if s.tr != nil {
+		s.tr.Rebase(s.head.Current(), relational.Delta{})
+	}
+	for _, p := range s.prepared {
+		if p.be != nil {
+			be, err := query.NewBaseEval(s.head.Anchor(), p.q)
+			if err != nil {
+				return err
+			}
+			p.be = be
+		}
+	}
+	return nil
+}
+
+// translation returns the cached repair-program translation, building it
+// on first use: pruned to the constrained relations for the cautious
+// engine (passthrough relations ride the base), full otherwise.
+func (s *Session) translation() (*repairprog.Translation, error) {
+	if s.tr != nil {
+		return s.tr, nil
+	}
+	var (
+		tr  *repairprog.Translation
+		err error
+	)
+	if s.opts.Engine == EngineProgramCautious {
+		tr, err = repairprog.BuildWith(s.head.Current(), s.set, repairprog.BuildOptions{
+			Variant:            s.opts.Variant,
+			PruneUnconstrained: true,
+		})
+	} else {
+		tr, err = repairprog.Build(s.head.Current(), s.set, s.opts.Variant)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tr.GroundOptions = s.opts.Ground
+	s.tr = tr
+	s.trDirty = nil
+	return tr, nil
+}
+
+// Prepared is a standing query registered with Prepare: the session keeps
+// its base evaluation plan and current certain answers, re-patching them
+// on every Apply that could change them.
+type Prepared struct {
+	q      *query.Q
+	preds  map[string]bool
+	be     *query.BaseEval // nil for the cautious engine
+	isBool bool
+
+	tuples  []relational.Tuple
+	boolAns bool
+	valid   bool
+
+	subs []func(QueryUpdate)
+}
+
+// QueryUpdate is pushed to subscribers when a prepared query's certain
+// answers change across an Apply.
+type QueryUpdate struct {
+	Prepared *Prepared
+	// Added and Removed are the certain-answer tuples that appeared and
+	// disappeared (sorted, for non-boolean queries).
+	Added, Removed []relational.Tuple
+	// Boolean is the new verdict of a boolean query; BooleanChanged
+	// reports that it flipped.
+	Boolean        bool
+	BooleanChanged bool
+}
+
+// Query returns the prepared query.
+func (p *Prepared) Query() *query.Q { return p.q }
+
+// Answers returns the current certain answers (read-only, sorted); nil
+// for boolean queries.
+func (p *Prepared) Answers() []relational.Tuple { return p.tuples }
+
+// Boolean returns the current certain verdict of a boolean query.
+func (p *Prepared) Boolean() bool { return p.boolAns }
+
+// Subscribe registers fn to be called (synchronously, inside Apply) each
+// time the prepared query's answers change.
+func (p *Prepared) Subscribe(fn func(QueryUpdate)) { p.subs = append(p.subs, fn) }
+
+func (p *Prepared) touches(eff relational.Delta) bool {
+	for _, f := range eff.Removed {
+		if p.preds[f.Pred] {
+			return true
+		}
+	}
+	for _, f := range eff.Added {
+		if p.preds[f.Pred] {
+			return true
+		}
+	}
+	return false
+}
+
+// Prepare registers q as a standing query and computes its initial
+// answers. The plan (query.BaseEval, anchored at the frozen anchor) is
+// kept for the session's lifetime; Apply re-patches the answers.
+func (s *Session) Prepare(q *query.Q) (*Prepared, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Prepared{q: q, preds: map[string]bool{}, isBool: q.IsBoolean()}
+	for _, name := range q.Preds() {
+		p.preds[name] = true
+	}
+	if s.opts.Engine != EngineProgramCautious {
+		be, err := query.NewBaseEval(s.head.Anchor(), q)
+		if err != nil {
+			return nil, err
+		}
+		p.be = be
+	}
+	if err := s.compute(p); err != nil {
+		return nil, err
+	}
+	s.prepared = append(s.prepared, p)
+	return p, nil
+}
+
+// compute fills p's answers from the session's current state.
+func (s *Session) compute(p *Prepared) error {
+	if s.opts.Engine == EngineProgramCautious {
+		ans, err := s.cautiousAnswer(p.q)
+		if err != nil {
+			return err
+		}
+		p.tuples, p.boolAns, p.valid = ans.Tuples, ans.Boolean, true
+		return nil
+	}
+	if err := s.ensureRepairs(); err != nil {
+		return err
+	}
+	if len(s.repairs) == 0 {
+		return errEmptyRepairSet
+	}
+	if p.isBool {
+		holds := true
+		for _, r := range s.repairs {
+			if len(p.be.EvalOn(r)) == 0 {
+				holds = false
+				break
+			}
+		}
+		p.boolAns, p.valid = holds, true
+		return nil
+	}
+	p.tuples, p.valid = certainWith(p.be, s.repairs), true
+	return nil
+}
+
+// refresh recomputes p and notifies subscribers of any change.
+func (s *Session) refresh(p *Prepared) error {
+	oldTuples, oldBool, wasValid := p.tuples, p.boolAns, p.valid
+	if err := s.compute(p); err != nil {
+		return err
+	}
+	if len(p.subs) == 0 {
+		return nil
+	}
+	var upd QueryUpdate
+	changed := false
+	if p.isBool {
+		if !wasValid || oldBool != p.boolAns {
+			upd.Boolean, upd.BooleanChanged = p.boolAns, true
+			changed = true
+		}
+	} else {
+		added, removed := diffSorted(oldTuples, p.tuples)
+		if !wasValid || len(added) > 0 || len(removed) > 0 {
+			upd.Added, upd.Removed = added, removed
+			changed = true
+		}
+	}
+	if changed {
+		upd.Prepared = p
+		for _, fn := range p.subs {
+			fn(upd)
+		}
+	}
+	return nil
+}
+
+// diffSorted compares two Compare-sorted distinct tuple lists and returns
+// what newer gained and lost relative to older.
+func diffSorted(older, newer []relational.Tuple) (added, removed []relational.Tuple) {
+	i, j := 0, 0
+	for i < len(older) && j < len(newer) {
+		switch c := older[i].Compare(newer[j]); {
+		case c < 0:
+			removed = append(removed, older[i])
+			i++
+		case c > 0:
+			added = append(added, newer[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	removed = append(removed, older[i:]...)
+	added = append(added, newer[j:]...)
+	return added, removed
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/relational"
 	"repro/internal/repair"
 	"repro/internal/repairprog"
+	"repro/internal/session"
 	"repro/internal/stable"
 	"repro/internal/value"
 )
@@ -228,6 +229,28 @@ func ConsistentAnswers(d *Instance, set *ConstraintSet, q *Query, opts CQAOption
 // PossibleAnswers computes the brave answers (true in some repair).
 func PossibleAnswers(d *Instance, set *ConstraintSet, q *Query, opts CQAOptions) ([]Tuple, error) {
 	return core.PossibleAnswers(d, set, q, opts)
+}
+
+// Sessions (live CQA over an update stream).
+
+// Session is a persistent (D, IC) pair: maintained violations, cached
+// repairs, prepared standing queries, O(|Δ|) updates via Apply.
+type Session = session.Session
+
+// SessionPrepared is a standing query registered with Session.Prepare.
+type SessionPrepared = session.Prepared
+
+// SessionApplyResult summarizes one Session.Apply.
+type SessionApplyResult = session.ApplyResult
+
+// SessionQueryUpdate is pushed to Subscribe callbacks when a prepared
+// query's certain answers change.
+type SessionQueryUpdate = session.QueryUpdate
+
+// NewSession creates a session over d and set; d is frozen and all
+// subsequent mutation goes through Session.Apply.
+func NewSession(d *Instance, set *ConstraintSet, opts CQAOptions) *Session {
+	return session.New(d, set, opts)
 }
 
 // EvalQuery evaluates q directly on one instance (no repairs).
