@@ -9,6 +9,7 @@ package nullcqa_test
 // internal/experiments validate; EXPERIMENTS.md records the correspondence.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -867,7 +868,7 @@ func BenchmarkFacadeQuickstart(b *testing.B) {
 		if nullcqa.IsConsistent(d, set) {
 			b.Fatal("must be inconsistent")
 		}
-		if _, err := nullcqa.Repairs(d, set); err != nil {
+		if _, err := nullcqa.RepairsCtx(context.Background(), d, set, nullcqa.RepairOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

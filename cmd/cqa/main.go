@@ -16,6 +16,10 @@
 // once and each update advances the shared repair state in O(|Δ|),
 // printing the answer diffs it causes (see internal/session).
 //
+// -json switches the answers and session commands to the JSON wire schema
+// of internal/wire — one compact document per line, byte-identical to what
+// the cqad daemon serves for the same requests.
+//
 // -workers parallelizes the chosen engine: the search engine's state
 // expansion pool, or the program engines' grounding and per-component
 // stable-model solvers. Output is byte-identical for every worker count.
@@ -29,6 +33,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +51,7 @@ import (
 	"repro/internal/repair"
 	"repro/internal/repairprog"
 	"repro/internal/stable"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -62,6 +68,7 @@ func run(args []string) (retErr error) {
 	queryArg := fs.String("query", "", "query (file path or inline), for the answers command")
 	sessionArg := fs.String("session", "", "session update script (file of query/insert/delete lines)")
 	engine := fs.String("engine", "search", "repair engine: search | program | cautious (answers only)")
+	jsonOut := fs.Bool("json", false, "emit results as JSON wire documents (answers and session commands)")
 	classic := fs.Bool("classic", false, "use the classic [2] repair semantics (repairs command, search engine)")
 	workers := fs.Int("workers", 1, "parallel workers for the selected engine (>= 1)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
@@ -108,6 +115,9 @@ func run(args []string) (retErr error) {
 	if *classic && cmd != "repairs" {
 		return fmt.Errorf("-classic only applies to the repairs command")
 	}
+	if *jsonOut && cmd != "answers" && cmd != "session" {
+		return fmt.Errorf("-json only applies to the answers and session commands")
+	}
 	if *dbArg == "" || *icArg == "" {
 		return fmt.Errorf("-db and -ic are required")
 	}
@@ -133,14 +143,43 @@ func run(args []string) (retErr error) {
 		if err != nil {
 			return fmt.Errorf("loading -query: %w", err)
 		}
-		return cmdAnswers(d, set, q, *engine, *workers)
+		return cmdAnswers(d, set, q, *engine, *workers, *jsonOut)
 	case "semantics":
 		return cmdSemantics(d, set)
 	case "session":
-		return cmdSession(d, set, *sessionArg, *engine, *workers)
+		return cmdSession(d, set, *sessionArg, *engine, *workers, *jsonOut)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// engineOptions maps the -engine/-workers flags onto session options; the
+// answers and session commands share the mapping.
+func engineOptions(engine string, workers int) (core.Options, error) {
+	opts := core.NewOptions()
+	switch engine {
+	case "search":
+		opts.Repair.Workers = workers
+	case "program":
+		opts.Engine = core.EngineProgram
+		opts.Stable.Workers = workers
+		opts.Ground.Workers = workers
+	case "cautious":
+		opts.Engine = core.EngineProgramCautious
+		opts.Stable.Workers = workers
+		opts.Ground.Workers = workers
+	default:
+		return opts, fmt.Errorf("unknown -engine %q: want search, program, or cautious", engine)
+	}
+	return opts, nil
+}
+
+// emitJSON writes one compact wire document per line, exactly as the cqad
+// daemon serializes the same type — which is what makes CLI and HTTP
+// outputs byte-comparable.
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	return enc.Encode(v)
 }
 
 // loadText treats the argument as inline text if it looks like source,
@@ -236,25 +275,17 @@ func cmdRepairs(d *relational.Instance, set *constraint.Set, engine string, clas
 	}
 }
 
-func cmdAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, engine string, workers int) error {
-	opts := core.NewOptions()
-	switch engine {
-	case "search":
-		opts.Repair.Workers = workers
-	case "program":
-		opts.Engine = core.EngineProgram
-		opts.Stable.Workers = workers
-		opts.Ground.Workers = workers
-	case "cautious":
-		opts.Engine = core.EngineProgramCautious
-		opts.Stable.Workers = workers
-		opts.Ground.Workers = workers
-	default:
-		return fmt.Errorf("unknown -engine %q: want search, program, or cautious", engine)
+func cmdAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, engine string, workers int, jsonOut bool) error {
+	opts, err := engineOptions(engine, workers)
+	if err != nil {
+		return err
 	}
 	ans, err := core.ConsistentAnswers(d, set, q, opts)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return emitJSON(wire.AnswerResponse{Query: q.String(), Answer: wire.FromAnswer(ans)})
 	}
 	fmt.Printf("query: %s\n", q)
 	fmt.Printf("repairs inspected: %d\n", ans.NumRepairs)

@@ -113,6 +113,35 @@ func TestAnswersCommand(t *testing.T) {
 	}
 }
 
+// TestAnswersJSONGolden pins the -json answers document for the search
+// engine (program engines report different diagnostics by design).
+func TestAnswersJSONGolden(t *testing.T) {
+	db, ic, q := writeFixtures(t)
+	out, err := capture(t, func() error {
+		return run([]string{"-db", db, "-ic", ic, "-query", q, "-json", "answers"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"query":"q(V) :- s(U,V).","answer":{"tuples":[["a"]],"boolean":false,"num_repairs":4,"states_explored":7}}` + "\n"
+	if out != golden {
+		t.Errorf("answers -json differs:\n got %s\nwant %s", out, golden)
+	}
+	// The answer payload (tuples, boolean) is engine-independent even
+	// though the diagnostics are not.
+	for _, engine := range []string{"program", "cautious"} {
+		out, err := capture(t, func() error {
+			return run([]string{"-db", db, "-ic", ic, "-query", q, "-engine", engine, "-json", "answers"})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, `"tuples":[["a"]],"boolean":false`) {
+			t.Errorf("engine %s: unexpected -json answers:\n%s", engine, out)
+		}
+	}
+}
+
 func TestSemanticsCommand(t *testing.T) {
 	db, ic, _ := writeFixtures(t)
 	out, err := capture(t, func() error {

@@ -6,12 +6,25 @@ import (
 	"strings"
 
 	"repro/internal/constraint"
-	"repro/internal/core"
 	"repro/internal/parser"
 	"repro/internal/query"
 	"repro/internal/relational"
 	"repro/internal/session"
+	"repro/internal/wire"
 )
+
+// preparedResponse serializes a standing query's current state: the answer
+// carries the maintained tuples (or boolean verdict) with zero engine
+// diagnostics, since a patched answer inspects no new repairs. The daemon's
+// answers endpoint builds the identical document.
+func preparedResponse(p *session.Prepared) wire.AnswerResponse {
+	q := p.Query()
+	ans := wire.Answer{Boolean: p.Boolean()}
+	if !q.IsBoolean() {
+		ans.Tuples = wire.FromTuples(p.Answers())
+	}
+	return wire.AnswerResponse{Query: q.String(), Answer: ans}
+}
 
 // cmdSession runs a -session script: a line-oriented file of
 //
@@ -24,21 +37,15 @@ import (
 // prints the update summary followed by the answer diffs of every standing
 // query whose certain answers changed. Blank lines and #-comments are
 // skipped.
-func cmdSession(d *relational.Instance, set *constraint.Set, script string, engine string, workers int) error {
-	opts := core.NewOptions()
-	switch engine {
-	case "search":
-		opts.Repair.Workers = workers
-	case "program":
-		opts.Engine = core.EngineProgram
-		opts.Stable.Workers = workers
-		opts.Ground.Workers = workers
-	case "cautious":
-		opts.Engine = core.EngineProgramCautious
-		opts.Stable.Workers = workers
-		opts.Ground.Workers = workers
-	default:
-		return fmt.Errorf("unknown -engine %q: want search, program, or cautious", engine)
+//
+// With jsonOut each line produces one compact wire document instead of
+// text: wire.AnswerResponse for query lines, wire.ApplyResponse for
+// insert/delete lines — the same documents the cqad daemon serves, so a
+// script replayed over HTTP is byte-comparable to this output.
+func cmdSession(d *relational.Instance, set *constraint.Set, script string, engine string, workers int, jsonOut bool) error {
+	opts, err := engineOptions(engine, workers)
+	if err != nil {
+		return err
 	}
 	data, err := os.ReadFile(script)
 	if err != nil {
@@ -46,8 +53,10 @@ func cmdSession(d *relational.Instance, set *constraint.Set, script string, engi
 	}
 
 	s := session.New(d, set, opts)
-	fmt.Printf("session: %d facts, %d constraints, engine %s\n",
-		d.Len(), len(set.ICs)+len(set.NNCs), engine)
+	if !jsonOut {
+		fmt.Printf("session: %d facts, %d constraints, engine %s\n",
+			d.Len(), len(set.ICs)+len(set.NNCs), engine)
+	}
 
 	// Standing queries in registration order, with their pending
 	// subscription diffs collected across the enclosing Apply.
@@ -84,6 +93,12 @@ func cmdSession(d *relational.Instance, set *constraint.Set, script string, engi
 				byKey[q.String()] = st
 				queries = append(queries, st)
 			}
+			if jsonOut {
+				if err := emitJSON(preparedResponse(st.p)); err != nil {
+					return err
+				}
+				continue
+			}
 			fmt.Printf("query %s\n", q)
 			if q.IsBoolean() {
 				fmt.Printf("  consistent answer: %v\n", st.p.Boolean())
@@ -108,6 +123,25 @@ func cmdSession(d *relational.Instance, set *constraint.Set, script string, engi
 			res, err := s.Apply(dl)
 			if err != nil {
 				return fmt.Errorf("line %d: applying update: %w", ln+1, err)
+			}
+			if jsonOut {
+				resp := wire.ApplyResponse{
+					Result:     wire.FromApplyResult(res),
+					Consistent: s.Consistent(),
+				}
+				if !resp.Consistent {
+					resp.Violations = len(s.Violations())
+				}
+				for _, st := range queries {
+					if st.diff != nil {
+						resp.Updates = append(resp.Updates, wire.FromQueryUpdate(*st.diff))
+						st.diff = nil
+					}
+				}
+				if err := emitJSON(resp); err != nil {
+					return err
+				}
+				continue
 			}
 			fmt.Printf("%s %s\n", verb, rest)
 			if res.Applied.Size() == 0 {

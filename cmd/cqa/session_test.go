@@ -73,6 +73,40 @@ query q(V) :- s(U,V).
 	}
 }
 
+// TestSessionJSONGolden pins the -json session transcript: one compact wire
+// document per script line (wire.AnswerResponse for queries,
+// wire.ApplyResponse for updates). The documents are pinned for the search
+// engine; program engines produce different cache diagnostics inside
+// result, by design.
+//
+// The golden lives in testdata/session_json.golden because the cqad daemon
+// replays the identical script over HTTP against the same file — one file,
+// two transports, byte-identical outputs (see cmd/cqad's parity test).
+func TestSessionJSONGolden(t *testing.T) {
+	db, ic, _ := writeFixtures(t)
+	script := writeSessionScript(t, `
+		query q(V) :- s(U, V).
+		query p :- r(a, b).
+		insert t(x, y).
+		delete r(a, c).
+		delete r(a, c).
+		query q(V) :- s(U, V).
+	`)
+	golden, err := os.ReadFile(filepath.Join("testdata", "session_json.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"-db", db, "-ic", ic, "-json", "-session", script})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Errorf("JSON transcript differs:\n--- got ---\n%s--- want ---\n%s", out, golden)
+	}
+}
+
 // TestSessionWorkersDeterministic extends the CLI determinism pin to the
 // session transcript.
 func TestSessionWorkersDeterministic(t *testing.T) {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/relational"
+	"repro/internal/session"
+)
+
+// The apply benchmarks measure the per-update cost of the service against
+// the in-process session layer on identical work: a key-constrained
+// relation with benchPairs FD-violating groups (2^benchPairs repairs) and
+// one standing query, alternating a constraint-relevant delete/insert of a
+// single conflicting fact per iteration. The repair bookkeeping dominates,
+// so the HTTP+JSON envelope must stay within the issue's <=2x overhead
+// budget over BenchmarkSessionApply.
+const benchPairs = 6
+
+const (
+	benchIC    = "r(X, Y), r(X, Z) -> Y = Z.\n"
+	benchQuery = "q(V) :- r(k0, V)."
+)
+
+func benchInstanceSrc() string {
+	var b strings.Builder
+	for i := 0; i < benchPairs; i++ {
+		fmt.Fprintf(&b, "r(k%d, x). r(k%d, y).\n", i, i)
+	}
+	return b.String()
+}
+
+func benchFacts(tb testing.TB, src string) []relational.Fact {
+	tb.Helper()
+	inst, err := parser.Instance(src)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return inst.Facts()
+}
+
+func BenchmarkSessionApply(b *testing.B) {
+	d, err := parser.Instance(benchInstanceSrc())
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := parser.Constraints(benchIC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := session.New(d, set, session.NewOptions())
+	q, err := parser.Query(benchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Prepare(q); err != nil {
+		b.Fatal(err)
+	}
+	del := relational.Delta{Removed: benchFacts(b, "r(k1, y).")}
+	ins := relational.Delta{Added: benchFacts(b, "r(k1, y).")}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta := del
+		if i%2 == 1 {
+			delta = ins
+		}
+		if _, err := s.Apply(delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDaemonApply(b *testing.B) {
+	hs := httptest.NewServer(newServer(config{}))
+	defer hs.Close()
+	client := hs.Client()
+
+	post := func(path, body string, want int) {
+		resp, err := client.Post(hs.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			b.Fatalf("POST %s: status %d, body %s", path, resp.StatusCode, out)
+		}
+	}
+	post("/v1/tenants/bench/sessions",
+		fmt.Sprintf(`{"name":"s1","instance_text":%q,"constraints_text":%q}`, benchInstanceSrc(), benchIC),
+		http.StatusCreated)
+	post("/v1/tenants/bench/sessions/s1/prepare",
+		fmt.Sprintf(`{"query":%q}`, benchQuery), http.StatusCreated)
+
+	applyURL := hs.URL + "/v1/tenants/bench/sessions/s1/apply"
+	delBody := []byte(`{"delete_text":"r(k1, y)."}`)
+	insBody := []byte(`{"insert_text":"r(k1, y)."}`)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := delBody
+		if i%2 == 1 {
+			body = insBody
+		}
+		resp, err := client.Post(applyURL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("apply %d: status %d", i, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,767 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/repair"
+	"repro/internal/session"
+	"repro/internal/stable"
+	"repro/internal/wire"
+)
+
+// config carries the server knobs. The zero value means defaults.
+type config struct {
+	// SessionTTL evicts sessions idle for longer (0 disables eviction).
+	SessionTTL time.Duration
+	// MaxInflight caps concurrently executing expensive requests (apply,
+	// query, prepare) per tenant; excess requests are shed with 429.
+	MaxInflight int
+	// MaxSessions caps live sessions per tenant.
+	MaxSessions int
+	// now is the clock, injectable for eviction tests.
+	now func() time.Time
+}
+
+// server is the multi-tenant CQA daemon. Tenants are namespaces that share
+// nothing: every value, fact key and hash in this process is
+// content-addressed (internal/value has no intern table), so two tenants'
+// sessions touch zero common mutable state — isolation needs no
+// per-tenant locking, only the per-session mutex serializing each
+// session.Session (which is not concurrent-safe by contract).
+type server struct {
+	cfg config
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+}
+
+func newServer(cfg config) *server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	s := &server{cfg: cfg, mux: http.NewServeMux(), tenants: map[string]*tenant{}}
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/sessions", s.handleCreate)
+	s.mux.HandleFunc("DELETE /v1/tenants/{tenant}/sessions/{session}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/sessions/{session}/apply", s.handleApply)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/sessions/{session}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/sessions/{session}/prepare", s.handlePrepare)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/sessions/{session}/answers/{query}", s.handleAnswers)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/sessions/{session}/subscribe", s.handleSubscribe)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// tenant is one namespace of sessions with its own load-shedding slot pool.
+type tenant struct {
+	name     string
+	inflight chan struct{}
+
+	mu       sync.Mutex
+	sessions map[string]*liveSession
+}
+
+// acquire claims an in-flight slot without blocking; callers shed load with
+// 429 when it fails.
+func (t *tenant) acquire() bool {
+	select {
+	case t.inflight <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (t *tenant) release() { <-t.inflight }
+
+// standing is one prepared query plus the diff its subscription recorded
+// during the current apply.
+type standing struct {
+	q    *query.Q
+	p    *session.Prepared
+	diff *session.QueryUpdate
+}
+
+// liveSession wraps one session.Session behind a mutex (the session layer
+// is not concurrent-safe) together with its standing queries and SSE
+// subscribers.
+type liveSession struct {
+	tenant, name string
+
+	mu       sync.Mutex
+	s        *session.Session
+	prepared map[string]*standing // keyed by query head name
+	order    []*standing          // registration order, for deterministic diffs
+	lastUsed time.Time
+
+	subMu   sync.Mutex
+	subs    map[int]chan []byte
+	nextSub int
+	closed  bool
+}
+
+// subscribe registers an SSE consumer. The channel is buffered; a consumer
+// that falls further behind than the buffer loses the oldest pending
+// events (the next full snapshot is one GET answers away).
+func (ls *liveSession) subscribe() (int, chan []byte, bool) {
+	ls.subMu.Lock()
+	defer ls.subMu.Unlock()
+	if ls.closed {
+		return 0, nil, false
+	}
+	id := ls.nextSub
+	ls.nextSub++
+	ch := make(chan []byte, 64)
+	ls.subs[id] = ch
+	return id, ch, true
+}
+
+func (ls *liveSession) unsubscribe(id int) {
+	ls.subMu.Lock()
+	defer ls.subMu.Unlock()
+	if ch, ok := ls.subs[id]; ok {
+		delete(ls.subs, id)
+		close(ch)
+	}
+}
+
+// broadcast fans an encoded event out to every subscriber, dropping it for
+// consumers whose buffer is full.
+func (ls *liveSession) broadcast(msg []byte) {
+	ls.subMu.Lock()
+	defer ls.subMu.Unlock()
+	for _, ch := range ls.subs {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}
+
+// closeSubs terminates every subscriber stream (eviction, deletion).
+func (ls *liveSession) closeSubs() {
+	ls.subMu.Lock()
+	defer ls.subMu.Unlock()
+	if ls.closed {
+		return
+	}
+	ls.closed = true
+	for id, ch := range ls.subs {
+		delete(ls.subs, id)
+		close(ch)
+	}
+}
+
+// --- error mapping -----------------------------------------------------------
+
+// statusClientClosedRequest is the de-facto status (nginx's 499) for
+// requests abandoned by the client; nothing standard fits a cancellation
+// observed server-side.
+const statusClientClosedRequest = 499
+
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+	Line  int    `json:"line,omitempty"`
+	Col   int    `json:"col,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, Code: code})
+}
+
+// writeEngineError maps the typed errors of the session/engine stack onto
+// HTTP statuses: parse errors are the client's fault (400, with position),
+// budget limits are load shedding (422, retryable with a larger budget or
+// smaller input), cancellation reports 499, and everything else is a 500.
+func writeEngineError(w http.ResponseWriter, err error) {
+	var pe *parser.ParseError
+	switch {
+	case errors.As(err, &pe):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: pe.Error(), Code: "parse", Line: pe.Line, Col: pe.Col})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, statusClientClosedRequest, "canceled", err.Error())
+	case errors.Is(err, stable.ErrCandidateLimit):
+		writeError(w, http.StatusUnprocessableEntity, "candidate_limit", err.Error())
+	case errors.Is(err, repair.ErrStateLimit):
+		writeError(w, http.StatusUnprocessableEntity, "state_limit", err.Error())
+	case errors.Is(err, repair.ErrConflictingSet):
+		writeError(w, http.StatusUnprocessableEntity, "conflicting_constraints", err.Error())
+	case errors.Is(err, session.ErrInconsistentUnrepairable):
+		writeError(w, http.StatusInternalServerError, "unrepairable", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// --- lookup helpers ----------------------------------------------------------
+
+func (s *server) tenantFor(name string, create bool) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[name]
+	if t == nil && create {
+		t = &tenant{
+			name:     name,
+			inflight: make(chan struct{}, s.cfg.MaxInflight),
+			sessions: map[string]*liveSession{},
+		}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// lookup resolves a request's tenant and session, writing the 404 itself
+// when either is missing.
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*tenant, *liveSession, bool) {
+	t := s.tenantFor(r.PathValue("tenant"), false)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "unknown_tenant", fmt.Sprintf("unknown tenant %q", r.PathValue("tenant")))
+		return nil, nil, false
+	}
+	t.mu.Lock()
+	ls := t.sessions[r.PathValue("session")]
+	t.mu.Unlock()
+	if ls == nil {
+		writeError(w, http.StatusNotFound, "unknown_session", fmt.Sprintf("unknown session %q", r.PathValue("session")))
+		return nil, nil, false
+	}
+	return t, ls, true
+}
+
+// shed acquires an in-flight slot for an expensive request, shedding with
+// 429 when the tenant's pool is exhausted.
+func shed(w http.ResponseWriter, t *tenant) bool {
+	if !t.acquire() {
+		writeError(w, http.StatusTooManyRequests, "tenant_busy",
+			fmt.Sprintf("tenant %q has %d requests in flight; retry later", t.name, cap(t.inflight)))
+		return false
+	}
+	return true
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// engineOptions maps a request's engine selection onto session options,
+// including the per-session load-shedding budgets.
+func engineOptions(engine string, workers, maxStates, maxCandidates int) (session.Options, error) {
+	opts := session.NewOptions()
+	switch engine {
+	case "", "search":
+		opts.Repair.Workers = workers
+	case "program":
+		opts.Engine = session.EngineProgram
+		opts.Stable.Workers = workers
+		opts.Ground.Workers = workers
+	case "cautious":
+		opts.Engine = session.EngineProgramCautious
+		opts.Stable.Workers = workers
+		opts.Ground.Workers = workers
+	default:
+		return opts, fmt.Errorf("unknown engine %q: want search, program, or cautious", engine)
+	}
+	opts.Repair.MaxStates = maxStates
+	opts.Stable.MaxCandidates = maxCandidates
+	return opts, nil
+}
+
+// --- handlers ----------------------------------------------------------------
+
+type createSessionRequest struct {
+	// Name identifies the session within its tenant.
+	Name string `json:"name"`
+	// Instance and Constraints load structured wire documents;
+	// InstanceText and ConstraintsText accept parser-syntax source
+	// instead. Exactly one form of each must be present (constraints may
+	// be omitted entirely for an unconstrained session).
+	Instance        *wire.Instance      `json:"instance,omitempty"`
+	InstanceText    string              `json:"instance_text,omitempty"`
+	Constraints     *wire.ConstraintSet `json:"constraints,omitempty"`
+	ConstraintsText string              `json:"constraints_text,omitempty"`
+	// Engine (search | program | cautious), Workers, and the shedding
+	// budgets configure every request served by this session.
+	Engine        string `json:"engine,omitempty"`
+	Workers       int    `json:"workers,omitempty"`
+	MaxStates     int    `json:"max_states,omitempty"`
+	MaxCandidates int    `json:"max_candidates,omitempty"`
+}
+
+type createSessionResponse struct {
+	Tenant      string `json:"tenant"`
+	Name        string `json:"name"`
+	Facts       int    `json:"facts"`
+	Constraints int    `json:"constraints"`
+	Consistent  bool   `json:"consistent"`
+	Engine      string `json:"engine"`
+}
+
+func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" || strings.ContainsAny(req.Name, "/ ") {
+		writeError(w, http.StatusBadRequest, "bad_name", "session name must be non-empty without '/' or spaces")
+		return
+	}
+
+	var d *relational.Instance
+	switch {
+	case req.Instance != nil && req.InstanceText != "":
+		writeError(w, http.StatusBadRequest, "bad_request", "instance and instance_text are mutually exclusive")
+		return
+	case req.Instance != nil:
+		d = req.Instance.ToInstance()
+	default:
+		var err error
+		if d, err = parser.Instance(req.InstanceText); err != nil {
+			writeEngineError(w, err)
+			return
+		}
+	}
+
+	var set *constraint.Set
+	switch {
+	case req.Constraints != nil && req.ConstraintsText != "":
+		writeError(w, http.StatusBadRequest, "bad_request", "constraints and constraints_text are mutually exclusive")
+		return
+	case req.Constraints != nil:
+		var err error
+		if set, err = req.Constraints.ToSet(); err != nil {
+			writeEngineError(w, err)
+			return
+		}
+	default:
+		var err error
+		if set, err = parser.Constraints(req.ConstraintsText); err != nil {
+			writeEngineError(w, err)
+			return
+		}
+	}
+
+	engine := req.Engine
+	if engine == "" {
+		engine = "search"
+	}
+	opts, err := engineOptions(engine, req.Workers, req.MaxStates, req.MaxCandidates)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_engine", err.Error())
+		return
+	}
+
+	t := s.tenantFor(r.PathValue("tenant"), true)
+	ls := &liveSession{
+		tenant:   t.name,
+		name:     req.Name,
+		s:        session.New(d, set, opts),
+		prepared: map[string]*standing{},
+		lastUsed: s.cfg.now(),
+		subs:     map[int]chan []byte{},
+	}
+	t.mu.Lock()
+	switch {
+	case t.sessions[req.Name] != nil:
+		t.mu.Unlock()
+		writeError(w, http.StatusConflict, "session_exists",
+			fmt.Sprintf("tenant %q already has a session %q", t.name, req.Name))
+		return
+	case len(t.sessions) >= s.cfg.MaxSessions:
+		t.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "session_limit",
+			fmt.Sprintf("tenant %q is at its session limit (%d)", t.name, s.cfg.MaxSessions))
+		return
+	}
+	t.sessions[req.Name] = ls
+	t.mu.Unlock()
+
+	ls.mu.Lock()
+	consistent := ls.s.Consistent()
+	ls.mu.Unlock()
+	writeJSON(w, http.StatusCreated, createSessionResponse{
+		Tenant:      t.name,
+		Name:        req.Name,
+		Facts:       d.Len(),
+		Constraints: len(set.ICs) + len(set.NNCs),
+		Consistent:  consistent,
+		Engine:      engine,
+	})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	t, ls, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	delete(t.sessions, ls.name)
+	t.mu.Unlock()
+	ls.closeSubs()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type applyRequest struct {
+	// Delta is the structured update; InsertText/DeleteText accept
+	// parser-syntax fact lists instead (all three combine additively).
+	Delta      *wire.Delta `json:"delta,omitempty"`
+	InsertText string      `json:"insert_text,omitempty"`
+	DeleteText string      `json:"delete_text,omitempty"`
+}
+
+func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
+	t, ls, ok := s.lookup(w, r)
+	if !ok || !shed(w, t) {
+		return
+	}
+	defer t.release()
+	var req applyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var delta relational.Delta
+	if req.Delta != nil {
+		delta = req.Delta.ToDelta()
+	}
+	if req.InsertText != "" {
+		inst, err := parser.Instance(req.InsertText)
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		delta.Added = append(delta.Added, inst.Facts()...)
+	}
+	if req.DeleteText != "" {
+		inst, err := parser.Instance(req.DeleteText)
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		delta.Removed = append(delta.Removed, inst.Facts()...)
+	}
+
+	ls.mu.Lock()
+	ls.lastUsed = s.cfg.now()
+	res, err := ls.s.ApplyCtx(r.Context(), delta)
+	if err != nil {
+		// The update itself is applied; only the refresh was
+		// interrupted. Drop any partial diffs — the affected standing
+		// queries are marked stale and revalidate on the next apply.
+		for _, st := range ls.order {
+			st.diff = nil
+		}
+		ls.mu.Unlock()
+		writeEngineError(w, err)
+		return
+	}
+	resp := wire.ApplyResponse{
+		Result:     wire.FromApplyResult(res),
+		Consistent: ls.s.Consistent(),
+	}
+	if !resp.Consistent {
+		resp.Violations = len(ls.s.Violations())
+	}
+	for _, st := range ls.order {
+		if st.diff != nil {
+			resp.Updates = append(resp.Updates, wire.FromQueryUpdate(*st.diff))
+			st.diff = nil
+		}
+	}
+	ls.mu.Unlock()
+
+	for _, u := range resp.Updates {
+		if msg, err := json.Marshal(u); err == nil {
+			ls.broadcast(msg)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type queryRequest struct {
+	// Query is parser-syntax source.
+	Query string `json:"query"`
+	// Semantics selects certain (default) or possible (brave) answers.
+	Semantics string `json:"semantics,omitempty"`
+	// Engine and Workers override the session's engine for this request
+	// only. An override answers from a throwaway session over the current
+	// head: correct, but without the session's caches.
+	Engine  string `json:"engine,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t, ls, ok := s.lookup(w, r)
+	if !ok || !shed(w, t) {
+		return
+	}
+	defer t.release()
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := parser.Query(req.Query)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+
+	ls.mu.Lock()
+	ls.lastUsed = s.cfg.now()
+	answer := func(ctx context.Context) (session.Answer, error) {
+		if req.Engine == "" {
+			return ls.s.AnswerCtx(ctx, q)
+		}
+		opts, err := engineOptions(req.Engine, req.Workers, 0, 0)
+		if err != nil {
+			return session.Answer{}, err
+		}
+		return core.ConsistentAnswersCtx(ctx, ls.s.Current(), ls.s.Set(), q, opts)
+	}
+	possible := func(ctx context.Context) ([]relational.Tuple, error) {
+		if req.Engine == "" {
+			return ls.s.PossibleCtx(ctx, q)
+		}
+		opts, err := engineOptions(req.Engine, req.Workers, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		return core.PossibleAnswersCtx(ctx, ls.s.Current(), ls.s.Set(), q, opts)
+	}
+
+	resp := wire.AnswerResponse{Query: q.String()}
+	switch req.Semantics {
+	case "", "certain":
+		ans, err := answer(r.Context())
+		if err != nil {
+			ls.mu.Unlock()
+			writeEngineError(w, err)
+			return
+		}
+		resp.Answer = wire.FromAnswer(ans)
+	case "possible":
+		tuples, err := possible(r.Context())
+		if err != nil {
+			ls.mu.Unlock()
+			writeEngineError(w, err)
+			return
+		}
+		resp.Semantics = "possible"
+		if q.IsBoolean() {
+			resp.Answer.Boolean = len(tuples) > 0
+		} else {
+			resp.Answer.Tuples = wire.FromTuples(tuples)
+		}
+	default:
+		ls.mu.Unlock()
+		writeError(w, http.StatusBadRequest, "bad_semantics",
+			fmt.Sprintf("unknown semantics %q: want certain or possible", req.Semantics))
+		return
+	}
+	ls.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type prepareRequest struct {
+	Query string `json:"query"`
+}
+
+func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	t, ls, ok := s.lookup(w, r)
+	if !ok || !shed(w, t) {
+		return
+	}
+	defer t.release()
+	var req prepareRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := parser.Query(req.Query)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	name := q.Name
+	if name == "" {
+		name = "q"
+	}
+
+	ls.mu.Lock()
+	ls.lastUsed = s.cfg.now()
+	if st := ls.prepared[name]; st != nil {
+		defer ls.mu.Unlock()
+		if st.q.String() == q.String() {
+			// Idempotent re-prepare of the same query.
+			writeJSON(w, http.StatusOK, preparedResponse(st.p))
+			return
+		}
+		writeError(w, http.StatusConflict, "query_exists",
+			fmt.Sprintf("session already has a different standing query named %q", name))
+		return
+	}
+	p, err := ls.s.PrepareCtx(r.Context(), q)
+	if err != nil {
+		ls.mu.Unlock()
+		writeEngineError(w, err)
+		return
+	}
+	st := &standing{q: q, p: p}
+	p.Subscribe(func(u session.QueryUpdate) { st.diff = &u })
+	ls.prepared[name] = st
+	ls.order = append(ls.order, st)
+	resp := preparedResponse(p)
+	ls.mu.Unlock()
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	_, ls, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	ls.mu.Lock()
+	ls.lastUsed = s.cfg.now()
+	st := ls.prepared[r.PathValue("query")]
+	var resp wire.AnswerResponse
+	if st != nil {
+		resp = preparedResponse(st.p)
+	}
+	ls.mu.Unlock()
+	if st == nil {
+		writeError(w, http.StatusNotFound, "unknown_query",
+			fmt.Sprintf("no standing query named %q; POST it to .../prepare first", r.PathValue("query")))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// preparedResponse serializes a standing query's maintained state with zero
+// engine diagnostics — a patched answer inspects no new repairs. It matches
+// cqa -json byte for byte.
+func preparedResponse(p *session.Prepared) wire.AnswerResponse {
+	q := p.Query()
+	ans := wire.Answer{Boolean: p.Boolean()}
+	if !q.IsBoolean() {
+		ans.Tuples = wire.FromTuples(p.Answers())
+	}
+	return wire.AnswerResponse{Query: q.String(), Answer: ans, Stale: !p.Valid()}
+}
+
+func (s *server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	_, ls, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "no_stream", "response writer cannot stream")
+		return
+	}
+	id, ch, alive := ls.subscribe()
+	if !alive {
+		writeError(w, http.StatusGone, "session_closed", "session is being torn down")
+		return
+	}
+	defer ls.unsubscribe(id)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": subscribed %s/%s\n\n", ls.tenant, ls.name)
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case msg, open := <-ch:
+			if !open {
+				return
+			}
+			fmt.Fprintf(w, "event: update\ndata: %s\n\n", msg)
+			flusher.Flush()
+		}
+	}
+}
+
+// evictIdle removes every session idle since before now-TTL, terminating
+// its subscriber streams. It returns how many sessions were evicted.
+func (s *server) evictIdle(now time.Time) int {
+	if s.cfg.SessionTTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.cfg.SessionTTL)
+	s.mu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+
+	evicted := 0
+	for _, t := range tenants {
+		var dead []*liveSession
+		t.mu.Lock()
+		for name, ls := range t.sessions {
+			ls.mu.Lock()
+			idle := ls.lastUsed.Before(cutoff)
+			ls.mu.Unlock()
+			if idle {
+				delete(t.sessions, name)
+				dead = append(dead, ls)
+			}
+		}
+		t.mu.Unlock()
+		for _, ls := range dead {
+			ls.closeSubs()
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// janitor runs TTL eviction until ctx is cancelled.
+func (s *server) janitor(ctx context.Context) {
+	if s.cfg.SessionTTL <= 0 {
+		return
+	}
+	tick := time.NewTicker(s.cfg.SessionTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s.evictIdle(s.cfg.now())
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixture mirrors cmd/cqa's test fixture: an instance violating a key
+// constraint, a referential constraint, and a NOT NULL-constraint.
+const (
+	fixtureDB = "r(a, b).\nr(a, c).\ns(e, f).\ns(null, a).\n"
+	fixtureIC = "r(X, Y), r(X, Z) -> Y = Z.\ns(U, V) -> r(V, W).\nr(X, Y), isnull(X) -> false.\n"
+)
+
+func newTestServer(t *testing.T, cfg config) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(cfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func doJSON(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func createSession(t *testing.T, base, tenant, name string, extra string) {
+	t.Helper()
+	body := fmt.Sprintf(`{"name":%q,"instance_text":%q,"constraints_text":%q%s}`,
+		name, fixtureDB, fixtureIC, extra)
+	code, resp := doJSON(t, "POST", base+"/v1/tenants/"+tenant+"/sessions", body)
+	if code != http.StatusCreated {
+		t.Fatalf("create session: status %d: %s", code, resp)
+	}
+}
+
+// TestEndpointsGolden drives every endpoint once and pins the response
+// documents.
+func TestEndpointsGolden(t *testing.T) {
+	_, hs := newTestServer(t, config{})
+	base := hs.URL
+	s1 := base + "/v1/tenants/acme/sessions/s1"
+
+	code, resp := doJSON(t, "POST", base+"/v1/tenants/acme/sessions",
+		fmt.Sprintf(`{"name":"s1","instance_text":%q,"constraints_text":%q}`, fixtureDB, fixtureIC))
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, resp)
+	}
+	if want := `{"tenant":"acme","name":"s1","facts":4,"constraints":3,"consistent":false,"engine":"search"}` + "\n"; resp != want {
+		t.Errorf("create response:\n got %swant %s", resp, want)
+	}
+
+	code, resp = doJSON(t, "POST", s1+"/prepare", `{"query":"q(V) :- s(U, V)."}`)
+	if code != http.StatusCreated {
+		t.Fatalf("prepare: %d %s", code, resp)
+	}
+	if want := `{"query":"q(V) :- s(U,V).","answer":{"tuples":[["a"]],"boolean":false,"num_repairs":0}}` + "\n"; resp != want {
+		t.Errorf("prepare response:\n got %swant %s", resp, want)
+	}
+
+	// Idempotent re-prepare returns 200 with the same document.
+	code, resp2 := doJSON(t, "POST", s1+"/prepare", `{"query":"q(V) :- s(U, V)."}`)
+	if code != http.StatusOK || resp2 != resp {
+		t.Errorf("re-prepare: %d %s", code, resp2)
+	}
+
+	code, resp = doJSON(t, "POST", s1+"/apply", `{"delete_text":"r(a, c)."}`)
+	if code != http.StatusOK {
+		t.Fatalf("apply: %d %s", code, resp)
+	}
+	// Deleting r(a, c) resolves the key conflict without changing this
+	// query's certain answers, so no update diff is pushed.
+	want := `{"result":{"applied":{"removed":[{"pred":"r","args":["a","c"]}]},"constraint_relevant":true,"repairs_invalidated":2,"reenumerated":true,"queries_refreshed":1},"consistent":false,"violations":1}` + "\n"
+	if resp != want {
+		t.Errorf("apply response:\n got %swant %s", resp, want)
+	}
+
+	code, resp = doJSON(t, "GET", s1+"/answers/q", "")
+	if code != http.StatusOK {
+		t.Fatalf("answers: %d %s", code, resp)
+	}
+	if want := `{"query":"q(V) :- s(U,V).","answer":{"tuples":[["a"]],"boolean":false,"num_repairs":0}}` + "\n"; resp != want {
+		t.Errorf("answers response:\n got %swant %s", resp, want)
+	}
+
+	code, resp = doJSON(t, "POST", s1+"/query", `{"query":"q(V) :- s(U, V)."}`)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, resp)
+	}
+	if want := `{"query":"q(V) :- s(U,V).","answer":{"tuples":[["a"]],"boolean":false,"num_repairs":2,"states_explored":3}}` + "\n"; resp != want {
+		t.Errorf("query response:\n got %swant %s", resp, want)
+	}
+
+	code, resp = doJSON(t, "POST", s1+"/query", `{"query":"q(V) :- s(U, V).","semantics":"possible"}`)
+	if code != http.StatusOK {
+		t.Fatalf("possible query: %d %s", code, resp)
+	}
+	if want := `{"query":"q(V) :- s(U,V).","answer":{"tuples":[["a"],["f"]],"boolean":false,"num_repairs":0},"semantics":"possible"}` + "\n"; resp != want {
+		t.Errorf("possible response:\n got %swant %s", resp, want)
+	}
+
+	// Per-request engine override: same answer, program-engine diagnostics.
+	code, resp = doJSON(t, "POST", s1+"/query", `{"query":"q(V) :- s(U, V).","engine":"cautious"}`)
+	if code != http.StatusOK {
+		t.Fatalf("override query: %d %s", code, resp)
+	}
+	if !strings.Contains(resp, `"tuples":[["a"]]`) {
+		t.Errorf("override response lost the answer: %s", resp)
+	}
+
+	code, _ = doJSON(t, "DELETE", s1, "")
+	if code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	code, _ = doJSON(t, "GET", s1+"/answers/q", "")
+	if code != http.StatusNotFound {
+		t.Errorf("answers after delete: %d, want 404", code)
+	}
+}
+
+// TestParityWithCLI replays cmd/cqa's JSON session script over HTTP and
+// requires the concatenated response bodies to be byte-identical to the
+// CLI transcript pinned in cmd/cqa/testdata/session_json.golden.
+func TestParityWithCLI(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("..", "cqa", "testdata", "session_json.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, config{})
+	base := hs.URL
+	createSession(t, base, "acme", "s1", "")
+	s1 := base + "/v1/tenants/acme/sessions/s1"
+
+	// The script of cmd/cqa's TestSessionJSONGolden, verb by verb.
+	var out strings.Builder
+	steps := []struct {
+		path, body string
+	}{
+		{"/prepare", `{"query":"q(V) :- s(U, V)."}`},
+		{"/prepare", `{"query":"p :- r(a, b)."}`},
+		{"/apply", `{"insert_text":"t(x, y)."}`},
+		{"/apply", `{"delete_text":"r(a, c)."}`},
+		{"/apply", `{"delete_text":"r(a, c)."}`},
+		{"/prepare", `{"query":"q(V) :- s(U, V)."}`},
+	}
+	for _, st := range steps {
+		code, resp := doJSON(t, "POST", s1+st.path, st.body)
+		if code != http.StatusOK && code != http.StatusCreated {
+			t.Fatalf("POST %s: %d %s", st.path, code, resp)
+		}
+		out.WriteString(resp)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("HTTP transcript differs from CLI golden:\n--- http ---\n%s--- cli ---\n%s", out.String(), golden)
+	}
+}
+
+// TestConcurrentTenants hammers several tenants concurrently (meaningful
+// under -race): every tenant owns an identical session, mutates it through
+// a disjoint schedule, and must end with exactly its own answers.
+func TestConcurrentTenants(t *testing.T) {
+	_, hs := newTestServer(t, config{MaxInflight: 8})
+	base := hs.URL
+
+	const tenants = 4
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", i)
+			createSession(t, base, tenant, "s", "")
+			url := base + "/v1/tenants/" + tenant + "/sessions/s"
+			if code, resp := doJSON(t, "POST", url+"/prepare", `{"query":"q(V) :- s(U, V)."}`); code != http.StatusCreated {
+				t.Errorf("%s prepare: %d %s", tenant, code, resp)
+				return
+			}
+			// Tenant i inserts its private fact and resolves the key
+			// conflict in its own direction.
+			mine := fmt.Sprintf("u(v%d).", i)
+			for _, body := range []string{
+				fmt.Sprintf(`{"insert_text":%q}`, mine),
+				`{"delete_text":"r(a, c)."}`,
+				`{"insert_text":"r(a, c)."}`,
+				`{"delete_text":"r(a, b)."}`,
+			} {
+				if code, resp := doJSON(t, "POST", url+"/apply", body); code != http.StatusOK {
+					t.Errorf("%s apply %s: %d %s", tenant, body, code, resp)
+					return
+				}
+			}
+			code, resp := doJSON(t, "POST", url+"/query", fmt.Sprintf(`{"query":"q() :- u(v%d)."}`, i))
+			if code != http.StatusOK || !strings.Contains(resp, `"boolean":true`) {
+				t.Errorf("%s lost its own fact: %d %s", tenant, code, resp)
+			}
+			// No cross-tenant leakage: other tenants' facts are certainly
+			// absent.
+			other := (i + 1) % tenants
+			code, resp = doJSON(t, "POST", url+"/query", fmt.Sprintf(`{"query":"q() :- u(v%d)."}`, other))
+			if code != http.StatusOK || !strings.Contains(resp, `"boolean":false`) {
+				t.Errorf("%s sees tenant %d's fact: %d %s", tenant, other, code, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestSessionEviction pins TTL eviction on an injected clock: idle
+// sessions go away (404 afterwards), touched sessions survive, and
+// eviction terminates subscriber streams.
+func TestSessionEviction(t *testing.T) {
+	clock := time.Now()
+	var clockMu sync.Mutex
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		clock = clock.Add(d)
+		clockMu.Unlock()
+	}
+
+	srv, hs := newTestServer(t, config{SessionTTL: time.Minute, now: now})
+	base := hs.URL
+	createSession(t, base, "acme", "idle", "")
+	createSession(t, base, "acme", "busy", "")
+
+	// A subscriber on the idle session observes the eviction as EOF.
+	sub, err := http.Get(base + "/v1/tenants/acme/sessions/idle/subscribe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Body.Close()
+
+	advance(2 * time.Minute)
+	// Touch only the busy session.
+	if code, resp := doJSON(t, "POST", base+"/v1/tenants/acme/sessions/busy/query", `{"query":"q() :- r(a, b)."}`); code != http.StatusOK {
+		t.Fatalf("touch busy: %d %s", code, resp)
+	}
+	if got := srv.evictIdle(now()); got != 1 {
+		t.Fatalf("evictIdle evicted %d sessions, want 1", got)
+	}
+	if code, _ := doJSON(t, "GET", base+"/v1/tenants/acme/sessions/idle/answers/q", ""); code != http.StatusNotFound {
+		t.Errorf("evicted session still answers: %d", code)
+	}
+	if code, resp := doJSON(t, "POST", base+"/v1/tenants/acme/sessions/busy/query", `{"query":"q() :- r(a, b)."}`); code != http.StatusOK {
+		t.Errorf("busy session evicted: %d %s", code, resp)
+	}
+	// The subscriber's stream ends once the session is gone.
+	done := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, sub.Body)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Error("subscriber stream did not terminate on eviction")
+	}
+}
+
+// TestCancelledQueryDoesNotPoison cancels a query mid-request and checks
+// (a) the request reports the cancellation, (b) the session stays usable,
+// and (c) the enumeration really was aborted: the repair cache stayed
+// cold, so the next query still pays — and reports — the full exploration
+// diagnostics instead of answering from a half-filled cache.
+func TestCancelledQueryDoesNotPoison(t *testing.T) {
+	srv, _ := newTestServer(t, config{})
+	// In-process request with a pre-cancelled context: deterministic
+	// cancellation before any state is explored.
+	create := httptest.NewRequest("POST", "/v1/tenants/acme/sessions",
+		strings.NewReader(fmt.Sprintf(`{"name":"s1","instance_text":%q,"constraints_text":%q}`, fixtureDB, fixtureIC)))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, create)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := httptest.NewRequest("POST", "/v1/tenants/acme/sessions/s1/query",
+		strings.NewReader(`{"query":"q(V) :- s(U, V)."}`)).WithContext(ctx)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, q)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("cancelled query: status %d %s, want %d", rec.Code, rec.Body, statusClientClosedRequest)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Code != "canceled" {
+		t.Fatalf("cancelled query body: %s", rec.Body)
+	}
+
+	// The session answers normally afterwards, with the untruncated
+	// full-enumeration diagnostics (states_explored 7 on this fixture —
+	// the same count a fresh session reports).
+	q = httptest.NewRequest("POST", "/v1/tenants/acme/sessions/s1/query",
+		strings.NewReader(`{"query":"q(V) :- s(U, V)."}`))
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, q)
+	want := `{"query":"q(V) :- s(U,V).","answer":{"tuples":[["a"]],"boolean":false,"num_repairs":4,"states_explored":7}}` + "\n"
+	if rec.Code != http.StatusOK || rec.Body.String() != want {
+		t.Errorf("query after cancellation: %d\n got %swant %s", rec.Code, rec.Body, want)
+	}
+}
+
+// TestLoadShedding pins the per-tenant caps: in-flight requests beyond the
+// pool shed with 429, session counts beyond the limit shed with 429, and
+// per-session enumeration budgets surface as typed 422s.
+func TestLoadShedding(t *testing.T) {
+	srv, hs := newTestServer(t, config{MaxInflight: 1, MaxSessions: 2})
+	base := hs.URL
+	createSession(t, base, "acme", "s1", "")
+
+	// Exhaust the tenant's only slot, then every expensive request sheds.
+	tn := srv.tenantFor("acme", false)
+	if tn == nil || !tn.acquire() {
+		t.Fatal("could not claim the in-flight slot")
+	}
+	code, resp := doJSON(t, "POST", base+"/v1/tenants/acme/sessions/s1/query", `{"query":"q() :- r(a, b)."}`)
+	if code != http.StatusTooManyRequests || !strings.Contains(resp, "tenant_busy") {
+		t.Errorf("busy tenant query: %d %s, want 429 tenant_busy", code, resp)
+	}
+	// Cheap reads are never shed.
+	if code, _ := doJSON(t, "GET", base+"/v1/tenants/acme/sessions/s1/answers/q", ""); code != http.StatusNotFound {
+		t.Errorf("answers while busy: %d, want 404 (not 429)", code)
+	}
+	tn.release()
+	if code, _ := doJSON(t, "POST", base+"/v1/tenants/acme/sessions/s1/query", `{"query":"q() :- r(a, b)."}`); code != http.StatusOK {
+		t.Errorf("query after release: %d", code)
+	}
+
+	// Session limit.
+	createSession(t, base, "acme", "s2", "")
+	code, resp = doJSON(t, "POST", base+"/v1/tenants/acme/sessions",
+		fmt.Sprintf(`{"name":"s3","instance_text":%q,"constraints_text":%q}`, fixtureDB, fixtureIC))
+	if code != http.StatusTooManyRequests || !strings.Contains(resp, "session_limit") {
+		t.Errorf("session limit: %d %s, want 429 session_limit", code, resp)
+	}
+
+	// Enumeration budget: a one-state search budget cannot finish the
+	// fixture's repair search and sheds with a typed 422.
+	createSession(t, base, "over", "tiny", `,"max_states":1`)
+	code, resp = doJSON(t, "POST", base+"/v1/tenants/over/sessions/tiny/query", `{"query":"q(V) :- s(U, V)."}`)
+	if code != http.StatusUnprocessableEntity || !strings.Contains(resp, "state_limit") {
+		t.Errorf("state budget: %d %s, want 422 state_limit", code, resp)
+	}
+}
+
+// TestErrorPaths pins the HTTP mapping of the remaining typed errors.
+func TestErrorPaths(t *testing.T) {
+	_, hs := newTestServer(t, config{})
+	base := hs.URL
+	createSession(t, base, "acme", "s1", "")
+	s1 := base + "/v1/tenants/acme/sessions/s1"
+
+	cases := []struct {
+		name, method, url, body string
+		status                  int
+		wantIn                  string
+	}{
+		{"unknown tenant", "POST", base + "/v1/tenants/nope/sessions/s/query", `{"query":"q() :- r(a, b)."}`,
+			http.StatusNotFound, "unknown_tenant"},
+		{"unknown session", "POST", base + "/v1/tenants/acme/sessions/nope/query", `{"query":"q() :- r(a, b)."}`,
+			http.StatusNotFound, "unknown_session"},
+		{"duplicate session", "POST", base + "/v1/tenants/acme/sessions",
+			fmt.Sprintf(`{"name":"s1","instance_text":%q}`, "r(a, b)."),
+			http.StatusConflict, "session_exists"},
+		{"bad session name", "POST", base + "/v1/tenants/acme/sessions", `{"name":"a/b","instance_text":"r(a, b)."}`,
+			http.StatusBadRequest, "bad_name"},
+		{"unknown body field", "POST", s1 + "/query", `{"qqq":"?"}`,
+			http.StatusBadRequest, "bad_request"},
+		{"parse error with position", "POST", s1 + "/query", `{"query":"q(V) :- s(U, ."}`,
+			http.StatusBadRequest, `"line":1`},
+		{"bad semantics", "POST", s1 + "/query", `{"query":"q() :- r(a, b).","semantics":"brave"}`,
+			http.StatusBadRequest, "bad_semantics"},
+		{"bad engine override", "POST", s1 + "/query", `{"query":"q() :- r(a, b).","engine":"quantum"}`,
+			http.StatusInternalServerError, "internal"},
+		{"bad engine at create", "POST", base + "/v1/tenants/acme/sessions", `{"name":"s9","instance_text":"r(a, b).","engine":"quantum"}`,
+			http.StatusBadRequest, "bad_engine"},
+		{"conflicting standing query", "POST", s1 + "/prepare", `{"query":"q(X) :- r(X, Y)."}`,
+			0, ""}, // primer: registers q
+	}
+	for _, tc := range cases {
+		code, resp := doJSON(t, tc.method, tc.url, tc.body)
+		if tc.status == 0 {
+			continue
+		}
+		if code != tc.status || !strings.Contains(resp, tc.wantIn) {
+			t.Errorf("%s: got %d %s, want %d containing %q", tc.name, code, resp, tc.status, tc.wantIn)
+		}
+	}
+	// A different query under an already-registered head name conflicts.
+	code, resp := doJSON(t, "POST", s1+"/prepare", `{"query":"q(V) :- s(U, V)."}`)
+	if code != http.StatusConflict || !strings.Contains(resp, "query_exists") {
+		t.Errorf("conflicting standing query: %d %s, want 409 query_exists", code, resp)
+	}
+}
+
+// TestSubscribeSSE applies an update while a subscriber listens and checks
+// the pushed event carries the same wire.QueryUpdate the apply response
+// reported.
+func TestSubscribeSSE(t *testing.T) {
+	_, hs := newTestServer(t, config{})
+	base := hs.URL
+	createSession(t, base, "acme", "s1", "")
+	s1 := base + "/v1/tenants/acme/sessions/s1"
+	if code, resp := doJSON(t, "POST", s1+"/prepare", `{"query":"p :- r(a, b)."}`); code != http.StatusCreated {
+		t.Fatalf("prepare: %d %s", code, resp)
+	}
+
+	sub, err := http.Get(s1 + "/subscribe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Body.Close()
+	if ct := sub.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("subscribe content type %q", ct)
+	}
+	events := make(chan string, 4)
+	go func() {
+		sc := bufio.NewScanner(sub.Body)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				events <- data
+			}
+		}
+	}()
+
+	code, resp := doJSON(t, "POST", s1+"/apply", `{"delete_text":"r(a, c)."}`)
+	if code != http.StatusOK {
+		t.Fatalf("apply: %d %s", code, resp)
+	}
+	want := `{"query":"p() :- r(a,b).","boolean":true,"boolean_changed":true}`
+	select {
+	case got := <-events:
+		if got != want {
+			t.Errorf("SSE event:\n got %s\nwant %s", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no SSE event within 5s of the apply")
+	}
+}

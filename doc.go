@@ -25,6 +25,15 @@
 //     conjunctive queries with negation, by repair intersection or by
 //     cautious stable-model reasoning.
 //
+// The facade is session-first: NewSession opens a persistent (D, IC)
+// pair with O(|Δ|) updates and maintained standing queries, the ...Ctx
+// one-shots take a context.Context whose cancellation aborts enumeration,
+// and failures surface as typed errors (*ParseError with line/column;
+// ErrStateLimit, ErrCandidateLimit, ErrConflictingSet,
+// ErrInconsistentUnrepairable via errors.Is). cmd/cqad serves the same
+// sessions to many tenants over HTTP/JSON (see README.md and DESIGN.md
+// §11).
+//
 // The subpackage internal/experiments reproduces every worked example and
 // figure of the paper; see DESIGN.md and EXPERIMENTS.md.
 package nullcqa

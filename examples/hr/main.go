@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 	fmt.Println("Theorem 5 HCF condition:", nullcqa.GuaranteedHCF(ics))
 	fmt.Println("consistent:", nullcqa.IsConsistent(db, ics))
 
-	res, err := nullcqa.Repairs(db, ics)
+	res, err := nullcqa.RepairsCtx(context.Background(), db, ics, nullcqa.RepairOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func main() {
 	fmt.Printf("\nrepair program Π(D,IC) (Definition 9):\n%s", tr.Render())
 	fmt.Printf("\nDLV syntax:\n%s", tr.Program.DLV())
 
-	insts, err := nullcqa.StableModelRepairs(db, ics)
+	insts, err := nullcqa.StableModelRepairsCtx(context.Background(), db, ics, nullcqa.StableOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ans, err := nullcqa.ConsistentAnswers(db, ics, q, nullcqa.NewCQAOptions())
+	ans, err := nullcqa.ConsistentAnswersCtx(context.Background(), db, ics, q, nullcqa.NewCQAOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

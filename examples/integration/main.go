@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 	// s3 is unknown to the directory, and os201 has no offering: the
 	// sources disagree, but we cannot repair them.
 
-	res, err := nullcqa.Repairs(global, ics)
+	res, err := nullcqa.RepairsCtx(context.Background(), global, ics, nullcqa.RepairOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func main() {
 	}
 	opts := nullcqa.NewCQAOptions()
 	opts.Engine = nullcqa.EngineProgramCautious
-	ans, err := nullcqa.ConsistentAnswers(global, ics, q, opts)
+	ans, err := nullcqa.ConsistentAnswersCtx(context.Background(), global, ics, q, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func main() {
 	}
 
 	// Possible answers (true in some repair) for comparison.
-	possible, err := nullcqa.PossibleAnswers(global, ics, q, nullcqa.NewCQAOptions())
+	possible, err := nullcqa.PossibleAnswersCtx(context.Background(), global, ics, q, nullcqa.NewCQAOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

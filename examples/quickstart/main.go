@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 
 	// The paper's repair semantics introduces nulls instead of sweeping
 	// the (infinite) domain: exactly two repairs.
-	res, err := nullcqa.Repairs(db, ics)
+	res, err := nullcqa.RepairsCtx(context.Background(), db, ics, nullcqa.RepairOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ans, err := nullcqa.ConsistentAnswers(db, ics, q, nullcqa.NewCQAOptions())
+	ans, err := nullcqa.ConsistentAnswersCtx(context.Background(), db, ics, q, nullcqa.NewCQAOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func main() {
 	// and its stable models gives the same result (Theorem 4).
 	opts := nullcqa.NewCQAOptions()
 	opts.Engine = nullcqa.EngineProgram
-	ans2, err := nullcqa.ConsistentAnswers(db, ics, q, opts)
+	ans2, err := nullcqa.ConsistentAnswersCtx(context.Background(), db, ics, q, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

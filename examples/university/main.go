@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 	db.Insert(bad)
 	fmt.Println("\nafter forcing the row in:")
 	fmt.Println(nullcqa.CheckViolations(db, ics))
-	res, err := nullcqa.Repairs(db, ics)
+	res, err := nullcqa.RepairsCtx(context.Background(), db, ics, nullcqa.RepairOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ans, err := nullcqa.ConsistentAnswers(db, ics, q, nullcqa.NewCQAOptions())
+	ans, err := nullcqa.ConsistentAnswersCtx(context.Background(), db, ics, q, nullcqa.NewCQAOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

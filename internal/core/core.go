@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/constraint"
@@ -73,6 +74,12 @@ func RepairsOf(d *relational.Instance, set *constraint.Set, opts Options) ([]*re
 	return session.New(d, set, opts).Repairs()
 }
 
+// RepairsOfCtx is RepairsOf under a context: cancellation aborts the
+// enumeration and returns ctx.Err().
+func RepairsOfCtx(ctx context.Context, d *relational.Instance, set *constraint.Set, opts Options) ([]*relational.Instance, error) {
+	return session.New(d, set, opts).RepairsCtx(ctx)
+}
+
 // ConsistentAnswers computes the consistent answers to q on d wrt set.
 //
 // With the search engine the answer is computed incrementally on the repair
@@ -80,6 +87,12 @@ func RepairsOf(d *relational.Instance, set *constraint.Set, opts Options) ([]*re
 // the first confirmed-minimal counterexample.
 func ConsistentAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
 	return session.New(d, set, opts).Answer(q)
+}
+
+// ConsistentAnswersCtx is ConsistentAnswers under a context: cancellation
+// aborts the repair/stable enumeration and returns ctx.Err().
+func ConsistentAnswersCtx(ctx context.Context, d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) (Answer, error) {
+	return session.New(d, set, opts).AnswerCtx(ctx, q)
 }
 
 // CautiousMany computes the consistent answers of several queries over one
@@ -90,6 +103,12 @@ func ConsistentAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, 
 // Answers[i] is exactly what ConsistentAnswers with EngineProgramCautious
 // returns for queries[i]; opts.Engine is ignored.
 func CautiousMany(d *relational.Instance, set *constraint.Set, queries []*query.Q, opts Options) ([]Answer, error) {
+	return CautiousManyCtx(context.Background(), d, set, queries, opts)
+}
+
+// CautiousManyCtx is CautiousMany under a context, checked between queries
+// and inside each query's model enumeration.
+func CautiousManyCtx(ctx context.Context, d *relational.Instance, set *constraint.Set, queries []*query.Q, opts Options) ([]Answer, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
@@ -98,7 +117,7 @@ func CautiousMany(d *relational.Instance, set *constraint.Set, queries []*query.
 	out := make([]Answer, len(queries))
 	var err error
 	for i, q := range queries {
-		if out[i], err = s.Answer(q); err != nil {
+		if out[i], err = s.AnswerCtx(ctx, q); err != nil {
 			return nil, err
 		}
 	}
@@ -115,6 +134,11 @@ func CautiousMany(d *relational.Instance, set *constraint.Set, queries []*query.
 // repair satisfying it (its possible answer can only be yes from then on).
 func PossibleAnswers(d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) ([]relational.Tuple, error) {
 	return session.New(d, set, opts).Possible(q)
+}
+
+// PossibleAnswersCtx is PossibleAnswers under a context.
+func PossibleAnswersCtx(ctx context.Context, d *relational.Instance, set *constraint.Set, q *query.Q, opts Options) ([]relational.Tuple, error) {
+	return session.New(d, set, opts).PossibleCtx(ctx, q)
 }
 
 // sortedTuples flattens a keyed tuple set into Compare order. Retained for

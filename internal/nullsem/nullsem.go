@@ -133,13 +133,13 @@ func newICContext(ic *constraint.IC) *icContext {
 }
 
 // substKey is a canonical injective encoding of an antecedent assignment: the
-// interned ids of the body variables' values, in first-occurrence order. All
-// body variables must be bound (which every full body join guarantees).
+// content encodings of the body variables' values, in first-occurrence order
+// (self-delimiting, so the concatenation stays injective). All body variables
+// must be bound (which every full body join guarantees).
 func (c *icContext) substKey(subst term.Subst) string {
-	b := make([]byte, 0, 4*len(c.varList))
+	b := make([]byte, 0, 10*len(c.varList))
 	for _, v := range c.varList {
-		id := subst[v].ID()
-		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		b = subst[v].AppendKey(b)
 	}
 	return string(b)
 }

@@ -41,6 +41,21 @@ import (
 	"repro/internal/value"
 )
 
+// ParseError reports a syntax error together with its position in the source
+// text. Line and Col are 1-based; Col counts bytes from the start of the
+// line. All parse failures returned by Instance, Constraints and Query are
+// *ParseError values (retrievable with errors.As), except semantic
+// validation errors raised after parsing completes.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
 // --- lexer -------------------------------------------------------------------
 
 type tokenKind uint8
@@ -68,18 +83,22 @@ type token struct {
 	text string
 	pos  int
 	line int
+	col  int // 1-based byte column of the token start
 }
 
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset where the current line begins
 }
 
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
 
+func (lx *lexer) col(pos int) int { return pos - lx.lineStart + 1 }
+
 func (lx *lexer) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("line %d: %s", lx.line, fmt.Sprintf(format, args...))
+	return &ParseError{Line: lx.line, Col: lx.col(lx.pos), Msg: fmt.Sprintf(format, args...)}
 }
 
 func (lx *lexer) next() (token, error) {
@@ -89,6 +108,7 @@ func (lx *lexer) next() (token, error) {
 		case c == '\n':
 			lx.line++
 			lx.pos++
+			lx.lineStart = lx.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			lx.pos++
 		case c == '%' || c == '#':
@@ -99,14 +119,14 @@ func (lx *lexer) next() (token, error) {
 			return lx.scan()
 		}
 	}
-	return token{kind: tokEOF, pos: lx.pos, line: lx.line}, nil
+	return token{kind: tokEOF, pos: lx.pos, line: lx.line, col: lx.col(lx.pos)}, nil
 }
 
 func (lx *lexer) scan() (token, error) {
 	start := lx.pos
 	c := lx.src[lx.pos]
 	mk := func(kind tokenKind) (token, error) {
-		return token{kind: kind, text: lx.src[start:lx.pos], pos: start, line: lx.line}, nil
+		return token{kind: kind, text: lx.src[start:lx.pos], pos: start, line: lx.line, col: lx.col(start)}, nil
 	}
 	switch {
 	case c == '(':
@@ -176,7 +196,7 @@ func (lx *lexer) scan() (token, error) {
 		}
 		text := lx.src[start:lx.pos]
 		if text[0] >= 'A' && text[0] <= 'Z' || text[0] == '_' {
-			return token{kind: tokVar, text: text, pos: start, line: lx.line}, nil
+			return token{kind: tokVar, text: text, pos: start, line: lx.line, col: lx.col(start)}, nil
 		}
 		return mk(tokIdent)
 	default:
@@ -209,8 +229,14 @@ func (p *parser) advance() error {
 	return nil
 }
 
+// errAt positions an error at a previously captured token (used when the
+// offending construct was already consumed).
+func (p *parser) errAt(t token, format string, args ...interface{}) error {
+	return &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
 func (p *parser) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+	return p.errAt(p.tok, format, args...)
 }
 
 func (p *parser) expect(kind tokenKind, what string) (token, error) {
@@ -342,12 +368,13 @@ func Instance(src string) (*relational.Instance, error) {
 	}
 	d := relational.NewInstance()
 	for p.tok.kind != tokEOF {
+		at := p.tok
 		a, err := p.parseAtom()
 		if err != nil {
 			return nil, err
 		}
 		if !a.IsGround() {
-			return nil, fmt.Errorf("fact %s is not ground (variables start upper-case)", a)
+			return nil, p.errAt(at, "fact %s is not ground (variables start upper-case)", a)
 		}
 		args := make(relational.Tuple, len(a.Args))
 		for i, t := range a.Args {
@@ -503,6 +530,7 @@ func Query(src string) (*query.Q, error) {
 	}
 	var q *query.Q
 	for p.tok.kind != tokEOF {
+		at := p.tok
 		head, err := p.parseAtom()
 		if err != nil {
 			return nil, err
@@ -510,14 +538,14 @@ func Query(src string) (*query.Q, error) {
 		var headVars []string
 		for _, t := range head.Args {
 			if !t.IsVar() {
-				return nil, fmt.Errorf("query head arguments must be variables, got %s", t)
+				return nil, p.errAt(at, "query head arguments must be variables, got %s", t)
 			}
 			headVars = append(headVars, t.Var)
 		}
 		if q == nil {
 			q = &query.Q{Name: head.Pred, Head: headVars}
 		} else if head.Pred != q.Name || len(headVars) != len(q.Head) {
-			return nil, fmt.Errorf("all query rules must share the head %s/%d", q.Name, len(q.Head))
+			return nil, p.errAt(at, "all query rules must share the head %s/%d", q.Name, len(q.Head))
 		}
 		var conj query.Conj
 		if p.tok.kind == tokGets {
@@ -539,7 +567,7 @@ func Query(src string) (*query.Q, error) {
 					}
 					if p.tok.kind == tokOp {
 						if len(a.Args) != 0 {
-							return nil, fmt.Errorf("unexpected comparison after atom %s", a)
+							return nil, p.errf("unexpected comparison after atom %s", a)
 						}
 						b, err := p.parseBuiltinAfter(term.CStr(a.Pred))
 						if err != nil {
@@ -584,7 +612,7 @@ func Query(src string) (*query.Q, error) {
 		}
 	}
 	if q == nil {
-		return nil, fmt.Errorf("empty query")
+		return nil, p.errf("empty query")
 	}
 	if err := q.Validate(); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -51,6 +52,43 @@ func TestParseInstanceErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name      string
+		parse     func(string) error
+		src       string
+		line, col int
+	}{
+		{"bad char", instErr, "p(1).\n  p(2) ; q(3).", 2, 8},
+		{"non-ground fact", instErr, "p(1).\np(X).", 2, 1},
+		{"missing dot", instErr, "p(1)\nq(2).", 2, 1},
+		{"bad head var", queryErr, "q(X) :- p(X).\nq(21) :- p(21).", 2, 1},
+		{"bad operator", constrErr, "p(X) -> X ~ 2.", 1, 11},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.parse(tc.src)
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v (%T) is not a *ParseError", err, err)
+			}
+			if pe.Line != tc.line || pe.Col != tc.col {
+				t.Errorf("position = %d:%d, want %d:%d (%v)", pe.Line, pe.Col, tc.line, tc.col, err)
+			}
+			if !strings.HasPrefix(err.Error(), "line ") {
+				t.Errorf("message %q lacks position prefix", err.Error())
+			}
+		})
+	}
+}
+
+func instErr(src string) error   { _, err := Instance(src); return err }
+func constrErr(src string) error { _, err := Constraints(src); return err }
+func queryErr(src string) error  { _, err := Query(src); return err }
 
 func TestParseRIC(t *testing.T) {
 	set, err := Constraints(`course(Id, Code) -> student(Id, Name).`)

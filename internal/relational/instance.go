@@ -359,7 +359,7 @@ func (d *Instance) sortedFacts() []Fact {
 // mergeSorted merges a sorted base fact list with a sorted delta: removed
 // facts (a subset of the base) are skipped, added facts (disjoint from the
 // base) are merged in order. Distinct facts never compare equal (Compare is
-// injective on interned values), so the two-pointer walk is exact.
+// injective on fact content), so the two-pointer walk is exact.
 func mergeSorted(base []Fact, dl Delta, size int) []Fact {
 	if len(dl.Removed) == 0 && len(dl.Added) == 0 {
 		return base
@@ -388,9 +388,9 @@ func (d *Instance) Facts() []Fact {
 }
 
 // Compare orders instances content-canonically: lexicographically over
-// their sorted fact lists under Fact.Compare. Unlike Key — whose byte order
-// depends on process-wide interning history — this order is stable across
-// runs, so it is what deterministic output (repair listings) sorts by.
+// their sorted fact lists under Fact.Compare. Like Key, this order depends
+// only on the instances' content, so it is stable across runs; deterministic
+// output (repair listings) sorts by it.
 func (d *Instance) Compare(e *Instance) int {
 	if d == e {
 		return 0
@@ -688,19 +688,17 @@ func (d *Instance) String() string {
 // instance, sorted, excluding null (null is accounted for separately in
 // Proposition 1: adom(D) ∪ const(IC) ∪ {null}).
 func (d *Instance) ActiveDomain() []value.V {
-	seen := map[uint32]value.V{}
+	seen := map[value.V]bool{}
+	var out []value.V
 	d.ForEach(func(f Fact) bool {
 		for _, v := range f.Args {
-			if !v.IsNull() {
-				seen[v.ID()] = v
+			if !v.IsNull() && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
 			}
 		}
 		return true
 	})
-	out := make([]value.V, 0, len(seen))
-	for _, v := range seen {
-		out = append(out, v)
-	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }

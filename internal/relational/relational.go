@@ -18,11 +18,12 @@ import (
 type Tuple []value.V
 
 // Key returns an injective encoding of the tuple for use in set membership:
-// the interned id of each constant, 4 bytes per position. The encoding is
-// compact and allocation-cheap but not human-readable; use String for
-// display.
+// each constant's self-delimiting content encoding (value.V.AppendKey). The
+// encoding is compact, allocation-cheap and stable across runs — it depends
+// only on the tuple's content, never on interning history — but not
+// human-readable; use String for display.
 func (t Tuple) Key() string {
-	return string(appendTupleKey(make([]byte, 0, 4*len(t)), t))
+	return string(appendTupleKey(make([]byte, 0, tupleKeyLen(t)), t))
 }
 
 func (t Tuple) String() string {
@@ -109,12 +110,14 @@ func (f Fact) String() string {
 	return f.Pred + f.Args.String()
 }
 
-// Key returns an injective encoding of the fact: interned predicate id,
-// arity, then the argument ids, 4 bytes each. Keys are self-delimiting, so
-// concatenations of fact keys (Instance.Key) remain injective.
+// Key returns an injective encoding of the fact: length-prefixed predicate
+// name, arity, then the argument content encodings. Keys are self-delimiting,
+// so concatenations of fact keys (Instance.Key) remain injective — and, being
+// content-addressed, identical across runs and processes.
 func (f Fact) Key() string {
-	b := make([]byte, 0, 8+4*len(f.Args))
-	b = appendU32(b, predID(f.Pred))
+	b := make([]byte, 0, 8+len(f.Pred)+tupleKeyLen(f.Args))
+	b = appendU32(b, uint32(len(f.Pred)))
+	b = append(b, f.Pred...)
 	b = appendU32(b, uint32(len(f.Args)))
 	b = appendTupleKey(b, f.Args)
 	return string(b)

@@ -14,14 +14,17 @@ import (
 //
 // Layering, bottom up:
 //
-//	value interner (internal/value)  — constants -> dense uint32 ids
+//	value encodings (internal/value) — content-addressed keys and hashes
 //	relStore                         — one predicate/arity: rows + indexes
 //	engine                           — map[RelKey]*relStore + fingerprint
 //	Instance                         — engine owner, or overlay Base+Δ view
 //
-// All keys are compact binary encodings of interned ids (4 bytes per
-// component), so membership tests and index probes never re-render constants
-// as text.
+// All keys are compact self-delimiting binary encodings of the constants'
+// content (value.V.AppendKey), so membership tests and index probes never
+// re-render constants as display text — and never consult any process-wide
+// intern table. Every engine is therefore fully self-contained: two tenants
+// of one process share no storage state whatsoever, which is what the
+// multi-tenant daemon's isolation rests on.
 
 // RelKey identifies one relation of an instance: predicate name and arity.
 // The paper fixes one arity per predicate but Example 1 is loose about it, so
@@ -31,66 +34,51 @@ type RelKey struct {
 	Arity int
 }
 
-// predInterner assigns dense ids to predicate names, mirroring the value
-// interner, so fact keys are fixed-width binary strings.
-var predInterner = struct {
-	mu  sync.RWMutex
-	ids map[string]uint32
-}{ids: map[string]uint32{}}
-
-func predID(name string) uint32 {
-	predInterner.mu.RLock()
-	id, ok := predInterner.ids[name]
-	predInterner.mu.RUnlock()
-	if ok {
-		return id
-	}
-	predInterner.mu.Lock()
-	defer predInterner.mu.Unlock()
-	if id, ok := predInterner.ids[name]; ok {
-		return id
-	}
-	id = uint32(len(predInterner.ids))
-	predInterner.ids[name] = id
-	return id
-}
-
 func appendU32(b []byte, x uint32) []byte {
 	return append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
 }
 
-// appendTupleKey appends the 4-bytes-per-position id encoding of t.
+// appendTupleKey appends the self-delimiting content encoding of every
+// position of t (value.V.AppendKey). The encoding is a pure function of the
+// tuple's content: no intern table is consulted, so key construction is
+// contention-free and tenants sharing a process share no state through it.
 func appendTupleKey(b []byte, t Tuple) []byte {
 	for _, v := range t {
-		b = appendU32(b, v.ID())
+		b = v.AppendKey(b)
 	}
 	return b
 }
 
-// factHash is a 64-bit FNV-1a hash of the fact identity (pred id, arity,
-// argument ids). Instance fingerprints XOR these per-fact hashes, which makes
-// the fingerprint order-independent and incrementally updatable on both
-// insert and delete.
+// tupleKeyLen returns the exact byte length of appendTupleKey(nil, t).
+func tupleKeyLen(t Tuple) int {
+	n := 0
+	for _, v := range t {
+		n += v.KeyLen()
+	}
+	return n
+}
+
+// factHash is a 64-bit FNV-1a hash of the fact identity (predicate name,
+// arity, argument content). Instance fingerprints XOR these per-fact hashes,
+// which makes the fingerprint order-independent and incrementally updatable
+// on both insert and delete. The hash is content-determined — stable across
+// runs and processes, no interner involved.
 func factHash(f Fact) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
 	)
 	h := uint64(offset)
-	mix := func(x uint32) {
-		h ^= uint64(x & 0xff)
-		h *= prime
-		h ^= uint64((x >> 8) & 0xff)
-		h *= prime
-		h ^= uint64((x >> 16) & 0xff)
-		h *= prime
-		h ^= uint64(x >> 24)
+	for i := 0; i < len(f.Pred); i++ {
+		h ^= uint64(f.Pred[i])
 		h *= prime
 	}
-	mix(predID(f.Pred))
-	mix(uint32(len(f.Args)))
+	h ^= uint64(len(f.Pred))
+	h *= prime
+	h ^= uint64(len(f.Args))
+	h *= prime
 	for _, v := range f.Args {
-		mix(v.ID())
+		h = v.Hash(h)
 	}
 	return h
 }
@@ -103,7 +91,7 @@ type Binding struct {
 }
 
 // matchBindings reports whether t agrees with every binding (null as an
-// ordinary constant — interned-id equality).
+// ordinary constant — value.V.Eq).
 func matchBindings(t Tuple, bindings []Binding) bool {
 	for _, b := range bindings {
 		if !t[b.Pos].Eq(b.Val) {
@@ -170,7 +158,7 @@ func (s *relStore) insert(key string, t Tuple) bool {
 		buf = buf[:0]
 		for p := 0; p < 32; p++ {
 			if mask&(1<<uint(p)) != 0 {
-				buf = appendU32(buf, t[p].ID())
+				buf = t[p].AppendKey(buf)
 			}
 		}
 		m[string(buf)] = append(m[string(buf)], row)
@@ -321,7 +309,7 @@ func (s *relStore) buildIndex(positions []int) map[string][]int {
 		}
 		buf = buf[:0]
 		for _, p := range positions {
-			buf = appendU32(buf, t[p].ID())
+			buf = t[p].AppendKey(buf)
 		}
 		m[string(buf)] = append(m[string(buf)], i)
 	}
@@ -370,7 +358,7 @@ func (s *relStore) scan(bindings []Binding, yield func(row int) bool) bool {
 		vals[b.Pos] = b.Val
 	}
 	for _, p := range positions {
-		buf = appendU32(buf, vals[p].ID())
+		buf = vals[p].AppendKey(buf)
 	}
 	for _, i := range idx[string(buf)] {
 		// Rows referenced by a frozen engine's index are never

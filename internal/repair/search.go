@@ -1,6 +1,8 @@
 package repair
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -92,7 +94,13 @@ type Seed struct {
 const DefaultMaxStates = 1 << 20
 
 // ErrStateLimit is returned when the search exceeds Options.MaxStates.
-var ErrStateLimit = fmt.Errorf("repair: state limit exceeded")
+var ErrStateLimit = errors.New("repair: state limit exceeded")
+
+// ErrConflictingSet is returned (wrapped, with the offending conflict named)
+// by Repairs and Enumerate when a NullBased run is given a conflicting IC
+// set — Section 4's standing assumption is violated and RepairsD must be
+// used instead. Match with errors.Is.
+var ErrConflictingSet = errors.New("repair: conflicting IC set")
 
 // Result is the outcome of a repair enumeration.
 type Result struct {
@@ -123,10 +131,19 @@ type Stats struct {
 // requires a non-conflicting set (Section 4's standing assumption); use
 // RepairsD for conflicting sets.
 func Repairs(d *relational.Instance, set *constraint.Set, opts Options) (Result, error) {
+	return RepairsCtx(context.Background(), d, set, opts)
+}
+
+// RepairsCtx is Repairs under a context: cancellation aborts the enumeration
+// (workers stop popping states) and returns ctx.Err(), wrapped so errors.Is
+// matches context.Canceled / context.DeadlineExceeded. Results delivered
+// before cancellation are discarded — a Result is only returned for complete
+// enumerations, preserving the byte-identical-output contract.
+func RepairsCtx(ctx context.Context, d *relational.Instance, set *constraint.Set, opts Options) (Result, error) {
 	if opts.Mode == NullBased && !set.NonConflicting() {
-		return Result{}, fmt.Errorf("repair: conflicting IC set (%v); use RepairsD", set.Conflicts()[0])
+		return Result{}, fmt.Errorf("%w (%v); use RepairsD", ErrConflictingSet, set.Conflicts()[0])
 	}
-	return run(d, set, opts, nil)
+	return run(ctx, d, set, opts, nil)
 }
 
 // Enumerate runs the violation-driven search and streams every distinct
@@ -142,10 +159,21 @@ func Repairs(d *relational.Instance, set *constraint.Set, opts Options) (Result,
 //
 // Like Repairs, Enumerate requires a non-conflicting set in NullBased mode.
 func Enumerate(d *relational.Instance, set *constraint.Set, opts Options, yield func(*relational.Instance) bool) (Stats, error) {
+	return EnumerateCtx(context.Background(), d, set, opts, yield)
+}
+
+// EnumerateCtx is Enumerate under a context. Cancellation halts the search
+// as soon as the drivers observe it — no further states are admitted after
+// the sequential driver sees the cancellation, and parallel workers stop at
+// their next pop — and EnumerateCtx returns ctx.Err(). Leaves already
+// yielded remain valid (each is a self-contained consistent instance), but
+// the enumeration is incomplete, so antichain post-processing must be
+// abandoned on error.
+func EnumerateCtx(ctx context.Context, d *relational.Instance, set *constraint.Set, opts Options, yield func(*relational.Instance) bool) (Stats, error) {
 	if opts.Mode == NullBased && !set.NonConflicting() {
-		return Stats{}, fmt.Errorf("repair: conflicting IC set (%v); use RepairsD", set.Conflicts()[0])
+		return Stats{}, fmt.Errorf("%w (%v); use RepairsD", ErrConflictingSet, set.Conflicts()[0])
 	}
-	return enumerate(d, set, opts, nil, yield)
+	return enumerate(ctx, d, set, opts, nil, yield)
 }
 
 // RepairsD computes the deletion-preferring class Rep_d(D, IC) defined at
@@ -155,19 +183,25 @@ func Enumerate(d *relational.Instance, set *constraint.Set, opts Options, yield 
 // the set IC′ obtained by dropping the conflicting NNCs. For
 // non-conflicting sets it coincides with Repairs.
 func RepairsD(d *relational.Instance, set *constraint.Set, opts Options) (Result, error) {
+	return RepairsDCtx(context.Background(), d, set, opts)
+}
+
+// RepairsDCtx is RepairsD under a context (see RepairsCtx for the
+// cancellation contract).
+func RepairsDCtx(ctx context.Context, d *relational.Instance, set *constraint.Set, opts Options) (Result, error) {
 	conflicts := set.Conflicts()
 	if len(conflicts) == 0 {
-		return Repairs(d, set, opts)
+		return RepairsCtx(ctx, d, set, opts)
 	}
 	conflicted := map[string]bool{}
 	for _, c := range conflicts {
 		conflicted[c.IC.Name] = true
 	}
-	full, err := run(d, set, opts, conflicted)
+	full, err := run(ctx, d, set, opts, conflicted)
 	if err != nil {
 		return Result{}, err
 	}
-	prime, err := Repairs(d, dropConflictingNNCs(set), opts)
+	prime, err := RepairsCtx(ctx, d, dropConflictingNNCs(set), opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -207,9 +241,9 @@ func dropConflictingNNCs(set *constraint.Set) *constraint.Set {
 }
 
 // run materializes a full enumeration through the online antichain filter.
-func run(d *relational.Instance, set *constraint.Set, opts Options, adomICs map[string]bool) (Result, error) {
+func run(ctx context.Context, d *relational.Instance, set *constraint.Set, opts Options, adomICs map[string]bool) (Result, error) {
 	ac := NewAntichain(d, opts.Mode)
-	stats, err := enumerate(d, set, opts, adomICs, func(leaf *relational.Instance) bool {
+	stats, err := enumerate(ctx, d, set, opts, adomICs, func(leaf *relational.Instance) bool {
 		ac.Add(leaf)
 		return true
 	})
@@ -237,7 +271,7 @@ func run(d *relational.Instance, set *constraint.Set, opts Options, adomICs map[
 // calling goroutine) over a channel; workers block on a full channel rather
 // than dropping results, and the collector keeps draining after
 // cancellation so workers always unwind.
-func enumerate(d *relational.Instance, set *constraint.Set, opts Options, adomICs map[string]bool, yield func(*relational.Instance) bool) (Stats, error) {
+func enumerate(ctx context.Context, d *relational.Instance, set *constraint.Set, opts Options, adomICs map[string]bool, yield func(*relational.Instance) bool) (Stats, error) {
 	maxStates := opts.MaxStates
 	if maxStates == 0 {
 		maxStates = DefaultMaxStates
@@ -271,6 +305,7 @@ func enumerate(d *relational.Instance, set *constraint.Set, opts Options, adomIC
 	d.Freeze()
 
 	s := &searcher{
+		ctx:          ctx,
 		set:          set,
 		sem:          sem,
 		mode:         opts.Mode,
@@ -305,6 +340,10 @@ func enumerate(d *relational.Instance, set *constraint.Set, opts Options, adomIC
 func (s *searcher) runSequential(yield func(*relational.Instance) bool) (Stats, error) {
 	var stats Stats
 	for !s.stopped.Load() {
+		if err := s.ctx.Err(); err != nil {
+			s.stop(err)
+			break
+		}
 		s.mu.Lock()
 		n := len(s.stack)
 		if n == 0 {
@@ -378,6 +417,7 @@ const leafBuffer = 64
 // searcher is the shared state of one streaming enumeration: the work-list,
 // the visited memo, and the leaf channel to the collector.
 type searcher struct {
+	ctx          context.Context // the enumeration's context; checked by the drivers
 	set          *constraint.Set
 	sem          nullsem.Semantics
 	mode         Mode
@@ -441,12 +481,17 @@ func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
 func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
 
 // work is one worker's loop: pop a state, expand it, repeat until the
-// work-list drains (stack empty with no expansion in flight) or the search
-// stops.
+// work-list drains (stack empty with no expansion in flight), the search
+// stops, or the context is cancelled.
 func (s *searcher) work() {
 	for {
 		cur, ok := s.pop()
 		if !ok {
+			return
+		}
+		if err := s.ctx.Err(); err != nil {
+			s.stop(err)
+			s.release()
 			return
 		}
 		s.expand(cur, s.sendLeaf)
@@ -826,14 +871,14 @@ func instantiations(head term.Atom, subst term.Subst, domain []value.V) []relati
 	return out
 }
 
-// dedupValues collapses duplicate constants by interned id (ids are
-// injective over values, so no confirmation pass is needed).
+// dedupValues collapses duplicate constants (value.V is comparable, so the
+// values key the map directly).
 func dedupValues(vs []value.V) []value.V {
-	seen := make(map[uint32]bool, len(vs))
+	seen := make(map[value.V]bool, len(vs))
 	out := vs[:0]
 	for _, v := range vs {
-		if !seen[v.ID()] {
-			seen[v.ID()] = true
+		if !seen[v] {
+			seen[v] = true
 			out = append(out, v)
 		}
 	}
@@ -848,6 +893,12 @@ func dedupValues(vs []value.V) []value.V {
 // is emitted with a ConfirmMinimal certificate — without waiting for the
 // rest of the enumeration.
 func IsRepair(d *relational.Instance, set *constraint.Set, cand *relational.Instance, opts Options) (bool, error) {
+	return IsRepairCtx(context.Background(), d, set, cand, opts)
+}
+
+// IsRepairCtx is IsRepair under a context: cancellation aborts the
+// underlying enumeration and returns ctx.Err().
+func IsRepairCtx(ctx context.Context, d *relational.Instance, set *constraint.Set, cand *relational.Instance, opts Options) (bool, error) {
 	sem := nullsem.NullAware
 	if opts.Mode == Classic {
 		sem = nullsem.ClassicFO
@@ -858,7 +909,7 @@ func IsRepair(d *relational.Instance, set *constraint.Set, cand *relational.Inst
 	leq := deltaOrder(opts.Mode)
 	candDelta := relational.Diff(d, cand)
 	found, confirmed, dominated := false, false, false
-	_, err := Enumerate(d, set, opts, func(leaf *relational.Instance) bool {
+	_, err := EnumerateCtx(ctx, d, set, opts, func(leaf *relational.Instance) bool {
 		if leaf.Equal(cand) {
 			found = true
 			if ConfirmMinimal(d, cand, set, opts) {

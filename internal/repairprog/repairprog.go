@@ -31,6 +31,7 @@
 package repairprog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -398,12 +399,21 @@ func (tr *Translation) Interpret(gp *ground.Program, m stable.Model) *relational
 // caller's concern. yield returning false cancels the enumeration (nil
 // error), mirroring the streaming contract of repair.Enumerate.
 func (tr *Translation) StreamRepairs(opts stable.Options, yield func(inst *relational.Instance, delta relational.Delta, m stable.Model) bool) error {
+	return tr.StreamRepairsCtx(context.Background(), opts, yield)
+}
+
+// StreamRepairsCtx is StreamRepairs under a context: cancellation aborts the
+// underlying stable-model enumeration (see stable.EnumerateCtx) and returns
+// ctx.Err(). The cached base grounding is never poisoned by cancellation —
+// it either completed (and is reused by the next call) or the sync.Once
+// never ran.
+func (tr *Translation) StreamRepairsCtx(ctx context.Context, opts stable.Options, yield func(inst *relational.Instance, delta relational.Delta, m stable.Model) bool) error {
 	gp, err := tr.BaseGrounding()
 	if err != nil {
 		return err
 	}
 	reader := tr.NewModelReader(gp)
-	return stable.Enumerate(gp, opts, func(m stable.Model) bool {
+	return stable.EnumerateCtx(ctx, gp, opts, func(m stable.Model) bool {
 		inst, delta := reader.Repair(m)
 		return yield(inst, delta, m)
 	})
@@ -473,10 +483,15 @@ func (tr *Translation) BaseGrounding() (*ground.Program, error) {
 // confirmed by Equal; since every streamed repair is an overlay of one
 // shared base, each confirm costs O(|Δ|), not an O(|D|) key encoding.
 func (tr *Translation) StableRepairs(opts stable.Options) ([]*relational.Instance, []stable.Model, error) {
+	return tr.StableRepairsCtx(context.Background(), opts)
+}
+
+// StableRepairsCtx is StableRepairs under a context (see StreamRepairsCtx).
+func (tr *Translation) StableRepairsCtx(ctx context.Context, opts stable.Options) ([]*relational.Instance, []stable.Model, error) {
 	var models []stable.Model
 	seen := relational.NewInstanceSet()
 	var out []*relational.Instance
-	if err := tr.StreamRepairs(opts, func(inst *relational.Instance, _ relational.Delta, m stable.Model) bool {
+	if err := tr.StreamRepairsCtx(ctx, opts, func(inst *relational.Instance, _ relational.Delta, m stable.Model) bool {
 		models = append(models, m)
 		if seen.Add(inst) {
 			out = append(out, inst)

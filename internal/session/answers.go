@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -17,16 +18,24 @@ import (
 // repair set (search/program) or cached translation and base grounding
 // (program engines) instead of re-deriving them.
 func (s *Session) Answer(q *query.Q) (Answer, error) {
+	return s.AnswerCtx(context.Background(), q)
+}
+
+// AnswerCtx is Answer under a context. Cancellation aborts the underlying
+// repair/stable enumeration and returns ctx.Err(); the session's caches are
+// never left partially filled (a completed enumeration populates them, a
+// cancelled one leaves them cold), so later calls are unaffected.
+func (s *Session) AnswerCtx(ctx context.Context, q *query.Q) (Answer, error) {
 	if err := q.Validate(); err != nil {
 		return Answer{}, err
 	}
 	switch s.opts.Engine {
 	case EngineProgramCautious:
-		return s.cautiousAnswer(q)
+		return s.cautiousAnswer(ctx, q)
 	case EngineProgram:
-		return s.programAnswer(q)
+		return s.programAnswer(ctx, q)
 	default:
-		return s.searchAnswer(q)
+		return s.searchAnswer(ctx, q)
 	}
 }
 
@@ -39,9 +48,9 @@ func (s *Session) Answer(q *query.Q) (Answer, error) {
 // moment a falsifying leaf carries a ConfirmMinimal certificate the whole
 // search is cancelled (the certain answer is already no). A completed
 // stream populates the repair cache for later calls.
-func (s *Session) searchAnswer(q *query.Q) (Answer, error) {
+func (s *Session) searchAnswer(ctx context.Context, q *query.Q) (Answer, error) {
 	if !q.IsBoolean() {
-		if err := s.ensureRepairs(); err != nil {
+		if err := s.ensureRepairs(ctx); err != nil {
 			return Answer{}, err
 		}
 		if len(s.repairs) == 0 {
@@ -89,7 +98,7 @@ func (s *Session) searchAnswer(q *query.Q) (Answer, error) {
 	// later), so stop attempting after a few misses: the stream still
 	// completes and the final answer is unchanged.
 	confirmBudget := maxConfirmAttempts
-	stats, err := repair.Enumerate(cur, s.set, ropts, func(leaf *relational.Instance) bool {
+	stats, err := repair.EnumerateCtx(ctx, cur, s.set, ropts, func(leaf *relational.Instance) bool {
 		minimal, displaced := ac.Add(leaf)
 		for _, m := range displaced {
 			delete(holdsBy, m)
@@ -147,9 +156,9 @@ func (s *Session) searchAnswer(q *query.Q) (Answer, error) {
 // at the first falsifying repair — every stable model of Π(D, IC) induces
 // a repair (Theorem 4), so the certain answer is already no and the rest
 // of the enumeration is cancelled.
-func (s *Session) programAnswer(q *query.Q) (Answer, error) {
+func (s *Session) programAnswer(ctx context.Context, q *query.Q) (Answer, error) {
 	if !q.IsBoolean() {
-		if err := s.ensureRepairs(); err != nil {
+		if err := s.ensureRepairs(ctx); err != nil {
 			return Answer{}, err
 		}
 		if len(s.repairs) == 0 {
@@ -187,7 +196,7 @@ func (s *Session) programAnswer(q *query.Q) (Answer, error) {
 	seen := relational.NewInstanceSet()
 	holds := true
 	short := false
-	if err := tr.StreamRepairs(s.opts.Stable, func(inst *relational.Instance, delta relational.Delta, _ stable.Model) bool {
+	if err := tr.StreamRepairsCtx(ctx, s.opts.Stable, func(inst *relational.Instance, delta relational.Delta, _ stable.Model) bool {
 		if !seen.Add(inst) {
 			return true
 		}
@@ -211,7 +220,7 @@ func (s *Session) programAnswer(q *query.Q) (Answer, error) {
 // translation and base grounding. A query mentioning a passthrough
 // relation that drifted since the translation was built rebuilds the
 // translation first (see Session.trDirty).
-func (s *Session) cautiousAnswer(q *query.Q) (Answer, error) {
+func (s *Session) cautiousAnswer(ctx context.Context, q *query.Q) (Answer, error) {
 	if len(s.trDirty) > 0 {
 		for _, name := range q.Preds() {
 			if s.trDirty[name] {
@@ -224,7 +233,7 @@ func (s *Session) cautiousAnswer(q *query.Q) (Answer, error) {
 	if err != nil {
 		return Answer{}, err
 	}
-	return s.cautiousQuery(tr, q)
+	return s.cautiousQuery(ctx, tr, q)
 }
 
 // cautiousQuery answers one query over the translation's cached base
@@ -237,7 +246,7 @@ func (s *Session) cautiousAnswer(q *query.Q) (Answer, error) {
 // answer is already no and the enumeration is cancelled. Non-boolean
 // queries enumerate fully: NumRepairs (the distinct induced repairs) is
 // part of the cross-engine differential contract.
-func (s *Session) cautiousQuery(tr *repairprog.Translation, q *query.Q) (Answer, error) {
+func (s *Session) cautiousQuery(ctx context.Context, tr *repairprog.Translation, q *query.Q) (Answer, error) {
 	gp, err := tr.GroundWithQuery(q)
 	if err != nil {
 		return Answer{}, err
@@ -254,7 +263,7 @@ func (s *Session) cautiousQuery(tr *repairprog.Translation, q *query.Q) (Answer,
 	certain := map[string]relational.Tuple{}
 	first := true
 	short := false
-	if err := stable.Enumerate(gp, s.opts.Stable, func(m stable.Model) bool {
+	if err := stable.EnumerateCtx(ctx, gp, s.opts.Stable, func(m stable.Model) bool {
 		repairSeen.Add(reader.Delta(m))
 		here := map[string]relational.Tuple{}
 		for _, id := range m {
@@ -284,7 +293,7 @@ func (s *Session) cautiousQuery(tr *repairprog.Translation, q *query.Q) (Answer,
 		return Answer{}, err
 	}
 	if first {
-		return Answer{}, fmt.Errorf("cqa: the repair program has no stable model")
+		return Answer{}, fmt.Errorf("the repair program has no stable model: %w", ErrInconsistentUnrepairable)
 	}
 
 	ans := Answer{NumRepairs: repairSeen.Len(), ShortCircuited: short}
@@ -301,13 +310,19 @@ func (s *Session) cautiousQuery(tr *repairprog.Translation, q *query.Q) (Answer,
 // program engines ride the stable-model stream, cancelling a boolean
 // query at the first satisfying repair.
 func (s *Session) Possible(q *query.Q) ([]relational.Tuple, error) {
+	return s.PossibleCtx(context.Background(), q)
+}
+
+// PossibleCtx is Possible under a context (see AnswerCtx for the
+// cancellation contract).
+func (s *Session) PossibleCtx(ctx context.Context, q *query.Q) ([]relational.Tuple, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if s.opts.Engine != EngineSearch {
-		return s.possibleProgram(q)
+		return s.possibleProgram(ctx, q)
 	}
-	if err := s.ensureRepairs(); err != nil {
+	if err := s.ensureRepairs(ctx); err != nil {
 		return nil, err
 	}
 	if len(s.repairs) == 0 {
@@ -328,7 +343,7 @@ func (s *Session) Possible(q *query.Q) ([]relational.Tuple, error) {
 
 // possibleProgram unions per-repair answers over the stable-model stream
 // of the session's translation.
-func (s *Session) possibleProgram(q *query.Q) ([]relational.Tuple, error) {
+func (s *Session) possibleProgram(ctx context.Context, q *query.Q) ([]relational.Tuple, error) {
 	tr, err := s.translation()
 	if err != nil {
 		return nil, err
@@ -340,7 +355,7 @@ func (s *Session) possibleProgram(q *query.Q) ([]relational.Tuple, error) {
 	boolean := q.IsBoolean()
 	seenRepair := relational.NewInstanceSet()
 	seen := map[string]relational.Tuple{}
-	if err := tr.StreamRepairs(s.opts.Stable, func(inst *relational.Instance, delta relational.Delta, _ stable.Model) bool {
+	if err := tr.StreamRepairsCtx(ctx, s.opts.Stable, func(inst *relational.Instance, delta relational.Delta, _ stable.Model) bool {
 		if !seenRepair.Add(inst) {
 			return true
 		}

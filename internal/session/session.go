@@ -26,7 +26,8 @@
 package session
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"sort"
 
 	"repro/internal/constraint"
@@ -146,8 +147,16 @@ const rebaseThreshold = 128
 // plain full enumeration.
 const maxConfirmAttempts = 8
 
-// errEmptyRepairSet guards the Proposition 1 invariant.
-var errEmptyRepairSet = fmt.Errorf("cqa: empty repair set (Proposition 1 guarantees at least one repair; this indicates an engine limitation on this input)")
+// ErrInconsistentUnrepairable reports that an engine produced an empty
+// repair set for an inconsistent instance. Proposition 1 guarantees at least
+// one repair always exists, so this sentinel signals an engine limitation on
+// the given input (e.g. a constraint class outside the engine's scope), not
+// a property of the data. API consumers match it with errors.Is.
+var ErrInconsistentUnrepairable = errors.New("cqa: empty repair set (Proposition 1 guarantees at least one repair; this indicates an engine limitation on this input)")
+
+// errEmptyRepairSet guards the Proposition 1 invariant (kept as the internal
+// alias used throughout this package).
+var errEmptyRepairSet = ErrInconsistentUnrepairable
 
 // Session is a persistent (D, IC) pair with maintained CQA state. It is
 // not safe for concurrent use; a server wraps one session per client (or
@@ -251,6 +260,17 @@ type ApplyResult struct {
 // by patching their base evaluations per repair, with changed-answer diffs
 // delivered to Subscribe callbacks before Apply returns.
 func (s *Session) Apply(delta relational.Delta) (ApplyResult, error) {
+	return s.ApplyCtx(context.Background(), delta)
+}
+
+// ApplyCtx is Apply under a context. Cancellation can interrupt the
+// re-enumeration that refreshes prepared queries; the update itself is
+// already applied at that point (the head, violation lists, translation and
+// repair cache are all advanced coherently before any enumeration starts),
+// so the session stays usable — the interrupted prepared query is marked
+// invalid and recomputed from scratch on its next use, and a later
+// ApplyCtx/Answer simply redoes the abandoned enumeration.
+func (s *Session) ApplyCtx(ctx context.Context, delta relational.Delta) (ApplyResult, error) {
 	eff := s.head.Apply(delta)
 	res := ApplyResult{Applied: eff}
 	if eff.Size() == 0 {
@@ -324,7 +344,7 @@ func (s *Session) Apply(delta relational.Delta) (ApplyResult, error) {
 			continue
 		}
 		wasEmpty := !s.repairsOK
-		if err := s.refresh(p); err != nil {
+		if err := s.refresh(ctx, p); err != nil {
 			return res, err
 		}
 		res.QueriesRefreshed++
@@ -434,7 +454,9 @@ func (s *Session) seed() *repair.Seed {
 // the streaming search (seeded from the maintained violation lists) for
 // EngineSearch, the stable models of the cached translation otherwise.
 // An empty result is cached as empty; answer paths enforce Proposition 1.
-func (s *Session) ensureRepairs() error {
+// Cancellation mid-fill leaves the cache untouched (still cold) — partial
+// enumerations are never cached, so a later call recomputes cleanly.
+func (s *Session) ensureRepairs(ctx context.Context) error {
 	if s.repairsOK {
 		return nil
 	}
@@ -444,7 +466,7 @@ func (s *Session) ensureRepairs() error {
 		if err != nil {
 			return err
 		}
-		insts, _, err := tr.StableRepairs(s.opts.Stable)
+		insts, _, err := tr.StableRepairsCtx(ctx, s.opts.Stable)
 		if err != nil {
 			return err
 		}
@@ -462,7 +484,7 @@ func (s *Session) ensureRepairs() error {
 		}
 		cur := s.head.Current()
 		ac := repair.NewAntichain(cur, ropts.Mode)
-		stats, err := repair.Enumerate(cur, s.set, ropts, func(leaf *relational.Instance) bool {
+		stats, err := repair.EnumerateCtx(ctx, cur, s.set, ropts, func(leaf *relational.Instance) bool {
 			ac.Add(leaf)
 			return true
 		})
@@ -480,7 +502,13 @@ func (s *Session) ensureRepairs() error {
 // Repairs returns the session's repair set in content-canonical order.
 // The instances are shared with the cache: read-only.
 func (s *Session) Repairs() ([]*relational.Instance, error) {
-	if err := s.ensureRepairs(); err != nil {
+	return s.RepairsCtx(context.Background())
+}
+
+// RepairsCtx is Repairs under a context (cancellation aborts a cold cache
+// fill; see ApplyCtx for the non-poisoning contract).
+func (s *Session) RepairsCtx(ctx context.Context) ([]*relational.Instance, error) {
+	if err := s.ensureRepairs(ctx); err != nil {
 		return nil, err
 	}
 	return append([]*relational.Instance(nil), s.repairs...), nil
@@ -488,7 +516,12 @@ func (s *Session) Repairs() ([]*relational.Instance, error) {
 
 // Deltas returns Δ(current, repair) aligned with Repairs(). Read-only.
 func (s *Session) Deltas() ([]relational.Delta, error) {
-	if err := s.ensureRepairs(); err != nil {
+	return s.DeltasCtx(context.Background())
+}
+
+// DeltasCtx is Deltas under a context.
+func (s *Session) DeltasCtx(ctx context.Context) ([]relational.Delta, error) {
+	if err := s.ensureRepairs(ctx); err != nil {
 		return nil, err
 	}
 	return append([]relational.Delta(nil), s.deltas...), nil
@@ -684,6 +717,11 @@ func (p *Prepared) Answers() []relational.Tuple { return p.tuples }
 // Boolean returns the current certain verdict of a boolean query.
 func (p *Prepared) Boolean() bool { return p.boolAns }
 
+// Valid reports whether the stored answers reflect the session's current
+// head. False after a refresh was interrupted (e.g. a cancelled ApplyCtx);
+// the next successful Apply recomputes and re-validates them.
+func (p *Prepared) Valid() bool { return p.valid }
+
 // Subscribe registers fn to be called (synchronously, inside Apply) each
 // time the prepared query's answers change.
 func (p *Prepared) Subscribe(fn func(QueryUpdate)) { p.subs = append(p.subs, fn) }
@@ -706,6 +744,12 @@ func (p *Prepared) touches(eff relational.Delta) bool {
 // answers. The plan (query.BaseEval, anchored at the frozen anchor) is
 // kept for the session's lifetime; Apply re-patches the answers.
 func (s *Session) Prepare(q *query.Q) (*Prepared, error) {
+	return s.PrepareCtx(context.Background(), q)
+}
+
+// PrepareCtx is Prepare under a context: cancellation aborts the initial
+// answer computation and the query is not registered.
+func (s *Session) PrepareCtx(ctx context.Context, q *query.Q) (*Prepared, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -720,7 +764,7 @@ func (s *Session) Prepare(q *query.Q) (*Prepared, error) {
 		}
 		p.be = be
 	}
-	if err := s.compute(p); err != nil {
+	if err := s.compute(ctx, p); err != nil {
 		return nil, err
 	}
 	s.prepared = append(s.prepared, p)
@@ -728,16 +772,16 @@ func (s *Session) Prepare(q *query.Q) (*Prepared, error) {
 }
 
 // compute fills p's answers from the session's current state.
-func (s *Session) compute(p *Prepared) error {
+func (s *Session) compute(ctx context.Context, p *Prepared) error {
 	if s.opts.Engine == EngineProgramCautious {
-		ans, err := s.cautiousAnswer(p.q)
+		ans, err := s.cautiousAnswer(ctx, p.q)
 		if err != nil {
 			return err
 		}
 		p.tuples, p.boolAns, p.valid = ans.Tuples, ans.Boolean, true
 		return nil
 	}
-	if err := s.ensureRepairs(); err != nil {
+	if err := s.ensureRepairs(ctx); err != nil {
 		return err
 	}
 	if len(s.repairs) == 0 {
@@ -758,10 +802,14 @@ func (s *Session) compute(p *Prepared) error {
 	return nil
 }
 
-// refresh recomputes p and notifies subscribers of any change.
-func (s *Session) refresh(p *Prepared) error {
+// refresh recomputes p and notifies subscribers of any change. On error
+// (cancellation included) p is marked invalid: its retained answers are
+// stale against the advanced head, and the next refresh recomputes and
+// notifies unconditionally.
+func (s *Session) refresh(ctx context.Context, p *Prepared) error {
 	oldTuples, oldBool, wasValid := p.tuples, p.boolAns, p.valid
-	if err := s.compute(p); err != nil {
+	if err := s.compute(ctx, p); err != nil {
+		p.valid = false
 		return err
 	}
 	if len(p.subs) == 0 {

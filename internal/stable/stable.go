@@ -14,7 +14,8 @@
 package stable
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,8 +60,9 @@ type Options struct {
 // DefaultMaxCandidates bounds candidate enumeration when unset.
 const DefaultMaxCandidates = 1 << 18
 
-// ErrCandidateLimit reports that candidate enumeration was cut short.
-var ErrCandidateLimit = fmt.Errorf("stable: candidate model limit exceeded")
+// ErrCandidateLimit reports that candidate enumeration was cut short. API
+// consumers match it with errors.Is; a server maps it to load-shedding.
+var ErrCandidateLimit = errors.New("stable: candidate model limit exceeded")
 
 // Model is a stable model: the sorted ids of its true atoms.
 type Model []int
@@ -84,9 +86,21 @@ func (m Model) Contains(atom int) bool {
 // runs, but NOT lexicographic — collect via Models with Options.Sorted for
 // the lexicographic order.
 func Enumerate(p *ground.Program, opts Options, yield func(Model) bool) error {
+	return EnumerateCtx(context.Background(), p, opts, yield)
+}
+
+// EnumerateCtx is Enumerate under a context. Cancellation aborts in-flight
+// CDCL solves through the solvers' stop hooks (polled at every conflict and
+// decision, so aborts are prompt even mid-solve) and returns ctx.Err();
+// models already yielded remain valid stable models, but the stream is
+// incomplete, so consumers must not treat a cancelled run as exhaustive.
+func EnumerateCtx(ctx context.Context, p *ground.Program, opts Options, yield func(Model) bool) error {
 	maxCand := opts.MaxCandidates
 	if maxCand == 0 {
 		maxCand = DefaultMaxCandidates
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	coreFacts, comps, inconsistent := decompose(p)
 	if inconsistent {
@@ -103,7 +117,7 @@ func Enumerate(p *ground.Program, opts Options, yield func(Model) bool) error {
 	// work bound (see candidateBudget).
 	shared := &candidateBudget{max: int64(maxCand)}
 	var stopped atomic.Bool
-	stop := func() bool { return stopped.Load() }
+	stop := func() bool { return stopped.Load() || ctx.Err() != nil }
 	srcs := make([]*modelSource, len(comps))
 	for i, c := range comps {
 		srcs[i] = newModelSource(c, int64(maxCand), shared, stop, opts.ScratchSolve)
@@ -157,6 +171,12 @@ func Enumerate(p *ground.Program, opts Options, yield func(Model) bool) error {
 		if err != nil {
 			return err
 		}
+		// Re-check the context after every pull: a solve aborted by the
+		// stop hook surfaces as end-of-stream, which must not be reported
+		// as a genuinely empty component.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		if !ok {
 			return nil // a component with no stable model: none overall
 		}
@@ -176,6 +196,9 @@ func Enumerate(p *ground.Program, opts Options, yield func(Model) bool) error {
 			m, ok, err := srcs[pos].modelAt(idx[pos] + 1)
 			if err != nil {
 				return err
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
 			}
 			if ok {
 				idx[pos]++

@@ -95,6 +95,62 @@ func (v V) String() string {
 	}
 }
 
+// AppendKey appends a compact, injective, self-delimiting binary encoding of
+// v to b: one kind byte, then the payload (8 bytes little-endian for an
+// integer; a 4-byte little-endian length plus the bytes for a string; nothing
+// for null). The encoding depends only on the constant's content — not on any
+// process-wide interning history — so keys built from it are identical across
+// runs and across tenants without touching shared state.
+func (v V) AppendKey(b []byte) []byte {
+	b = append(b, byte(v.kind))
+	switch v.kind {
+	case KindInt:
+		u := uint64(v.i)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	case KindStr:
+		n := uint32(len(v.s))
+		b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		b = append(b, v.s...)
+	}
+	return b
+}
+
+// KeyLen returns len(AppendKey(nil, v)) without building the encoding, for
+// exact preallocation.
+func (v V) KeyLen() int {
+	switch v.kind {
+	case KindInt:
+		return 9
+	case KindStr:
+		return 5 + len(v.s)
+	default:
+		return 1
+	}
+}
+
+// Hash continues an FNV-1a hash over v's content (kind byte plus payload).
+// Equal constants hash equally; the hash never consults shared state.
+func (v V) Hash(h uint64) uint64 {
+	const prime = 1099511628211
+	h ^= uint64(v.kind)
+	h *= prime
+	switch v.kind {
+	case KindInt:
+		u := uint64(v.i)
+		for s := 0; s < 64; s += 8 {
+			h ^= (u >> s) & 0xff
+			h *= prime
+		}
+	case KindStr:
+		for i := 0; i < len(v.s); i++ {
+			h ^= uint64(v.s[i])
+			h *= prime
+		}
+	}
+	return h
+}
+
 // Key returns an injective encoding of v, suitable for use in map keys. It is
 // unambiguous across kinds (a string "42" and the integer 42 differ).
 func (v V) Key() string {

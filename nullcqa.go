@@ -1,6 +1,8 @@
 package nullcqa
 
 import (
+	"context"
+
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/depgraph"
@@ -14,6 +16,13 @@ import (
 	"repro/internal/stable"
 	"repro/internal/value"
 )
+
+// The facade is session-first: NewSession is the primary entry point, the
+// ...Ctx one-shots are adapters over a throwaway session, and the original
+// flat one-shots survive as thin deprecated wrappers around the Ctx
+// variants. Options structs are the single configuration path — there are
+// no other knobs — and every long-running entry point takes a
+// context.Context whose cancellation aborts the enumeration with ctx.Err().
 
 // Core data types, re-exported for API clients.
 type (
@@ -39,10 +48,6 @@ type (
 	Answer = core.Answer
 	// RepairResult is the outcome of repair enumeration.
 	RepairResult = repair.Result
-	// CQAOptions configures consistent query answering.
-	CQAOptions = core.Options
-	// RepairOptions configures repair enumeration.
-	RepairOptions = repair.Options
 	// Semantics selects an IC-satisfaction semantics.
 	Semantics = nullsem.Semantics
 	// ViolationReport lists all constraint violations of an instance.
@@ -50,6 +55,62 @@ type (
 	// RepairProgram is a generated Definition 9 program.
 	RepairProgram = repairprog.Translation
 )
+
+// Typed errors. Long-running entry points fail with these instead of
+// anonymous fmt.Errorf strings: match sentinels with errors.Is and
+// *ParseError with errors.As. A canceled context surfaces as ctx.Err()
+// (context.Canceled or context.DeadlineExceeded), also via errors.Is.
+type (
+	// ParseError reports a syntax error with its 1-based line and column.
+	// Every Parse* function returns a *ParseError on bad input.
+	ParseError = parser.ParseError
+)
+
+var (
+	// ErrStateLimit: a repair search exceeded RepairOptions.MaxStates.
+	ErrStateLimit = repair.ErrStateLimit
+	// ErrConflictingSet: the constraint set has conflicting NOT
+	// NULL-constraints (Example 20); use RepairsDCtx.
+	ErrConflictingSet = repair.ErrConflictingSet
+	// ErrCandidateLimit: a stable-model enumeration exceeded
+	// StableOptions.MaxCandidates.
+	ErrCandidateLimit = stable.ErrCandidateLimit
+	// ErrInconsistentUnrepairable: an engine produced an empty repair set
+	// on an inconsistent instance (Proposition 1 guarantees at least one
+	// repair, so this indicates an engine limitation on the input).
+	ErrInconsistentUnrepairable = session.ErrInconsistentUnrepairable
+)
+
+// Options structs — the single configuration path.
+type (
+	// CQAOptions configures consistent query answering and sessions.
+	// Engine selects the pipeline; each engine reads its own section and
+	// ignores the rest:
+	//
+	//   - EngineSearch reads Repair (Mode, MaxStates, Workers,
+	//     ScratchProbe; Repair.Seed is session-owned and any caller value
+	//     is ignored).
+	//   - EngineProgram reads Variant, Stable (MaxModels, MaxCandidates,
+	//     Workers, ScratchSolve) and Ground (Workers, Naive).
+	//   - EngineProgramCautious reads the same fields as EngineProgram.
+	CQAOptions = core.Options
+	// RepairOptions configures direct repair enumeration (mode, state
+	// budget, worker pool).
+	RepairOptions = repair.Options
+	// StableOptions configures stable-model enumeration (model and
+	// candidate budgets, worker pool).
+	StableOptions = stable.Options
+	// QueryOptions configures direct query evaluation (null-handling
+	// mode).
+	QueryOptions = query.Options
+	// RepairProgramOptions configures program generation (variant,
+	// pruning).
+	RepairProgramOptions = repairprog.BuildOptions
+)
+
+// NewCQAOptions returns the default CQA options: search engine, corrected
+// program variant.
+func NewCQAOptions() CQAOptions { return core.NewOptions() }
 
 // Value constructors.
 var (
@@ -119,9 +180,6 @@ const (
 	QuerySQLNulls = query.SQLNulls
 )
 
-// QueryOptions configures direct query evaluation.
-type QueryOptions = query.Options
-
 // Parsing.
 
 // ParseInstance parses a database instance (facts like "course(21, c15).").
@@ -134,7 +192,35 @@ func ParseConstraints(src string) (*ConstraintSet, error) { return parser.Constr
 // ParseQuery parses a datalog-style query.
 func ParseQuery(src string) (*Query, error) { return parser.Query(src) }
 
-// Consistency checking (Section 3).
+// Sessions — the primary API. A session owns one persistent (D, IC) pair:
+// maintained violation lists, cached repairs, and prepared standing
+// queries survive across updates, so Session.Apply costs O(|Δ|) instead of
+// a cold re-enumeration. Everything below the session (consistency,
+// repairs, answers, standing-query diffs) is reachable through its
+// methods, each with a ...Ctx variant.
+
+// Session is a persistent (D, IC) pair. It is not safe for concurrent
+// use; serialize access externally (cmd/cqad wraps one mutex per session).
+type Session = session.Session
+
+// SessionPrepared is a standing query registered with Session.Prepare.
+type SessionPrepared = session.Prepared
+
+// SessionApplyResult summarizes one Session.Apply.
+type SessionApplyResult = session.ApplyResult
+
+// SessionQueryUpdate is pushed to Subscribe callbacks when a prepared
+// query's certain answers change.
+type SessionQueryUpdate = session.QueryUpdate
+
+// NewSession creates a session over d and set; d is frozen and all
+// subsequent mutation goes through Session.Apply.
+func NewSession(d *Instance, set *ConstraintSet, opts CQAOptions) *Session {
+	return session.New(d, set, opts)
+}
+
+// Consistency checking (Section 3). These probes are instance-local (no
+// repair enumeration), so they take no context.
 
 // IsConsistent reports D |=_N IC.
 func IsConsistent(d *Instance, set *ConstraintSet) bool { return core.IsConsistent(d, set) }
@@ -156,33 +242,52 @@ func InsertionAllowed(d *Instance, set *ConstraintSet, f Fact, sem Semantics) bo
 	return nullsem.InsertionAllowed(d, set, f, sem)
 }
 
-// Repairs (Section 4).
-
-// Repairs enumerates Rep(D, IC) under the paper's null-based semantics.
-func Repairs(d *Instance, set *ConstraintSet) (RepairResult, error) {
-	return repair.Repairs(d, set, repair.Options{})
-}
-
-// RepairsWith enumerates repairs with explicit options (classic baseline,
-// state limits).
-func RepairsWith(d *Instance, set *ConstraintSet, opts RepairOptions) (RepairResult, error) {
-	return repair.Repairs(d, set, opts)
-}
-
-// RepairsD enumerates the deletion-preferring class Rep_d for sets with
-// conflicting NOT NULL-constraints (Example 20).
-func RepairsD(d *Instance, set *ConstraintSet) (RepairResult, error) {
-	return repair.RepairsD(d, set, repair.Options{})
-}
-
-// IsRepair decides repair checking (Theorem 1's decision problem) by
-// membership in the enumerated repair set.
-func IsRepair(d *Instance, set *ConstraintSet, cand *Instance) (bool, error) {
-	return repair.IsRepair(d, set, cand, repair.Options{})
-}
-
 // RICAcyclic reports whether the set is RIC-acyclic (Definition 1).
 func RICAcyclic(set *ConstraintSet) bool { return depgraph.RICAcyclic(set) }
+
+// One-shot entry points. Each answers once over a throwaway enumeration;
+// callers that answer more than once against the same instance should hold
+// a Session instead.
+
+// ConsistentAnswersCtx computes the certain answers of q over all repairs
+// (Definition 8). Cancelling ctx aborts the enumeration with ctx.Err().
+func ConsistentAnswersCtx(ctx context.Context, d *Instance, set *ConstraintSet, q *Query, opts CQAOptions) (Answer, error) {
+	return core.ConsistentAnswersCtx(ctx, d, set, q, opts)
+}
+
+// PossibleAnswersCtx computes the brave answers (true in some repair).
+func PossibleAnswersCtx(ctx context.Context, d *Instance, set *ConstraintSet, q *Query, opts CQAOptions) ([]Tuple, error) {
+	return core.PossibleAnswersCtx(ctx, d, set, q, opts)
+}
+
+// RepairsCtx enumerates Rep(D, IC) (Section 4) under opts: the zero value
+// means the paper's null-based semantics with default budgets.
+func RepairsCtx(ctx context.Context, d *Instance, set *ConstraintSet, opts RepairOptions) (RepairResult, error) {
+	return repair.RepairsCtx(ctx, d, set, opts)
+}
+
+// RepairsDCtx enumerates the deletion-preferring class Rep_d for sets with
+// conflicting NOT NULL-constraints (Example 20).
+func RepairsDCtx(ctx context.Context, d *Instance, set *ConstraintSet, opts RepairOptions) (RepairResult, error) {
+	return repair.RepairsDCtx(ctx, d, set, opts)
+}
+
+// IsRepairCtx decides repair checking (Theorem 1's decision problem) by
+// short-circuiting membership in the enumerated repair set.
+func IsRepairCtx(ctx context.Context, d *Instance, set *ConstraintSet, cand *Instance, opts RepairOptions) (bool, error) {
+	return repair.IsRepairCtx(ctx, d, set, cand, opts)
+}
+
+// StableModelRepairsCtx computes repairs via stable models of the repair
+// program (corrected variant).
+func StableModelRepairsCtx(ctx context.Context, d *Instance, set *ConstraintSet, opts StableOptions) ([]*Instance, error) {
+	tr, err := repairprog.Build(d, set, repairprog.VariantCorrected)
+	if err != nil {
+		return nil, err
+	}
+	insts, _, err := tr.StableRepairsCtx(ctx, opts)
+	return insts, err
+}
 
 // Repair programs (Section 5).
 
@@ -190,9 +295,6 @@ func RICAcyclic(set *ConstraintSet) bool { return depgraph.RICAcyclic(set) }
 func BuildRepairProgram(d *Instance, set *ConstraintSet, variant repairprog.Variant) (*RepairProgram, error) {
 	return repairprog.Build(d, set, variant)
 }
-
-// RepairProgramOptions configures program generation (variant, pruning).
-type RepairProgramOptions = repairprog.BuildOptions
 
 // BuildRepairProgramWith generates the program with explicit options, e.g.
 // PruneUnconstrained to skip annotation rules for relations no constraint
@@ -205,58 +307,68 @@ func BuildRepairProgramWith(d *Instance, set *ConstraintSet, opts RepairProgramO
 // condition on the constraint set.
 func GuaranteedHCF(set *ConstraintSet) bool { return repairprog.GuaranteedHCF(set) }
 
-// StableModelRepairs computes repairs via stable models of the repair
-// program (corrected variant).
-func StableModelRepairs(d *Instance, set *ConstraintSet) ([]*Instance, error) {
-	tr, err := repairprog.Build(d, set, repairprog.VariantCorrected)
-	if err != nil {
-		return nil, err
-	}
-	insts, _, err := tr.StableRepairs(stable.Options{})
-	return insts, err
-}
+// Direct query evaluation (no repairs).
 
-// Consistent query answering (Definition 8).
-
-// NewCQAOptions returns the default CQA options.
-func NewCQAOptions() CQAOptions { return core.NewOptions() }
-
-// ConsistentAnswers computes the certain answers of q over all repairs.
-func ConsistentAnswers(d *Instance, set *ConstraintSet, q *Query, opts CQAOptions) (Answer, error) {
-	return core.ConsistentAnswers(d, set, q, opts)
-}
-
-// PossibleAnswers computes the brave answers (true in some repair).
-func PossibleAnswers(d *Instance, set *ConstraintSet, q *Query, opts CQAOptions) ([]Tuple, error) {
-	return core.PossibleAnswers(d, set, q, opts)
-}
-
-// Sessions (live CQA over an update stream).
-
-// Session is a persistent (D, IC) pair: maintained violations, cached
-// repairs, prepared standing queries, O(|Δ|) updates via Apply.
-type Session = session.Session
-
-// SessionPrepared is a standing query registered with Session.Prepare.
-type SessionPrepared = session.Prepared
-
-// SessionApplyResult summarizes one Session.Apply.
-type SessionApplyResult = session.ApplyResult
-
-// SessionQueryUpdate is pushed to Subscribe callbacks when a prepared
-// query's certain answers change.
-type SessionQueryUpdate = session.QueryUpdate
-
-// NewSession creates a session over d and set; d is frozen and all
-// subsequent mutation goes through Session.Apply.
-func NewSession(d *Instance, set *ConstraintSet, opts CQAOptions) *Session {
-	return session.New(d, set, opts)
-}
-
-// EvalQuery evaluates q directly on one instance (no repairs).
+// EvalQuery evaluates q directly on one instance.
 func EvalQuery(d *Instance, q *Query) ([]Tuple, error) { return query.Eval(d, q) }
 
 // EvalQueryWith evaluates q with an explicit null-handling mode.
 func EvalQueryWith(d *Instance, q *Query, opts QueryOptions) ([]Tuple, error) {
 	return query.EvalWith(d, q, opts)
+}
+
+// Deprecated flat wrappers. Each delegates to its ...Ctx variant with
+// context.Background(); they remain for source compatibility and add no
+// behaviour.
+
+// ConsistentAnswers computes the certain answers of q over all repairs.
+//
+// Deprecated: use ConsistentAnswersCtx, or a Session for repeated answers.
+func ConsistentAnswers(d *Instance, set *ConstraintSet, q *Query, opts CQAOptions) (Answer, error) {
+	return ConsistentAnswersCtx(context.Background(), d, set, q, opts)
+}
+
+// PossibleAnswers computes the brave answers (true in some repair).
+//
+// Deprecated: use PossibleAnswersCtx, or a Session for repeated answers.
+func PossibleAnswers(d *Instance, set *ConstraintSet, q *Query, opts CQAOptions) ([]Tuple, error) {
+	return PossibleAnswersCtx(context.Background(), d, set, q, opts)
+}
+
+// Repairs enumerates Rep(D, IC) under the paper's null-based semantics.
+//
+// Deprecated: use RepairsCtx.
+func Repairs(d *Instance, set *ConstraintSet) (RepairResult, error) {
+	return RepairsCtx(context.Background(), d, set, RepairOptions{})
+}
+
+// RepairsWith enumerates repairs with explicit options (classic baseline,
+// state limits).
+//
+// Deprecated: use RepairsCtx.
+func RepairsWith(d *Instance, set *ConstraintSet, opts RepairOptions) (RepairResult, error) {
+	return RepairsCtx(context.Background(), d, set, opts)
+}
+
+// RepairsD enumerates the deletion-preferring class Rep_d.
+//
+// Deprecated: use RepairsDCtx.
+func RepairsD(d *Instance, set *ConstraintSet) (RepairResult, error) {
+	return RepairsDCtx(context.Background(), d, set, RepairOptions{})
+}
+
+// IsRepair decides repair checking by membership in the enumerated repair
+// set.
+//
+// Deprecated: use IsRepairCtx.
+func IsRepair(d *Instance, set *ConstraintSet, cand *Instance) (bool, error) {
+	return IsRepairCtx(context.Background(), d, set, cand, RepairOptions{})
+}
+
+// StableModelRepairs computes repairs via stable models of the repair
+// program (corrected variant).
+//
+// Deprecated: use StableModelRepairsCtx.
+func StableModelRepairs(d *Instance, set *ConstraintSet) ([]*Instance, error) {
+	return StableModelRepairsCtx(context.Background(), d, set, StableOptions{})
 }

@@ -1,6 +1,8 @@
 package nullcqa_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -30,7 +32,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		t.Fatalf("violations = %v", rep)
 	}
 
-	res, err := nullcqa.Repairs(d, set)
+	res, err := nullcqa.RepairsCtx(context.Background(), d, set, nullcqa.RepairOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,12 +44,103 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := nullcqa.ConsistentAnswers(d, set, q, nullcqa.NewCQAOptions())
+	ans, err := nullcqa.ConsistentAnswersCtx(context.Background(), d, set, q, nullcqa.NewCQAOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ans.Tuples) != 1 || ans.Tuples[0][0].String() != "21" {
 		t.Fatalf("certain answers = %v", ans.Tuples)
+	}
+}
+
+func TestPublicAPISessionFirst(t *testing.T) {
+	// The session-first flow: one persistent (D, IC) pair, a standing
+	// query, and an O(|Δ|) update that pushes a diff to the subscriber.
+	d, err := nullcqa.ParseInstance(`course(21, c15). course(34, c18). student(21, "Ann").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := nullcqa.ParseConstraints(`course(Id, Code) -> student(Id, Name).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nullcqa.NewSession(d, set, nullcqa.NewCQAOptions())
+	if s.Consistent() {
+		t.Fatal("fixture must start inconsistent")
+	}
+	q, err := nullcqa.ParseQuery(`q(Id) :- course(Id, Code).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.PrepareCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Answers(); len(got) != 1 || got[0][0].String() != "21" {
+		t.Fatalf("initial certain answers = %v", got)
+	}
+	var updates []nullcqa.SessionQueryUpdate
+	p.Subscribe(func(u nullcqa.SessionQueryUpdate) { updates = append(updates, u) })
+
+	delta := nullcqa.Delta{Added: []nullcqa.Fact{nullcqa.F("student", nullcqa.Int(34), nullcqa.Str("Tom"))}}
+	if _, err := s.ApplyCtx(context.Background(), delta); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Consistent() {
+		t.Fatal("adding the missing student must restore consistency")
+	}
+	if len(updates) != 1 || len(updates[0].Added) != 1 {
+		t.Fatalf("updates = %+v, want one diff adding (34)", updates)
+	}
+	if got := p.Answers(); len(got) != 2 {
+		t.Fatalf("refreshed certain answers = %v", got)
+	}
+}
+
+func TestPublicAPITypedErrors(t *testing.T) {
+	// Parse errors carry their position through the facade.
+	for _, src := range []struct{ name, bad string }{
+		{"instance", "r(a,\n b"},
+		{"constraints", "r(X) ->"},
+		{"query", "q( :-"},
+	} {
+		var err error
+		switch src.name {
+		case "instance":
+			_, err = nullcqa.ParseInstance(src.bad)
+		case "constraints":
+			_, err = nullcqa.ParseConstraints(src.bad)
+		case "query":
+			_, err = nullcqa.ParseQuery(src.bad)
+		}
+		var pe *nullcqa.ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: error %v is not a *ParseError", src.name, err)
+		}
+		if pe.Line < 1 || pe.Col < 1 {
+			t.Errorf("%s: position %d:%d not 1-based", src.name, pe.Line, pe.Col)
+		}
+	}
+
+	d, _ := nullcqa.ParseInstance(`p(a). p(b). q(b, c).`)
+	conflicting, _ := nullcqa.ParseConstraints(`
+		p(X) -> q(X, Y).
+		q(X, Y), isnull(Y) -> false.
+	`)
+	if _, err := nullcqa.RepairsCtx(context.Background(), d, conflicting, nullcqa.RepairOptions{}); !errors.Is(err, nullcqa.ErrConflictingSet) {
+		t.Errorf("conflicting set: err = %v, want ErrConflictingSet", err)
+	}
+
+	set, _ := nullcqa.ParseConstraints(`p(X) -> q(X, Y).`)
+	if _, err := nullcqa.RepairsCtx(context.Background(), d, set, nullcqa.RepairOptions{MaxStates: 1}); !errors.Is(err, nullcqa.ErrStateLimit) {
+		t.Errorf("MaxStates=1: err = %v, want ErrStateLimit", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q, _ := nullcqa.ParseQuery(`q(X) :- p(X).`)
+	if _, err := nullcqa.ConsistentAnswersCtx(ctx, d, set, q, nullcqa.NewCQAOptions()); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx: err = %v, want context.Canceled", err)
 	}
 }
 
@@ -87,7 +180,7 @@ func TestPublicAPIRepairPrograms(t *testing.T) {
 	if !strings.Contains(tr.Program.DLV(), ":-") {
 		t.Error("DLV export looks empty")
 	}
-	insts, err := nullcqa.StableModelRepairs(d, set)
+	insts, err := nullcqa.StableModelRepairsCtx(context.Background(), d, set, nullcqa.StableOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,10 +207,10 @@ func TestPublicAPIRepairsDAndClassic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := nullcqa.Repairs(d, set); err == nil {
-		t.Error("conflicting set must be refused by Repairs")
+	if _, err := nullcqa.RepairsCtx(context.Background(), d, set, nullcqa.RepairOptions{}); err == nil {
+		t.Error("conflicting set must be refused by RepairsCtx")
 	}
-	res, err := nullcqa.RepairsD(d, set)
+	res, err := nullcqa.RepairsDCtx(context.Background(), d, set, nullcqa.RepairOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +220,7 @@ func TestPublicAPIRepairsDAndClassic(t *testing.T) {
 
 	d2, _ := nullcqa.ParseInstance(`p(a).`)
 	set2, _ := nullcqa.ParseConstraints(`p(X) -> q(X, Y).`)
-	classic, err := nullcqa.RepairsWith(d2, set2, nullcqa.RepairOptions{Mode: nullcqa.RepairClassic})
+	classic, err := nullcqa.RepairsCtx(context.Background(), d2, set2, nullcqa.RepairOptions{Mode: nullcqa.RepairClassic})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +233,7 @@ func TestPublicAPIIsRepair(t *testing.T) {
 	d, _ := nullcqa.ParseInstance(`p(a, null). p(b, c). r(a, b).`)
 	set, _ := nullcqa.ParseConstraints(`p(X, Y) -> r(X, Z).`)
 	good, _ := nullcqa.ParseInstance(`p(a, null). r(a, b).`)
-	ok, err := nullcqa.IsRepair(d, set, good)
+	ok, err := nullcqa.IsRepairCtx(context.Background(), d, set, good, nullcqa.RepairOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +242,7 @@ func TestPublicAPIIsRepair(t *testing.T) {
 	}
 	bad := d.Clone()
 	bad.Insert(nullcqa.F("r", nullcqa.Str("b"), nullcqa.Str("d")))
-	ok, err = nullcqa.IsRepair(d, set, bad)
+	ok, err = nullcqa.IsRepairCtx(context.Background(), d, set, bad, nullcqa.RepairOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +255,7 @@ func TestPublicAPIPossibleAnswers(t *testing.T) {
 	d, _ := nullcqa.ParseInstance(`course(34, c18). student(1, a).`)
 	set, _ := nullcqa.ParseConstraints(`course(Id, Code) -> student(Id, Name).`)
 	q, _ := nullcqa.ParseQuery(`q(Id) :- student(Id, Name).`)
-	possible, err := nullcqa.PossibleAnswers(d, set, q, nullcqa.NewCQAOptions())
+	possible, err := nullcqa.PossibleAnswersCtx(context.Background(), d, set, q, nullcqa.NewCQAOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
