@@ -7,9 +7,15 @@
 //
 //	cqa -db db.facts -ic constraints.ic check
 //	cqa -db db.facts -ic constraints.ic repairs [-classic] [-engine search|program] [-workers n]
-//	cqa -db db.facts -ic constraints.ic answers -query query.q [-engine search|program|cautious] [-workers n]
+//	cqa -db db.facts -ic constraints.ic answers -query query.q [-engine search|program|cautious|direct|auto] [-workers n]
 //	cqa -db db.facts -ic constraints.ic semantics
 //	cqa -db db.facts -ic constraints.ic -session script.txt [-engine ...] [-workers n]
+//
+// -engine selects from the registry of internal/engine: search and program
+// materialize repairs; cautious answers by cautious stable-model reasoning;
+// direct answers FD-only constraint sets from a repair-less polynomial
+// classification (internal/direct) and rejects anything broader; auto picks
+// direct when the set is FD-only and search otherwise.
 //
 // -session runs a line-oriented update script (query / insert / delete
 // commands) against one persistent session: standing queries are prepared
@@ -42,6 +48,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/depgraph"
+	"repro/internal/engine"
 	"repro/internal/ground"
 	"repro/internal/nullsem"
 	"repro/internal/parser"
@@ -67,7 +74,7 @@ func run(args []string) (retErr error) {
 	icArg := fs.String("ic", "", "integrity constraints (file path or inline)")
 	queryArg := fs.String("query", "", "query (file path or inline), for the answers command")
 	sessionArg := fs.String("session", "", "session update script (file of query/insert/delete lines)")
-	engine := fs.String("engine", "search", "repair engine: search | program | cautious (answers only)")
+	engineFlag := fs.String("engine", "search", "CQA engine: "+strings.Join(engine.Names(), " | "))
 	jsonOut := fs.Bool("json", false, "emit results as JSON wire documents (answers and session commands)")
 	classic := fs.Bool("classic", false, "use the classic [2] repair semantics (repairs command, search engine)")
 	workers := fs.Int("workers", 1, "parallel workers for the selected engine (>= 1)")
@@ -98,12 +105,10 @@ func run(args []string) (retErr error) {
 		cmd = fs.Arg(0)
 	}
 
-	switch *engine {
-	case "search", "program", "cautious":
-	default:
-		return fmt.Errorf("unknown -engine %q: want search, program, or cautious", *engine)
+	if _, ok := engine.Lookup(*engineFlag); !ok {
+		return fmt.Errorf("-engine: %w", &engine.UnknownError{Name: *engineFlag})
 	}
-	if *engine != "search" && cmd != "repairs" && cmd != "answers" && cmd != "session" {
+	if *engineFlag != "search" && cmd != "repairs" && cmd != "answers" && cmd != "session" {
 		return fmt.Errorf("-engine only applies to the repairs, answers, and session commands")
 	}
 	if *workers < 1 {
@@ -134,7 +139,7 @@ func run(args []string) (retErr error) {
 	case "check":
 		return cmdCheck(d, set)
 	case "repairs":
-		return cmdRepairs(d, set, *engine, *classic, *workers)
+		return cmdRepairs(d, set, *engineFlag, *classic, *workers)
 	case "answers":
 		if *queryArg == "" {
 			return fmt.Errorf("-query is required for the answers command")
@@ -143,35 +148,20 @@ func run(args []string) (retErr error) {
 		if err != nil {
 			return fmt.Errorf("loading -query: %w", err)
 		}
-		return cmdAnswers(d, set, q, *engine, *workers, *jsonOut)
+		return cmdAnswers(d, set, q, *engineFlag, *workers, *jsonOut)
 	case "semantics":
 		return cmdSemantics(d, set)
 	case "session":
-		return cmdSession(d, set, *sessionArg, *engine, *workers, *jsonOut)
+		return cmdSession(d, set, *sessionArg, *engineFlag, *workers, *jsonOut)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-// engineOptions maps the -engine/-workers flags onto session options; the
-// answers and session commands share the mapping.
-func engineOptions(engine string, workers int) (core.Options, error) {
-	opts := core.NewOptions()
-	switch engine {
-	case "search":
-		opts.Repair.Workers = workers
-	case "program":
-		opts.Engine = core.EngineProgram
-		opts.Stable.Workers = workers
-		opts.Ground.Workers = workers
-	case "cautious":
-		opts.Engine = core.EngineProgramCautious
-		opts.Stable.Workers = workers
-		opts.Ground.Workers = workers
-	default:
-		return opts, fmt.Errorf("unknown -engine %q: want search, program, or cautious", engine)
-	}
-	return opts, nil
+// engineOptions maps the -engine/-workers flags onto session options via
+// the shared registry; the answers and session commands share the mapping.
+func engineOptions(name string, workers int) (core.Options, error) {
+	return engine.Options(name, workers)
 }
 
 // emitJSON writes one compact wire document per line, exactly as the cqad
@@ -235,8 +225,11 @@ func cmdCheck(d *relational.Instance, set *constraint.Set) error {
 	return nil
 }
 
-func cmdRepairs(d *relational.Instance, set *constraint.Set, engine string, classic bool, workers int) error {
-	switch engine {
+func cmdRepairs(d *relational.Instance, set *constraint.Set, name string, classic bool, workers int) error {
+	if spec, ok := engine.Lookup(name); ok && !spec.Repairs {
+		return fmt.Errorf("-engine %s never materializes repairs: the repairs command wants search or program", name)
+	}
+	switch name {
 	case "program":
 		if classic {
 			return fmt.Errorf("-classic requires -engine search (the program engine implements only the null-based semantics)")
@@ -271,7 +264,7 @@ func cmdRepairs(d *relational.Instance, set *constraint.Set, engine string, clas
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown -engine %q for the repairs command: want search or program (cautious never materializes repairs)", engine)
+		return fmt.Errorf("unknown -engine %q for the repairs command: want search or program", name)
 	}
 }
 

@@ -113,6 +113,44 @@ func TestAnswersCommand(t *testing.T) {
 	}
 }
 
+// TestAnswersDirect exercises the repair-less engine end to end: on an
+// FD-only fixture direct and auto agree with search, and on the mixed
+// fixture direct fails with its scope error while auto falls back to search.
+func TestAnswersDirect(t *testing.T) {
+	fdDB := "r(a, b).\nr(a, c).\nr(d, b).\ns(e, a).\n"
+	fdIC := "r(X, Y), r(X, Z) -> Y = Z."
+	for _, engine := range []string{"direct", "auto"} {
+		out, err := capture(t, func() error {
+			return run([]string{"-db", fdDB, "-ic", fdIC, "-query", `q(V) :- s(U, V).`, "-engine", engine, "answers"})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "consistent answers: 1") || !strings.Contains(out, "(a)") {
+			t.Errorf("engine %s: unexpected answers:\n%s", engine, out)
+		}
+		if !strings.Contains(out, "repairs inspected: 2") {
+			t.Errorf("engine %s: expected the exact repair count 2:\n%s", engine, out)
+		}
+	}
+
+	db, ic, q := writeFixtures(t)
+	if _, err := capture(t, func() error {
+		return run([]string{"-db", db, "-ic", ic, "-query", q, "-engine", "direct", "answers"})
+	}); err == nil || !strings.Contains(err.Error(), "direct engine:") {
+		t.Errorf("direct on mixed constraints: err = %v, want scope error", err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"-db", db, "-ic", ic, "-query", q, "-engine", "auto", "answers"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "consistent answers: 1") || !strings.Contains(out, "(a)") {
+		t.Errorf("auto on mixed constraints: unexpected answers:\n%s", out)
+	}
+}
+
 // TestAnswersJSONGolden pins the -json answers document for the search
 // engine (program engines report different diagnostics by design).
 func TestAnswersJSONGolden(t *testing.T) {
@@ -198,13 +236,15 @@ func TestEngineValidation(t *testing.T) {
 		want string // substring of the expected error
 	}{
 		{"repairs rejects typo'd engine", // used to silently fall back to search
-			[]string{"-db", db, "-ic", ic, "-engine", "serach", "repairs"}, "unknown -engine"},
+			[]string{"-db", db, "-ic", ic, "-engine", "serach", "repairs"}, "unknown engine"},
 		{"repairs rejects cautious", // cautious never materializes repairs
-			[]string{"-db", db, "-ic", ic, "-engine", "cautious", "repairs"}, "unknown -engine"},
+			[]string{"-db", db, "-ic", ic, "-engine", "cautious", "repairs"}, "never materializes repairs"},
+		{"repairs rejects direct", // the classification never enumerates Rep(D)
+			[]string{"-db", db, "-ic", ic, "-engine", "direct", "repairs"}, "never materializes repairs"},
 		{"repairs rejects classic with program", // -classic used to be silently ignored
 			[]string{"-db", db, "-ic", ic, "-classic", "-engine", "program", "repairs"}, "-classic requires -engine search"},
 		{"answers rejects typo'd engine", // used to silently fall back to search
-			[]string{"-db", db, "-ic", ic, "-query", q, "-engine", "progam", "answers"}, "unknown -engine"},
+			[]string{"-db", db, "-ic", ic, "-query", q, "-engine", "progam", "answers"}, "unknown engine"},
 		{"classic outside repairs",
 			[]string{"-db", db, "-ic", ic, "-query", q, "-classic", "answers"}, "-classic only applies"},
 		{"workers must be positive",
@@ -212,7 +252,7 @@ func TestEngineValidation(t *testing.T) {
 		{"workers outside repairs/answers",
 			[]string{"-db", db, "-ic", ic, "-workers", "4", "check"}, "-workers only applies"},
 		{"typo'd engine on check", // used to be silently ignored
-			[]string{"-db", db, "-ic", ic, "-engine", "serach", "check"}, "unknown -engine"},
+			[]string{"-db", db, "-ic", ic, "-engine", "serach", "check"}, "unknown engine"},
 		{"engine outside repairs/answers",
 			[]string{"-db", db, "-ic", ic, "-engine", "program", "semantics"}, "-engine only applies"},
 	}

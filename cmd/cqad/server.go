@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/core"
+	"repro/internal/direct"
+	"repro/internal/engine"
 	"repro/internal/parser"
 	"repro/internal/query"
 	"repro/internal/relational"
@@ -212,6 +214,10 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusUnprocessableEntity, "state_limit", err.Error())
 	case errors.Is(err, repair.ErrConflictingSet):
 		writeError(w, http.StatusUnprocessableEntity, "conflicting_constraints", err.Error())
+	case errors.Is(err, direct.ErrScope):
+		writeError(w, http.StatusUnprocessableEntity, "direct_scope", err.Error())
+	case errors.As(err, new(*engine.UnknownError)):
+		writeError(w, http.StatusBadRequest, "bad_engine", err.Error())
 	case errors.Is(err, session.ErrInconsistentUnrepairable):
 		writeError(w, http.StatusInternalServerError, "unrepairable", err.Error())
 	default:
@@ -275,23 +281,12 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// engineOptions maps a request's engine selection onto session options,
-// including the per-session load-shedding budgets.
-func engineOptions(engine string, workers, maxStates, maxCandidates int) (session.Options, error) {
-	opts := session.NewOptions()
-	switch engine {
-	case "", "search":
-		opts.Repair.Workers = workers
-	case "program":
-		opts.Engine = session.EngineProgram
-		opts.Stable.Workers = workers
-		opts.Ground.Workers = workers
-	case "cautious":
-		opts.Engine = session.EngineProgramCautious
-		opts.Stable.Workers = workers
-		opts.Ground.Workers = workers
-	default:
-		return opts, fmt.Errorf("unknown engine %q: want search, program, or cautious", engine)
+// engineOptions maps a request's engine selection onto session options via
+// the shared registry, adding the per-session load-shedding budgets.
+func engineOptions(name string, workers, maxStates, maxCandidates int) (session.Options, error) {
+	opts, err := engine.Options(name, workers)
+	if err != nil {
+		return opts, err
 	}
 	opts.Repair.MaxStates = maxStates
 	opts.Stable.MaxCandidates = maxCandidates
@@ -300,33 +295,15 @@ func engineOptions(engine string, workers, maxStates, maxCandidates int) (sessio
 
 // --- handlers ----------------------------------------------------------------
 
-type createSessionRequest struct {
-	// Name identifies the session within its tenant.
-	Name string `json:"name"`
-	// Instance and Constraints load structured wire documents;
-	// InstanceText and ConstraintsText accept parser-syntax source
-	// instead. Exactly one form of each must be present (constraints may
-	// be omitted entirely for an unconstrained session).
-	Instance        *wire.Instance      `json:"instance,omitempty"`
-	InstanceText    string              `json:"instance_text,omitempty"`
-	Constraints     *wire.ConstraintSet `json:"constraints,omitempty"`
-	ConstraintsText string              `json:"constraints_text,omitempty"`
-	// Engine (search | program | cautious), Workers, and the shedding
-	// budgets configure every request served by this session.
-	Engine        string `json:"engine,omitempty"`
-	Workers       int    `json:"workers,omitempty"`
-	MaxStates     int    `json:"max_states,omitempty"`
-	MaxCandidates int    `json:"max_candidates,omitempty"`
-}
-
-type createSessionResponse struct {
-	Tenant      string `json:"tenant"`
-	Name        string `json:"name"`
-	Facts       int    `json:"facts"`
-	Constraints int    `json:"constraints"`
-	Consistent  bool   `json:"consistent"`
-	Engine      string `json:"engine"`
-}
+// The request/response bodies are the shared wire schema (internal/wire),
+// so clients and tests marshal against one definition.
+type (
+	createSessionRequest  = wire.CreateSessionRequest
+	createSessionResponse = wire.CreateSessionResponse
+	applyRequest          = wire.ApplyRequest
+	queryRequest          = wire.QueryRequest
+	prepareRequest        = wire.PrepareRequest
+)
 
 func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req createSessionRequest
@@ -372,11 +349,7 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	engine := req.Engine
-	if engine == "" {
-		engine = "search"
-	}
-	opts, err := engineOptions(engine, req.Workers, req.MaxStates, req.MaxCandidates)
+	opts, err := engineOptions(req.Engine, req.Workers, req.MaxStates, req.MaxCandidates)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_engine", err.Error())
 		return
@@ -409,6 +382,7 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 	ls.mu.Lock()
 	consistent := ls.s.Consistent()
+	resolved := engine.NameOf(ls.s.Options().Engine)
 	ls.mu.Unlock()
 	writeJSON(w, http.StatusCreated, createSessionResponse{
 		Tenant:      t.name,
@@ -416,7 +390,7 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Facts:       d.Len(),
 		Constraints: len(set.ICs) + len(set.NNCs),
 		Consistent:  consistent,
-		Engine:      engine,
+		Engine:      resolved,
 	})
 }
 
@@ -430,14 +404,6 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	t.mu.Unlock()
 	ls.closeSubs()
 	w.WriteHeader(http.StatusNoContent)
-}
-
-type applyRequest struct {
-	// Delta is the structured update; InsertText/DeleteText accept
-	// parser-syntax fact lists instead (all three combine additively).
-	Delta      *wire.Delta `json:"delta,omitempty"`
-	InsertText string      `json:"insert_text,omitempty"`
-	DeleteText string      `json:"delete_text,omitempty"`
 }
 
 func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
@@ -506,18 +472,6 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-type queryRequest struct {
-	// Query is parser-syntax source.
-	Query string `json:"query"`
-	// Semantics selects certain (default) or possible (brave) answers.
-	Semantics string `json:"semantics,omitempty"`
-	// Engine and Workers override the session's engine for this request
-	// only. An override answers from a throwaway session over the current
-	// head: correct, but without the session's caches.
-	Engine  string `json:"engine,omitempty"`
-	Workers int    `json:"workers,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -590,10 +544,6 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ls.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
-}
-
-type prepareRequest struct {
-	Query string `json:"query"`
 }
 
 func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {

@@ -59,6 +59,58 @@ func createSession(t *testing.T, base, tenant, name string, extra string) {
 	}
 }
 
+// TestDirectEngine covers the repair-less engine over HTTP: auto resolves
+// to direct on FD-only constraints (and the create response says so), the
+// per-request engine override accepts direct, and a direct session on
+// out-of-scope constraints fails with 422 direct_scope.
+func TestDirectEngine(t *testing.T) {
+	_, hs := newTestServer(t, config{})
+	base := hs.URL
+	fdDB := "r(a, b).\nr(a, c).\nr(d, b).\ns(e, a).\n"
+	fdIC := "r(X, Y), r(X, Z) -> Y = Z."
+
+	code, resp := doJSON(t, "POST", base+"/v1/tenants/acme/sessions",
+		fmt.Sprintf(`{"name":"fd","instance_text":%q,"constraints_text":%q,"engine":"auto"}`, fdDB, fdIC))
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, resp)
+	}
+	if !strings.Contains(resp, `"engine":"direct"`) {
+		t.Errorf("auto did not resolve to direct: %s", resp)
+	}
+
+	s1 := base + "/v1/tenants/acme/sessions/fd"
+	code, resp = doJSON(t, "POST", s1+"/query", `{"query":"q(V) :- s(U, V)."}`)
+	if code != http.StatusOK || !strings.Contains(resp, `"tuples":[["a"]]`) ||
+		!strings.Contains(resp, `"num_repairs":2`) {
+		t.Errorf("direct query: %d %s", code, resp)
+	}
+	code, resp = doJSON(t, "POST", s1+"/query", `{"query":"q(X) :- r(X, b).","semantics":"possible"}`)
+	if code != http.StatusOK || !strings.Contains(resp, `[["a"],["d"]]`) {
+		t.Errorf("direct possible query: %d %s", code, resp)
+	}
+
+	// Per-request override onto the same session.
+	code, resp = doJSON(t, "POST", s1+"/query", `{"query":"q(V) :- s(U, V).","engine":"search"}`)
+	if code != http.StatusOK || !strings.Contains(resp, `"tuples":[["a"]]`) {
+		t.Errorf("search override on direct session: %d %s", code, resp)
+	}
+
+	// The mixed fixture is out of the direct scope: creation succeeds (the
+	// classification is lazy) but the first answer reports 422.
+	createSession(t, base, "acme", "mixed", `,"engine":"direct"`)
+	code, resp = doJSON(t, "POST", base+"/v1/tenants/acme/sessions/mixed/query", `{"query":"q(V) :- s(U, V)."}`)
+	if code != http.StatusUnprocessableEntity || !strings.Contains(resp, "direct_scope") {
+		t.Errorf("direct on mixed constraints: %d %s", code, resp)
+	}
+	// The override path reports the same scope error.
+	createSession(t, base, "acme", "mixed2", "")
+	code, resp = doJSON(t, "POST", base+"/v1/tenants/acme/sessions/mixed2/query",
+		`{"query":"q(V) :- s(U, V).","engine":"direct"}`)
+	if code != http.StatusUnprocessableEntity || !strings.Contains(resp, "direct_scope") {
+		t.Errorf("direct override on mixed constraints: %d %s", code, resp)
+	}
+}
+
 // TestEndpointsGolden drives every endpoint once and pins the response
 // documents.
 func TestEndpointsGolden(t *testing.T) {
@@ -401,7 +453,7 @@ func TestErrorPaths(t *testing.T) {
 		{"bad semantics", "POST", s1 + "/query", `{"query":"q() :- r(a, b).","semantics":"brave"}`,
 			http.StatusBadRequest, "bad_semantics"},
 		{"bad engine override", "POST", s1 + "/query", `{"query":"q() :- r(a, b).","engine":"quantum"}`,
-			http.StatusInternalServerError, "internal"},
+			http.StatusBadRequest, "bad_engine"},
 		{"bad engine at create", "POST", base + "/v1/tenants/acme/sessions", `{"name":"s9","instance_text":"r(a, b).","engine":"quantum"}`,
 			http.StatusBadRequest, "bad_engine"},
 		{"conflicting standing query", "POST", s1 + "/prepare", `{"query":"q(X) :- r(X, Y)."}`,

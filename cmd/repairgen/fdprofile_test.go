@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/parser"
+)
+
+// TestFDProfile pins the generator contract: the emitted files reparse, the
+// constraints are within the direct engine's FD-only scope, the violation
+// count is honored, and the output is deterministic per seed.
+func TestFDProfile(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "w")
+	out, err := capture(t, func() error {
+		return run([]string{"-profile", "fd", "-rows", "40", "-violations", "3", "-classes", "3",
+			"-nullrate", "0.2", "-seed", "11", "-o", prefix})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "40 facts") || !strings.Contains(out, "3 violated group(s)") {
+		t.Errorf("summary line: %s", out)
+	}
+
+	facts, err := os.ReadFile(prefix + ".facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := parser.Instance(string(facts))
+	if err != nil {
+		t.Fatalf("emitted facts do not reparse: %v", err)
+	}
+	if d.Len() != 40 {
+		t.Errorf("facts = %d, want 40", d.Len())
+	}
+	ic, err := os.ReadFile(prefix + ".ic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := parser.Constraints(string(ic))
+	if err != nil {
+		t.Fatalf("emitted constraints do not reparse: %v", err)
+	}
+	if a := constraint.Analyze(set); !a.FDOnly {
+		t.Errorf("emitted constraints are not FD-only: %s", a.Reason)
+	}
+
+	// Same seed, same bytes.
+	prefix2 := filepath.Join(t.TempDir(), "w")
+	if _, err := capture(t, func() error {
+		return run([]string{"-profile", "fd", "-rows", "40", "-violations", "3", "-classes", "3",
+			"-nullrate", "0.2", "-seed", "11", "-o", prefix2})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	facts2, _ := os.ReadFile(prefix2 + ".facts")
+	if string(facts) != string(facts2) {
+		t.Errorf("generation is not deterministic per seed")
+	}
+}
+
+func TestFDProfileStdoutAndErrors(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-profile", "fd", "-rows", "8", "-violrate", "0.5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, tail, found := strings.Cut(out, "# --- constraints ---\n")
+	if !found {
+		t.Fatalf("missing separator:\n%s", out)
+	}
+	if _, err := parser.Instance(head); err != nil {
+		t.Errorf("stdout facts do not reparse: %v", err)
+	}
+	set, err := parser.Constraints(tail)
+	if err != nil {
+		t.Fatalf("stdout constraints do not reparse: %v", err)
+	}
+	if len(set.ICs) != 1 {
+		t.Errorf("ICs = %d, want 1", len(set.ICs))
+	}
+
+	if _, err := capture(t, func() error {
+		return run([]string{"-profile", "fd", "-violrate", "1.5"})
+	}); err == nil || !strings.Contains(err.Error(), "-violrate") {
+		t.Errorf("violrate out of range: err = %v", err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-profile", "warp"})
+	}); err == nil || !strings.Contains(err.Error(), "unknown -profile") {
+		t.Errorf("unknown profile: err = %v", err)
+	}
+}

@@ -6,11 +6,21 @@
 //
 //	repairgen -db db.facts -ic constraints.ic [-variant corrected] [-format dlv] [-ground]
 //	repairgen -db db.facts -updates n [-seed s]
+//	repairgen -profile fd [-rows n] [-relations k] [-groupsize g] [-violations v | -violrate p] [-classes c] [-nullrate p] [-seed s] [-o prefix]
 //
 // -updates switches to the update-script generator: instead of a repair
 // program it emits n randomized insert/delete lines (cqa -session syntax)
 // over the instance's schemas and active domain, for the session
 // differential and bench suites. -ic is not needed in this mode.
+//
+// -profile fd switches to the FD-workload generator (internal/fdgen): a
+// synthetic instance of -rows rows per relation whose only constraints are
+// key-style functional dependencies, with an exact count (-violations) or
+// rate (-violrate, fraction of key groups) of violated groups — the
+// fixtures the direct engine's differential and scaling suites use. With
+// -o the facts and constraints land in prefix.facts and prefix.ic; without
+// it both print to stdout separated by a "# --- constraints ---" line.
+// -db and -ic are not used in this mode.
 package main
 
 import (
@@ -40,12 +50,33 @@ func run(args []string) error {
 	format := fs.String("format", "native", "output format: native | dlv")
 	groundOut := fs.Bool("ground", false, "also print the ground program and its stats")
 	updates := fs.Int("updates", 0, "emit a randomized session update script of this many lines instead of a program")
-	seedArg := fs.Int64("seed", 1, "random seed for -updates")
+	seedArg := fs.Int64("seed", 1, "random seed for -updates and -profile")
+	profile := fs.String("profile", "", "workload profile to generate instead of a program: fd")
+	rows := fs.Int("rows", 0, "fd profile: rows per constrained relation")
+	relations := fs.Int("relations", 1, "fd profile: number of FD-constrained relations")
+	groupSize := fs.Int("groupsize", 2, "fd profile: rows sharing one key")
+	violations := fs.Int("violations", 0, "fd profile: exact number of violated key groups per relation")
+	violRate := fs.Float64("violrate", 0, "fd profile: fraction of key groups violated (overrides -violations)")
+	classes := fs.Int("classes", 2, "fd profile: distinct dependent values per violated group")
+	nullRate := fs.Float64("nullrate", 0, "fd profile: probability a clean row is null-exempt")
+	outArg := fs.String("o", "", "fd profile: write <prefix>.facts and <prefix>.ic instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *updates < 0 {
 		return fmt.Errorf("-updates must be >= 0 (got %d)", *updates)
+	}
+	switch *profile {
+	case "":
+	case "fd":
+		return emitFD(fdProfile{
+			rows: *rows, relations: *relations, groupSize: *groupSize,
+			classes: *classes, violations: *violations,
+			violRate: *violRate, nullRate: *nullRate,
+			seed: *seedArg, out: *outArg,
+		})
+	default:
+		return fmt.Errorf("unknown -profile %q: want fd", *profile)
 	}
 	if *dbArg == "" || (*icArg == "" && *updates == 0) {
 		return fmt.Errorf("-db and -ic are required")

@@ -12,6 +12,8 @@ import (
 // builder returns constraints already in form (1), so the rest of the
 // library needs no special cases.
 
+// varNames uses upper-case prefixes so built constraints render as
+// parser-valid source (lower-case identifiers would reparse as constants).
 func varNames(prefix string, n int) []term.T {
 	out := make([]term.T, n)
 	for i := range out {
@@ -34,13 +36,13 @@ func FD(pred string, arity int, key []int, det []int) []*IC {
 		if keySet[d] {
 			continue
 		}
-		left := varNames("x", arity)
+		left := varNames("X", arity)
 		right := make([]term.T, arity)
 		for i := range right {
 			if keySet[i] {
 				right[i] = left[i]
 			} else {
-				right[i] = term.V(fmt.Sprintf("y%d", i+1))
+				right[i] = term.V(fmt.Sprintf("Y%d", i+1))
 			}
 		}
 		out = append(out, &IC{
@@ -94,10 +96,10 @@ func ForeignKey(from string, fromArity int, fromPos []int, to string, toArity in
 	if len(fromPos) != len(toPos) {
 		panic("constraint: ForeignKey position lists differ in length")
 	}
-	body := varNames("x", fromArity)
+	body := varNames("X", fromArity)
 	head := make([]term.T, toArity)
 	for i := range head {
-		head[i] = term.V(fmt.Sprintf("z%d", i+1))
+		head[i] = term.V(fmt.Sprintf("Z%d", i+1))
 	}
 	for i, fp := range fromPos {
 		head[toPos[i]] = body[fp]
@@ -117,7 +119,7 @@ func FullInclusion(from string, fromArity int, fromPos []int, to string, toPos [
 	if len(fromPos) != len(toPos) {
 		panic("constraint: FullInclusion position lists differ in length")
 	}
-	body := varNames("x", fromArity)
+	body := varNames("X", fromArity)
 	head := make([]term.T, len(toPos))
 	for i, fp := range fromPos {
 		head[toPos[i]] = body[fp]

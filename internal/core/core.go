@@ -50,6 +50,12 @@ const (
 	// cautious consequences of the repair program extended with the query
 	// rules — no repair is ever materialized.
 	EngineProgramCautious = session.EngineProgramCautious
+	// EngineDirect answers FD-only sets from the repair-less polynomial
+	// classification (internal/direct) — no repair is ever enumerated.
+	EngineDirect = session.EngineDirect
+	// EngineAuto routes by constraint class: FD-only sets take
+	// EngineDirect, everything else EngineSearch.
+	EngineAuto = session.EngineAuto
 )
 
 // Options configures consistent query answering. See session.Options.

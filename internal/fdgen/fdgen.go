@@ -1,0 +1,206 @@
+// Package fdgen generates deterministic FD-only workloads: instances whose
+// relations each carry one functional dependency, with an exact number of
+// conflicted key groups, a tunable class count per conflict, and optional
+// null-exempt rows. The same generator feeds `repairgen -profile=fd`, the
+// direct-engine differential suites, and the scaling benchmarks, so fixture
+// shapes are identical everywhere.
+package fdgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/constraint"
+	"repro/internal/relational"
+	"repro/internal/value"
+)
+
+// Config describes one workload. The zero value is normalized to a single
+// 3-ary relation (key, dependent, unique row id) with two rows per key
+// group and no violations.
+type Config struct {
+	// Relations is the number of FD-constrained relations r0, r1, ...
+	// (default 1).
+	Relations int
+	// Rows is the number of rows per constrained relation (default 16).
+	Rows int
+	// KeyWidth is the number of key (FD left-hand-side) positions
+	// (default 1).
+	KeyWidth int
+	// GroupSize is the number of rows sharing one key (default 2).
+	GroupSize int
+	// Violations is the exact number of conflicted key groups per relation
+	// (clamped to the group count). Each conflicted group's rows spread
+	// over Classes distinct dependent values.
+	Violations int
+	// Classes is the number of distinct dependent values per conflicted
+	// group (default 2, clamped to GroupSize).
+	Classes int
+	// NullRate is the probability that a clean-group row is made exempt by
+	// nulling its dependent or one key position. Conflicted groups are
+	// never nulled, so Violations stays exact.
+	NullRate float64
+	// Unconstrained is the number of rows of an extra unconstrained binary
+	// relation s (default 0): s(k, v) with k drawn from r0's key domain,
+	// giving joins and negation targets across the constraint boundary.
+	Unconstrained int
+	// Seed drives the deterministic rand stream.
+	Seed int64
+}
+
+// Normalized fills in the documented defaults and clamps, returning the
+// exact configuration Generate will use.
+func (c Config) Normalized() Config {
+	if c.Relations <= 0 {
+		c.Relations = 1
+	}
+	if c.Rows <= 0 {
+		c.Rows = 16
+	}
+	if c.KeyWidth <= 0 {
+		c.KeyWidth = 1
+	}
+	if c.GroupSize <= 0 {
+		c.GroupSize = 2
+	}
+	if c.Classes <= 1 {
+		c.Classes = 2
+	}
+	if c.Classes > c.GroupSize {
+		c.Classes = c.GroupSize
+	}
+	groups := c.Rows / c.GroupSize
+	if groups < 1 {
+		groups = 1
+	}
+	if c.Violations > groups {
+		c.Violations = groups
+	}
+	if c.Violations < 0 {
+		c.Violations = 0
+	}
+	return c
+}
+
+// Arity returns the row width of the constrained relations under cfg:
+// KeyWidth key positions, one dependent, one unique row id.
+func (c Config) Arity() int { return c.Normalized().KeyWidth + 2 }
+
+// DepPos returns the dependent position index.
+func (c Config) DepPos() int { return c.Normalized().KeyWidth }
+
+// RelName returns the name of constrained relation i.
+func RelName(i int) string { return fmt.Sprintf("r%d", i) }
+
+// UnconstrainedName is the name of the extra unconstrained relation.
+const UnconstrainedName = "s"
+
+// Generate builds the instance and its FD-only constraint set. The
+// instance layout per constrained relation: groups of GroupSize rows
+// sharing a key; the first Violations groups spread their dependent values
+// over Classes classes (round-robin, so every class is non-empty); the
+// remaining groups agree on one dependent value, except rows nulled per
+// NullRate. The last position carries a unique row id, so set semantics
+// never collapses rows.
+func Generate(cfg Config) (*relational.Instance, *constraint.Set) {
+	cfg = cfg.Normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := relational.NewInstance()
+	groups := cfg.Rows / cfg.GroupSize
+	if groups < 1 {
+		groups = 1
+	}
+	var ics []*constraint.IC
+	keyPos := make([]int, cfg.KeyWidth)
+	for i := range keyPos {
+		keyPos[i] = i
+	}
+	dep := cfg.KeyWidth
+	uniq := cfg.KeyWidth + 1
+	for ri := 0; ri < cfg.Relations; ri++ {
+		name := RelName(ri)
+		ics = append(ics, constraint.FD(name, cfg.Arity(), keyPos, []int{dep})...)
+		for row := 0; row < cfg.Rows; row++ {
+			g := row / cfg.GroupSize
+			if g >= groups {
+				g = groups - 1
+			}
+			args := make(relational.Tuple, cfg.Arity())
+			for k := 0; k < cfg.KeyWidth; k++ {
+				args[k] = value.Str(fmt.Sprintf("k%d_%d", g, k))
+			}
+			slot := row % cfg.GroupSize
+			if g < cfg.Violations {
+				args[dep] = value.Str(fmt.Sprintf("v%d", slot%cfg.Classes))
+			} else {
+				args[dep] = value.Str("v0")
+				if cfg.NullRate > 0 && rng.Float64() < cfg.NullRate {
+					if rng.Intn(2) == 0 {
+						args[dep] = value.Null()
+					} else {
+						args[rng.Intn(cfg.KeyWidth)] = value.Null()
+					}
+				}
+			}
+			args[uniq] = value.Int(int64(row))
+			d.Insert(relational.Fact{Pred: name, Args: args})
+		}
+	}
+	for i := 0; i < cfg.Unconstrained; i++ {
+		g := rng.Intn(groups)
+		d.Insert(relational.F(UnconstrainedName,
+			value.Str(fmt.Sprintf("k%d_0", g)),
+			value.Str(fmt.Sprintf("v%d", rng.Intn(cfg.Classes+1)))))
+	}
+	set, err := constraint.NewSet(ics, nil)
+	if err != nil {
+		panic(fmt.Sprintf("fdgen: generated set invalid: %v", err))
+	}
+	return d, set
+}
+
+// Updates derives a deterministic stream of n single-batch deltas against
+// d (which must come from Generate(cfg)): inserts of fresh rows into
+// existing key groups (sometimes opening a new dependent class), deletes
+// of previously inserted rows, and unconstrained-relation churn. Batches
+// are sized batch facts each; every delta is effective by construction.
+func Updates(cfg Config, n, batch int) []relational.Delta {
+	cfg = cfg.Normalized()
+	if batch <= 0 {
+		batch = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x5eed))
+	groups := cfg.Rows / cfg.GroupSize
+	if groups < 1 {
+		groups = 1
+	}
+	nextID := int64(cfg.Rows)
+	var live []relational.Fact
+	out := make([]relational.Delta, 0, n)
+	for i := 0; i < n; i++ {
+		var dl relational.Delta
+		for b := 0; b < batch; b++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(live))
+				dl.Removed = append(dl.Removed, live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			name := RelName(rng.Intn(cfg.Relations))
+			g := rng.Intn(groups)
+			args := make(relational.Tuple, cfg.Arity())
+			for k := 0; k < cfg.KeyWidth; k++ {
+				args[k] = value.Str(fmt.Sprintf("k%d_%d", g, k))
+			}
+			args[cfg.KeyWidth] = value.Str(fmt.Sprintf("v%d", rng.Intn(cfg.Classes+1)))
+			args[cfg.KeyWidth+1] = value.Int(nextID)
+			nextID++
+			f := relational.Fact{Pred: name, Args: args}
+			dl.Added = append(dl.Added, f)
+			live = append(live, f)
+		}
+		out = append(out, dl)
+	}
+	return out
+}

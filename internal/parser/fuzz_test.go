@@ -1,0 +1,51 @@
+package parser_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// FuzzParser throws arbitrary source at all three entry points. The
+// contract under attack: no panics, and every syntax-level failure is a
+// *ParseError whose position is in-bounds (1-based line within the input,
+// plus one for errors at EOF). Semantic validation after a successful
+// parse (constraint.NewSet, query safety) may fail with other error types.
+func FuzzParser(f *testing.F) {
+	f.Add("r(a, b).\nr(a, null).\n")
+	f.Add("r(X, Y), r(X, Z) -> Y = Z.")
+	f.Add("s(U, V) -> r(V, W).\nr(X, Y), isnull(X) -> false.")
+	f.Add(`q(V) :- s(U, V), not r(V, V), U >= 3.`)
+	f.Add("q(X) :- r(X).\nq(X) :- s(X, Y).")
+	f.Add(`p("quoted string", -42, null).`)
+	f.Add("r(X Y) -> false")
+	f.Add("q( :- ")
+	f.Add("\x00\xff(")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		lines := strings.Count(src, "\n") + 1
+		checkPos := func(what string, err error) {
+			var pe *parser.ParseError
+			if !errors.As(err, &pe) {
+				return // semantic validation error, allowed
+			}
+			if pe.Line < 1 || pe.Line > lines+1 {
+				t.Errorf("%s: line %d out of bounds [1, %d] for input %q", what, pe.Line, lines+1, src)
+			}
+			if pe.Col < 1 {
+				t.Errorf("%s: column %d < 1 for input %q", what, pe.Col, src)
+			}
+		}
+		if _, err := parser.Instance(src); err != nil {
+			checkPos("Instance", err)
+		}
+		if _, err := parser.Constraints(src); err != nil {
+			checkPos("Constraints", err)
+		}
+		if _, err := parser.Query(src); err != nil {
+			checkPos("Query", err)
+		}
+	})
+}

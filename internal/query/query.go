@@ -241,6 +241,28 @@ func evalConj(d *relational.Instance, c Conj, head []string, yield func(relation
 	})
 }
 
+// ForEachAssignment enumerates every assignment of c's positive literals
+// over d that satisfies c's builtins, with the join selectivity-ordered and
+// resolved through the per-relation hash indexes, exactly as evalConj does.
+// Negated literals are NOT applied: callers that answer negation against a
+// set of instances at once (the direct engine evaluates a negated literal
+// against every repair simultaneously) own that check themselves. The subst
+// passed to yield is reused across calls — copy it if it must outlive the
+// callback. yield returns false to stop the enumeration early.
+func ForEachAssignment(d *relational.Instance, c Conj, yield func(term.Subst) bool) {
+	atoms := orderBySelectivity(d, positiveAtoms(c), nil)
+	subst := term.Subst{}
+	joinPositives(d, atoms, subst, func() bool {
+		for _, b := range c.Builtins {
+			res, ok := b.Eval(subst)
+			if !ok || !res {
+				return true
+			}
+		}
+		return yield(subst)
+	})
+}
+
 // positiveAtoms collects the positive literals of a disjunct, in order.
 func positiveAtoms(c Conj) []term.Atom {
 	var out []term.Atom

@@ -89,17 +89,17 @@ func TestExample21ProgramShape(t *testing.T) {
 	}
 	// Rule 2 for the FD (the paper prints only x != null; Definition 9
 	// also guards the ϕ-variables y and z, which are relevant).
-	if !strings.Contains(out, "R_a(x1,x2,fa) v R_a(x1,y2,fa) :- R_a(x1,x2,ts), R_a(x1,y2,ts)") {
+	if !strings.Contains(out, "R_a(X1,X2,fa) v R_a(X1,Y2,fa) :- R_a(X1,X2,ts), R_a(X1,Y2,ts)") {
 		t.Errorf("missing FD rule:\n%s", out)
 	}
-	if !strings.Contains(out, "x2 != y2") { // ϕ̄: negation of the FD's x2 = y2
+	if !strings.Contains(out, "X2 != Y2") { // ϕ̄: negation of the FD's x2 = y2
 		t.Errorf("missing negated ϕ:\n%s", out)
 	}
 	// Rule 3 for the RIC with its aux rule.
-	if !strings.Contains(out, "S_a(x1,x2,fa) v R_a(x2,null,ta) :- S_a(x1,x2,ts), not aux_fk_S_R(x2), x2 != null.") {
+	if !strings.Contains(out, "S_a(X1,X2,fa) v R_a(X2,null,ta) :- S_a(X1,X2,ts), not aux_fk_S_R(X2), X2 != null.") {
 		t.Errorf("missing RIC rule:\n%s", out)
 	}
-	if !strings.Contains(out, "aux_fk_S_R(x2) :- R_a(x2,z2,ts), not R_a(x2,z2,fa), x2 != null, z2 != null.") {
+	if !strings.Contains(out, "aux_fk_S_R(X2) :- R_a(X2,Z2,ts), not R_a(X2,Z2,fa), X2 != null, Z2 != null.") {
 		t.Errorf("missing aux rule:\n%s", out)
 	}
 	// Rule 4 for the NNC.

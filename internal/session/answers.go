@@ -34,6 +34,8 @@ func (s *Session) AnswerCtx(ctx context.Context, q *query.Q) (Answer, error) {
 		return s.cautiousAnswer(ctx, q)
 	case EngineProgram:
 		return s.programAnswer(ctx, q)
+	case EngineDirect:
+		return s.directAnswer(ctx, q)
 	default:
 		return s.searchAnswer(ctx, q)
 	}
@@ -319,7 +321,11 @@ func (s *Session) PossibleCtx(ctx context.Context, q *query.Q) ([]relational.Tup
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	if s.opts.Engine != EngineSearch {
+	switch s.opts.Engine {
+	case EngineDirect:
+		return s.directPossible(ctx, q)
+	case EngineSearch:
+	default:
 		return s.possibleProgram(ctx, q)
 	}
 	if err := s.ensureRepairs(ctx); err != nil {

@@ -1,0 +1,78 @@
+package session
+
+import (
+	"context"
+
+	"repro/internal/constraint"
+	"repro/internal/direct"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/repair"
+)
+
+// resolveAuto picks the engine for EngineAuto: the repair-less direct
+// engine when the set is FD-only under null-aware semantics, the search
+// engine otherwise.
+func resolveAuto(set *constraint.Set, opts Options) Engine {
+	if opts.Repair.Mode == repair.Classic {
+		return EngineSearch
+	}
+	if constraint.Analyze(set).FDOnly {
+		return EngineDirect
+	}
+	return EngineSearch
+}
+
+// ensureDirect materializes the FD classification on first use; Apply
+// keeps it maintained afterwards. Scope violations (non-FD constraints,
+// classic semantics) surface as *direct.ScopeError wrapping
+// direct.ErrScope.
+func (s *Session) ensureDirect() (*direct.Engine, error) {
+	if s.dir != nil {
+		return s.dir, nil
+	}
+	if s.opts.Repair.Mode == repair.Classic {
+		return nil, &direct.ScopeError{Reason: "classic repair semantics (the classification is null-aware only)"}
+	}
+	e, err := direct.New(s.head.Current(), s.set)
+	if err != nil {
+		return nil, err
+	}
+	s.dir = e
+	return e, nil
+}
+
+// directAnswer implements EngineDirect: certain answers straight off the
+// maintained classification, one polynomial pass, no repair enumeration.
+// NumRepairs is the exact product count; StatesExplored stays 0 and the
+// engine never short-circuits, so the diagnostics are deterministic.
+func (s *Session) directAnswer(ctx context.Context, q *query.Q) (Answer, error) {
+	e, err := s.ensureDirect()
+	if err != nil {
+		return Answer{}, err
+	}
+	res, err := e.CertainCtx(ctx, s.head.Current(), q)
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{Tuples: res.Tuples, Boolean: res.Boolean, NumRepairs: res.NumRepairs}, nil
+}
+
+// directPossible implements the brave side of EngineDirect.
+func (s *Session) directPossible(ctx context.Context, q *query.Q) ([]relational.Tuple, error) {
+	e, err := s.ensureDirect()
+	if err != nil {
+		return nil, err
+	}
+	return e.PossibleCtx(ctx, s.head.Current(), q)
+}
+
+// DirectStats exposes the classification work counters of the maintained
+// direct engine (zero Stats when none was built), for tests pinning the
+// O(|Δ|) incremental-maintenance contract.
+func (s *Session) DirectStats() direct.Stats {
+	if s.dir == nil {
+		return direct.Stats{}
+	}
+	return s.dir.Stats()
+}

@@ -1,0 +1,168 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/direct"
+	"repro/internal/fdgen"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relational"
+	"repro/internal/repair"
+)
+
+func tuplesEqual(a, b []relational.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDirectSessionIncremental pins the O(|Δ|) maintenance contract: a
+// long-lived EngineDirect session fed a stream of deltas must answer
+// exactly like a direct engine rebuilt from scratch on the final instance,
+// and it must get there incrementally — InitialFacts frozen after New,
+// DeltaFacts growing with the stream, never a reclassification.
+func TestDirectSessionIncremental(t *testing.T) {
+	ctx := context.Background()
+	queries := []*query.Q{
+		parser.MustQuery(`q(K,V) :- r0(K,V,W).`),
+		parser.MustQuery(`q(K) :- r0(K,v1,W).`),
+		parser.MustQuery(`q :- r0(K,v0,W).`),
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := fdgen.Config{
+				Rows:       24,
+				GroupSize:  3,
+				Violations: 2 + int(seed%2),
+				Classes:    2,
+				NullRate:   0.1,
+				Seed:       seed,
+			}
+			d, set := fdgen.Generate(cfg)
+			opts := NewOptions()
+			opts.Engine = EngineDirect
+			s := New(d.Clone(), set, opts)
+
+			// Force the classification to exist before the stream so the
+			// stats prove updates are absorbed, not rebuilt.
+			if _, err := s.AnswerCtx(ctx, queries[0]); err != nil {
+				t.Fatalf("initial answer: %v", err)
+			}
+			initial := s.DirectStats().InitialFacts
+			if initial == 0 {
+				t.Fatalf("classification not built")
+			}
+
+			deltas := fdgen.Updates(cfg, 12, 3)
+			applied := 0
+			for di, dl := range deltas {
+				if _, err := s.ApplyCtx(ctx, dl); err != nil {
+					t.Fatalf("apply %d: %v", di, err)
+				}
+				applied += len(dl.Removed) + len(dl.Added)
+				st := s.DirectStats()
+				if st.InitialFacts != initial {
+					t.Fatalf("apply %d: classification rebuilt (InitialFacts %d -> %d)",
+						di, initial, st.InitialFacts)
+				}
+				if st.DeltaFacts > applied {
+					t.Fatalf("apply %d: DeltaFacts %d exceeds delta stream size %d",
+						di, st.DeltaFacts, applied)
+				}
+
+				scratch, err := direct.New(s.head.Current(), set)
+				if err != nil {
+					t.Fatalf("apply %d: scratch rebuild: %v", di, err)
+				}
+				if got, want := s.dir.NumRepairs(), scratch.NumRepairs(); got != want {
+					t.Fatalf("apply %d: NumRepairs session=%d scratch=%d", di, got, want)
+				}
+				for qi, q := range queries {
+					got, err := s.AnswerCtx(ctx, q)
+					if err != nil {
+						t.Fatalf("apply %d q%d session: %v", di, qi, err)
+					}
+					want, err := scratch.CertainCtx(ctx, s.head.Current(), q)
+					if err != nil {
+						t.Fatalf("apply %d q%d scratch: %v", di, qi, err)
+					}
+					if q.IsBoolean() {
+						if got.Boolean != want.Boolean {
+							t.Fatalf("apply %d q%d: boolean session=%v scratch=%v",
+								di, qi, got.Boolean, want.Boolean)
+						}
+					} else if !tuplesEqual(got.Tuples, want.Tuples) {
+						t.Fatalf("apply %d q%d: session=%v scratch=%v",
+							di, qi, got.Tuples, want.Tuples)
+					}
+					gotPoss, err := s.PossibleCtx(ctx, q)
+					if err != nil {
+						t.Fatalf("apply %d q%d possible: %v", di, qi, err)
+					}
+					wantPoss, err := scratch.PossibleCtx(ctx, s.head.Current(), q)
+					if err != nil {
+						t.Fatalf("apply %d q%d scratch possible: %v", di, qi, err)
+					}
+					if !tuplesEqual(gotPoss, wantPoss) {
+						t.Fatalf("apply %d q%d: possible session=%v scratch=%v",
+							di, qi, gotPoss, wantPoss)
+					}
+				}
+			}
+			if s.DirectStats().DeltaFacts == 0 {
+				t.Fatalf("delta stream was empty — test proves nothing")
+			}
+		})
+	}
+}
+
+// TestEngineAutoRouting pins the constraint-class router: FD-only sets
+// resolve to the direct engine, everything else falls back to search, and
+// classic-mode sessions never take the null-aware classification.
+func TestEngineAutoRouting(t *testing.T) {
+	fdSet := parser.MustConstraints("r(X, Y1, W1), r(X, Y2, W2) -> Y1 = Y2.")
+	denialSet := parser.MustConstraints("p(X), q(X) -> false.")
+
+	opts := NewOptions()
+	opts.Engine = EngineAuto
+	if s := New(relational.NewInstance(), fdSet, opts); s.opts.Engine != EngineDirect {
+		t.Errorf("FD-only auto: got %v, want direct", s.opts.Engine)
+	}
+	if s := New(relational.NewInstance(), denialSet, opts); s.opts.Engine != EngineSearch {
+		t.Errorf("denial auto: got %v, want search", s.opts.Engine)
+	}
+	classic := opts
+	classic.Repair.Mode = repair.Classic
+	if s := New(relational.NewInstance(), fdSet, classic); s.opts.Engine != EngineSearch {
+		t.Errorf("classic auto: got %v, want search", s.opts.Engine)
+	}
+}
+
+// TestDirectScopeRejection pins the typed error: forcing EngineDirect on a
+// non-FD set fails with *direct.ScopeError at answer time.
+func TestDirectScopeRejection(t *testing.T) {
+	set := parser.MustConstraints("p(X), q(X) -> false.")
+	opts := NewOptions()
+	opts.Engine = EngineDirect
+	s := New(relational.NewInstance(), set, opts)
+	_, err := s.Answer(parser.MustQuery(`q :- p(X).`))
+	var scope *direct.ScopeError
+	if !errors.As(err, &scope) {
+		t.Fatalf("got %v, want *direct.ScopeError", err)
+	}
+	if _, err := s.Possible(parser.MustQuery(`q :- p(X).`)); !errors.As(err, &scope) {
+		t.Fatalf("possible: got %v, want *direct.ScopeError", err)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"repro/internal/constraint"
+	"repro/internal/direct"
 	"repro/internal/ground"
 	"repro/internal/nullsem"
 	"repro/internal/query"
@@ -55,6 +56,17 @@ const (
 	// answers are the cautious (certain) consequences of the combined
 	// program — no repair is ever materialized.
 	EngineProgramCautious
+	// EngineDirect answers FD-only constraint sets from the repair-less
+	// polynomial classification of internal/direct (Laurent–Spyratos): no
+	// repair is ever enumerated, and Session.Apply maintains the
+	// classification in O(|Δ|). Out-of-scope sets (anything beyond one FD
+	// per relation, or classic semantics) fail with *direct.ScopeError.
+	EngineDirect
+	// EngineAuto routes by constraint class at session construction:
+	// FD-only sets under null-aware semantics take EngineDirect, everything
+	// else EngineSearch. The session's Options() report the resolved
+	// engine.
+	EngineAuto
 )
 
 func (e Engine) String() string {
@@ -63,6 +75,10 @@ func (e Engine) String() string {
 		return "program"
 	case EngineProgramCautious:
 		return "program-cautious"
+	case EngineDirect:
+		return "direct"
+	case EngineAuto:
+		return "auto"
 	default:
 		return "search"
 	}
@@ -194,6 +210,10 @@ type Session struct {
 	tr      *repairprog.Translation
 	trDirty map[string]bool
 
+	// Live FD classification (EngineDirect); built lazily, advanced by
+	// Apply in O(|Δ|) once built.
+	dir *direct.Engine
+
 	prepared []*Prepared
 }
 
@@ -203,6 +223,9 @@ type Session struct {
 // runs the repair search, and vice versa.
 func New(d *relational.Instance, set *constraint.Set, opts Options) *Session {
 	opts.Repair.Seed = nil
+	if opts.Engine == EngineAuto {
+		opts.Engine = resolveAuto(set, opts)
+	}
 	s := &Session{
 		set:     set,
 		opts:    opts,
@@ -283,6 +306,12 @@ func (s *Session) ApplyCtx(ctx context.Context, delta relational.Delta) (ApplyRe
 		relevant = true
 	}
 	res.ConstraintRelevant = relevant
+
+	// Direct classification: class counts and the conflicted-group set
+	// move in O(|Δ|); no re-scan, no repair enumeration.
+	if s.dir != nil {
+		s.dir.Update(eff)
+	}
 
 	// Violations: advance only the checkers whose constraint shares a
 	// changed predicate; the rest are untouched by construction.
@@ -757,7 +786,7 @@ func (s *Session) PrepareCtx(ctx context.Context, q *query.Q) (*Prepared, error)
 	for _, name := range q.Preds() {
 		p.preds[name] = true
 	}
-	if s.opts.Engine != EngineProgramCautious {
+	if s.opts.Engine != EngineProgramCautious && s.opts.Engine != EngineDirect {
 		be, err := query.NewBaseEval(s.head.Anchor(), q)
 		if err != nil {
 			return nil, err
@@ -773,8 +802,16 @@ func (s *Session) PrepareCtx(ctx context.Context, q *query.Q) (*Prepared, error)
 
 // compute fills p's answers from the session's current state.
 func (s *Session) compute(ctx context.Context, p *Prepared) error {
-	if s.opts.Engine == EngineProgramCautious {
-		ans, err := s.cautiousAnswer(ctx, p.q)
+	if s.opts.Engine == EngineProgramCautious || s.opts.Engine == EngineDirect {
+		var (
+			ans Answer
+			err error
+		)
+		if s.opts.Engine == EngineDirect {
+			ans, err = s.directAnswer(ctx, p.q)
+		} else {
+			ans, err = s.cautiousAnswer(ctx, p.q)
+		}
 		if err != nil {
 			return err
 		}

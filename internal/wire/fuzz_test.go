@@ -1,0 +1,84 @@
+package wire_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/wire"
+)
+
+// FuzzWireRoundTrip pins the package contract under adversarial input:
+// render∘parse is a fixpoint. Any JSON that decodes into a wire document
+// must survive marshal→unmarshal→marshal byte-identically after one
+// canonicalization pass, and any parseable constraint/query source must
+// render to canonical text that reparses to the same canonical text.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(`{"facts":[{"pred":"r","args":["a",1,null]}]}`,
+		`{"added":[{"pred":"r","args":["a"]}],"removed":[{"pred":"s"}]}`,
+		"r(X, Y), r(X, Z) -> Y = Z.\ns(U, V) -> r(V, W).\nr(X, Y), isnull(X) -> false.",
+		`q(V) :- s(U, V), not r(V, V), U >= 3.`)
+	f.Add(`{"facts":[]}`, `{}`, `p(X), q(X) -> false.`, `q :- p("two words", -7).`)
+	f.Add(`{"facts":[{"pred":"p","args":[9223372036854775807]}]}`, `{"added":null}`,
+		`r(X) -> s(X, Z).`, "q(X) :- r(X).\nq(X) :- s(X, Y).")
+
+	f.Fuzz(func(t *testing.T, instJSON, deltaJSON, icSrc, qSrc string) {
+		var wi wire.Instance
+		if err := json.Unmarshal([]byte(instJSON), &wi); err == nil {
+			d := wi.ToInstance()
+			b1, err := json.Marshal(wire.FromInstance(d))
+			if err != nil {
+				t.Fatalf("marshal instance: %v", err)
+			}
+			var wi2 wire.Instance
+			if err := json.Unmarshal(b1, &wi2); err != nil {
+				t.Fatalf("canonical instance does not decode: %v\n%s", err, b1)
+			}
+			if !d.Equal(wi2.ToInstance()) {
+				t.Fatalf("instance round trip diverged:\n%s", b1)
+			}
+			b2, _ := json.Marshal(wire.FromInstance(wi2.ToInstance()))
+			if string(b1) != string(b2) {
+				t.Fatalf("instance marshal is not a fixpoint:\n%s\n%s", b1, b2)
+			}
+		}
+
+		var wd wire.Delta
+		if err := json.Unmarshal([]byte(deltaJSON), &wd); err == nil {
+			b1, err := json.Marshal(wire.FromDelta(wd.ToDelta()))
+			if err != nil {
+				t.Fatalf("marshal delta: %v", err)
+			}
+			var wd2 wire.Delta
+			if err := json.Unmarshal(b1, &wd2); err != nil {
+				t.Fatalf("canonical delta does not decode: %v\n%s", err, b1)
+			}
+			b2, _ := json.Marshal(wire.FromDelta(wd2.ToDelta()))
+			if string(b1) != string(b2) {
+				t.Fatalf("delta marshal is not a fixpoint:\n%s\n%s", b1, b2)
+			}
+		}
+
+		if set, err := parser.Constraints(icSrc); err == nil {
+			r1 := wire.FromConstraints(set).Source
+			set2, err := wire.ConstraintSet{Source: r1}.ToSet()
+			if err != nil {
+				t.Fatalf("canonical constraints do not reparse: %v\n%s", err, r1)
+			}
+			if r2 := wire.FromConstraints(set2).Source; r1 != r2 {
+				t.Fatalf("constraint render is not a fixpoint:\n%s\n%s", r1, r2)
+			}
+		}
+
+		if q, err := parser.Query(qSrc); err == nil {
+			r1 := wire.FromQuery(q).Source
+			q2, err := wire.Query{Source: r1}.ToQuery()
+			if err != nil {
+				t.Fatalf("canonical query does not reparse: %v\n%s", err, r1)
+			}
+			if r2 := wire.FromQuery(q2).Source; r1 != r2 {
+				t.Fatalf("query render is not a fixpoint:\n%s\n%s", r1, r2)
+			}
+		}
+	})
+}

@@ -231,15 +231,57 @@ func (cs ConstraintSet) ToSet() (*constraint.Set, error) {
 	return parser.Constraints(cs.Source)
 }
 
-// Query carries a query as canonical source text (query.Q.String, which the
-// parser accepts back).
+// Query carries a query as canonical source text in the syntax of
+// internal/parser.
 type Query struct {
 	Source string `json:"source"`
 }
 
-// FromQuery renders q canonically.
+// FromQuery renders q canonically. Unlike query.Q.String (a display form)
+// the canonical text always quotes string constants, so constants like
+// "two words" reparse as the constants they are.
 func FromQuery(q *query.Q) Query {
-	return Query{Source: q.String()}
+	var b strings.Builder
+	head := q.Name
+	if head == "" {
+		head = "q"
+	}
+	for i, d := range q.Disjuncts {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(head)
+		b.WriteByte('(')
+		b.WriteString(strings.Join(q.Head, ", "))
+		b.WriteByte(')')
+		if len(d.Lits) == 0 && len(d.Builtins) == 0 {
+			// The grammar allows an empty (trivially true) body, but only
+			// without the ":-".
+			b.WriteByte('.')
+			continue
+		}
+		b.WriteString(" :- ")
+		first := true
+		for _, l := range d.Lits {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			if l.Neg {
+				b.WriteString("not ")
+			}
+			renderAtom(&b, l.Atom)
+		}
+		for _, bi := range d.Builtins {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			renderBuiltin(&b, bi)
+		}
+		b.WriteByte('.')
+	}
+	return Query{Source: b.String()}
 }
 
 // ToQuery parses the carried source.

@@ -6,6 +6,8 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/depgraph"
+	"repro/internal/direct"
+	"repro/internal/engine"
 	"repro/internal/nullsem"
 	"repro/internal/parser"
 	"repro/internal/query"
@@ -54,6 +56,12 @@ type (
 	ViolationReport = nullsem.Report
 	// RepairProgram is a generated Definition 9 program.
 	RepairProgram = repairprog.Translation
+	// ConstraintAnalysis classifies a constraint set for engine routing
+	// (FD-only sets qualify for EngineDirect).
+	ConstraintAnalysis = constraint.Analysis
+	// EngineSpec describes one registered engine name with its
+	// capabilities.
+	EngineSpec = engine.Spec
 )
 
 // Typed errors. Long-running entry points fail with these instead of
@@ -79,7 +87,15 @@ var (
 	// on an inconsistent instance (Proposition 1 guarantees at least one
 	// repair, so this indicates an engine limitation on the input).
 	ErrInconsistentUnrepairable = session.ErrInconsistentUnrepairable
+	// ErrDirectScope: EngineDirect was asked to handle a constraint set
+	// outside its FD-only scope (or classic repair semantics). The full
+	// reason travels as a *DirectScopeError.
+	ErrDirectScope = direct.ErrScope
 )
+
+// DirectScopeError carries why a constraint set falls outside the direct
+// engine's scope; it wraps ErrDirectScope.
+type DirectScopeError = direct.ScopeError
 
 // Options structs — the single configuration path.
 type (
@@ -170,7 +186,35 @@ const (
 	// and answers by cautious stable-model reasoning (the paper's
 	// Section 5 pipeline, no repairs materialized).
 	EngineProgramCautious = core.EngineProgramCautious
+	// EngineDirect answers FD-only constraint sets from a repair-less
+	// polynomial classification (one pass, exact repair counts, O(|delta|)
+	// session maintenance); out-of-scope sets fail with ErrDirectScope.
+	EngineDirect = core.EngineDirect
+	// EngineAuto routes by constraint class at session creation: direct
+	// when AnalyzeConstraints reports FD-only, search otherwise.
+	EngineAuto = core.EngineAuto
 )
+
+// AnalyzeConstraints classifies a constraint set for engine routing: the
+// result reports whether the set is within the direct engine's FD-only
+// scope, and if not, why.
+func AnalyzeConstraints(set *ConstraintSet) ConstraintAnalysis { return constraint.Analyze(set) }
+
+// EngineNames lists the registered engine names accepted by
+// EngineOptionsByName, the cqa -engine flag, and the cqad wire fields.
+func EngineNames() []string { return engine.Names() }
+
+// Engines returns the full registry: every selectable engine with its
+// capabilities, in documentation order.
+func Engines() []EngineSpec { return engine.All() }
+
+// EngineOptionsByName maps a registry name ("search", "program",
+// "cautious", "direct", "auto") and a worker count onto CQA options —
+// exactly the mapping the cqa CLI and cqad daemon apply to their engine
+// selections. Unknown names fail with *engine.UnknownError.
+func EngineOptionsByName(name string, workers int) (CQAOptions, error) {
+	return engine.Options(name, workers)
+}
 
 // Query evaluation modes for the open |=q_N choice (see internal/query).
 const (
